@@ -1,0 +1,313 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/ag"
+	"repro/internal/bench"
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/loader"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// The Benchmark* functions below time the core measured unit of each of the
+// paper's tables and figures at a reduced scale, so `go test -bench=.`
+// exercises every experiment path. Full-row regeneration (the actual
+// table/figure contents) is `gnnbench -exp <name>` or the bench package's
+// runners; the claim assertions live in internal/bench's tests.
+
+func benchCora(b *testing.B) *datasets.Dataset {
+	b.Helper()
+	return datasets.Cora(datasets.Options{Seed: 1, Scale: 0.1})
+}
+
+func benchEnzymes(b *testing.B) *datasets.Dataset {
+	b.Helper()
+	return datasets.Enzymes(datasets.Options{Seed: 1, Scale: 0.2})
+}
+
+func nodeGCN(be fw.Backend, d *datasets.Dataset) models.Model {
+	return models.New("GCN", be, models.Config{
+		Task: models.NodeClassification, In: d.NumFeatures, Hidden: 16,
+		Classes: d.NumClasses, Layers: 2, Dropout: 0.5, Seed: 1,
+	})
+}
+
+func graphGIN(be fw.Backend, d *datasets.Dataset) models.Model {
+	return models.New("GIN", be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 16, Out: 16,
+		Classes: d.NumClasses, Layers: 4, LearnEps: true, Seed: 1,
+	})
+}
+
+// BenchmarkTable4EpochPyG times one full-batch node-classification epoch
+// (Table IV's per-epoch unit) under the PyG-like backend.
+func BenchmarkTable4EpochPyG(b *testing.B) { benchNodeEpoch(b, pygeo.New()) }
+
+// BenchmarkTable4EpochDGL is the DGL-side counterpart.
+func BenchmarkTable4EpochDGL(b *testing.B) { benchNodeEpoch(b, dglb.New()) }
+
+func benchNodeEpoch(b *testing.B, be fw.Backend) {
+	d := benchCora(b)
+	m := nodeGCN(be, d)
+	dev := device.Default()
+	batch := be.Batch(d.Graphs, dev)
+	adam := optim.NewAdam(m.Params(), 0.01)
+	adam.SetDevice(dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ag.New(dev)
+		loss := g.CrossEntropy(m.Forward(g, batch, true, nil), batch.NodeLabels, d.TrainIdx)
+		adam.ZeroGrad()
+		g.Backward(loss)
+		adam.Step()
+		g.Finish()
+	}
+}
+
+// BenchmarkTable5EpochPyG times one mini-batch graph-classification epoch
+// (Table V's per-epoch unit) under the PyG-like backend.
+func BenchmarkTable5EpochPyG(b *testing.B) { benchGraphEpoch(b, pygeo.New(), 64) }
+
+// BenchmarkTable5EpochDGL is the DGL-side counterpart.
+func BenchmarkTable5EpochDGL(b *testing.B) { benchGraphEpoch(b, dglb.New(), 64) }
+
+// BenchmarkFig1BatchSize64 / 128 / 256 time the epoch at Figs 1-2's three
+// batch sizes (PyG backend); the breakdown claims are tested in
+// internal/bench.
+func BenchmarkFig1BatchSize64(b *testing.B)  { benchGraphEpoch(b, pygeo.New(), 64) }
+func BenchmarkFig1BatchSize128(b *testing.B) { benchGraphEpoch(b, pygeo.New(), 128) }
+func BenchmarkFig1BatchSize256(b *testing.B) { benchGraphEpoch(b, pygeo.New(), 256) }
+
+func benchGraphEpoch(b *testing.B, be fw.Backend, batchSize int) {
+	d := benchEnzymes(b)
+	m := graphGIN(be, d)
+	dev := device.Default()
+	adam := optim.NewAdam(m.Params(), 1e-3)
+	adam.SetDevice(dev)
+	n := len(d.Graphs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < n; lo += batchSize {
+			hi := lo + batchSize
+			if hi > n {
+				hi = n
+			}
+			batch := be.Batch(d.Graphs[lo:hi], dev)
+			g := ag.New(dev)
+			loss := g.CrossEntropy(m.Forward(g, batch, true, nil), batch.Labels, nil)
+			adam.ZeroGrad()
+			g.Backward(loss)
+			adam.Step()
+			g.Finish()
+			batch.Release(dev)
+		}
+	}
+}
+
+// BenchmarkFig3LayerTimedForward times a forward pass with the per-layer
+// recorder attached (Fig 3's measurement path).
+func BenchmarkFig3LayerTimedForward(b *testing.B) {
+	d := benchEnzymes(b)
+	be := pygeo.New()
+	m := graphGIN(be, d)
+	dev := device.Default()
+	batch := be.Batch(d.Graphs[:64], dev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lt := newLayerTimes()
+		g := ag.New(dev)
+		m.Forward(g, batch, false, lt)
+		g.Finish()
+	}
+}
+
+// BenchmarkFig4MemoryTrackedEpoch times the epoch with allocator peak
+// tracking (Fig 4's measurement path; peak readout is free).
+func BenchmarkFig4MemoryTrackedEpoch(b *testing.B) {
+	d := benchEnzymes(b)
+	be := dglb.New()
+	m := graphGIN(be, d)
+	dev := device.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.ResetPeak()
+		batch := be.Batch(d.Graphs[:64], dev)
+		g := ag.New(dev)
+		m.Forward(g, batch, true, nil)
+		g.Finish()
+		batch.Release(dev)
+		if dev.Stats().PeakBytes == 0 {
+			b.Fatal("no peak recorded")
+		}
+	}
+}
+
+// BenchmarkFig5UtilizationProbe times the kernel-activity accounting Fig 5
+// is computed from.
+func BenchmarkFig5UtilizationProbe(b *testing.B) {
+	dev := device.Default()
+	x := tensor.NewRNG(1).Randn(1, 256, 64)
+	w := tensor.NewRNG(2).Randn(1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.ResetTime()
+		g := ag.New(dev)
+		g.MatMul(g.Input(x), g.Input(w))
+		g.Finish()
+		if dev.Stats().ActiveTime <= 0 {
+			b.Fatal("no kernel activity recorded")
+		}
+	}
+}
+
+// BenchmarkFig6DataParallel1GPU / 8GPU time one DataParallel epoch at the
+// ends of Fig 6's device axis.
+func BenchmarkFig6DataParallel1GPU(b *testing.B) { benchDP(b, 1) }
+func BenchmarkFig6DataParallel8GPU(b *testing.B) { benchDP(b, 8) }
+
+func benchDP(b *testing.B, devices int) {
+	d := datasets.MNISTSuperpixels(datasets.Options{Seed: 1, Scale: 0.001})
+	be := pygeo.New()
+	m := models.New("GCN", be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 16, Out: 16,
+		Classes: d.NumClasses, Layers: 4, Seed: 1,
+	})
+	adam := optim.NewAdam(m.Params(), 1e-3)
+	c := device.NewCluster(devices, device.RTX2080Ti(), device.PCIe3x16())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train.TrainDataParallelEpoch(m, d, adam, train.DPOptions{
+			BatchSize: 32, Cluster: c, Seed: uint64(i),
+		})
+	}
+}
+
+// Ablation benches isolate the design choices DESIGN.md calls out.
+
+// BenchmarkAblationBatchingPyG vs ...DGL: PyG's bulk concatenation against
+// DGL's heterograph-aware batching on identical inputs.
+func BenchmarkAblationBatchingPyG(b *testing.B) { benchBatching(b, pygeo.New()) }
+func BenchmarkAblationBatchingDGL(b *testing.B) { benchBatching(b, dglb.New()) }
+
+func benchBatching(b *testing.B, be fw.Backend) {
+	d := benchEnzymes(b)
+	gs := d.Graphs[:100]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.Batch(gs, nil)
+	}
+}
+
+// BenchmarkAblationAggregationFused vs ...TwoKernel: DGL's fused GSpMM
+// against PyG's gather+scatter on the same adjacency.
+func BenchmarkAblationAggregationFused(b *testing.B)     { benchAgg(b, true) }
+func BenchmarkAblationAggregationTwoKernel(b *testing.B) { benchAgg(b, false) }
+
+func benchAgg(b *testing.B, fused bool) {
+	rng := tensor.NewRNG(1)
+	gr := graph.ErdosRenyi(rng, 500, 0.02).WithSelfLoops()
+	x := rng.Randn(1, gr.NumNodes, 64)
+	csr := graph.BuildCSR(gr.NumNodes, gr.Src, gr.Dst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ag.New(nil)
+		xn := g.Input(x)
+		if fused {
+			g.GSpMMSum(xn, csr.RowPtr, csr.Col)
+		} else {
+			g.ScatterAdd(g.Gather(xn, gr.Src), gr.Dst, gr.NumNodes)
+		}
+		g.Finish()
+	}
+}
+
+// BenchmarkAblationPoolingScatter vs ...Segment: PyG's scatter-mean readout
+// against DGL's segment-reduce readout.
+func BenchmarkAblationPoolingScatter(b *testing.B) { benchPooling(b, true) }
+func BenchmarkAblationPoolingSegment(b *testing.B) { benchPooling(b, false) }
+
+func benchPooling(b *testing.B, scatter bool) {
+	d := benchEnzymes(b)
+	be := pygeo.New()
+	if !scatter {
+		// Segment pooling needs the DGL batch's node offsets; both backends
+		// produce identical offsets, so build once with PyG for fairness of
+		// the pooled data and use the op under test directly.
+		be = pygeo.New()
+	}
+	batch := be.Batch(d.Graphs[:100], nil)
+	x := tensor.NewRNG(2).Randn(1, batch.NumNodes, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ag.New(nil)
+		xn := g.Input(x)
+		if scatter {
+			g.ScatterMean(xn, batch.GraphID, batch.NumGraphs)
+		} else {
+			g.SegmentMean(xn, batch.NodeOffsets)
+		}
+		g.Finish()
+	}
+}
+
+// BenchmarkAblationEdgeUpdateOn vs ...Off: GatedGCN with and without the DGL
+// edge-feature update path — the paper's explanation for its largest
+// framework gap.
+func BenchmarkAblationEdgeUpdateOn(b *testing.B)  { benchGated(b, dglb.New()) }
+func BenchmarkAblationEdgeUpdateOff(b *testing.B) { benchGated(b, pygeo.New()) }
+
+func benchGated(b *testing.B, be fw.Backend) {
+	d := benchEnzymes(b)
+	m := models.New("GatedGCN", be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 16, Out: 16,
+		Classes: d.NumClasses, Layers: 4, Seed: 1,
+	})
+	batch := be.Batch(d.Graphs[:64], nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := ag.New(nil)
+		m.Forward(g, batch, true, nil)
+		g.Finish()
+	}
+}
+
+// BenchmarkDatasetGeneration times the synthetic dataset generators.
+func BenchmarkDatasetGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		datasets.Enzymes(datasets.Options{Seed: uint64(i), Scale: 0.1})
+	}
+}
+
+// Silence unused-import lint for the quick-settings path exercised in tests.
+var _ = bench.Settings{}
+
+// BenchmarkAblationLoaderSync vs ...Prefetch4: synchronous collation against
+// the prefetching loader (PyTorch DataLoader workers analogue).
+func BenchmarkAblationLoaderSync(b *testing.B)      { benchLoader(b, 0) }
+func BenchmarkAblationLoaderPrefetch4(b *testing.B) { benchLoader(b, 4) }
+
+func benchLoader(b *testing.B, workers int) {
+	d := benchEnzymes(b)
+	be := dglb.New() // DGL's collation is the expensive one
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loader.New(be, d, nil, loader.Options{BatchSize: 16, Workers: workers, Seed: uint64(i)})
+		for batch := range l.Epoch() {
+			_ = batch.NumNodes
+			batch.Release(nil)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command gnnbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gnnbench -exp table4            # Table IV, full scale
+//	gnnbench -exp fig1 -quick       # Fig 1 at the minute-scale profile
+//	gnnbench -exp all -quick        # everything
+//
+// Full-scale runs reproduce paper-size workloads and can take hours on a
+// single CPU; -quick shrinks datasets and epoch budgets while preserving the
+// qualitative comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table4|table5|fig1|fig2|fig3|fig4|fig5|fig6|all")
+	quick := flag.Bool("quick", false, "minute-scale profile (smaller datasets, fewer epochs)")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	jsonPath := flag.String("json", "", "also write structured results to this file")
+	flag.Parse()
+
+	s := bench.Settings{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	results := &bench.Results{Quick: *quick, Seed: *seed}
+
+	ran := false
+	if run("table4") {
+		results.AddTable4(bench.Table4(s))
+		ran = true
+	}
+	if run("table5") {
+		results.AddTable5(bench.Table5(s))
+		ran = true
+	}
+	if run("fig1") {
+		results.AddFig1(bench.Fig1(s))
+		ran = true
+	}
+	if run("fig2") {
+		results.AddFig2(bench.Fig2(s))
+		ran = true
+	}
+	if run("fig3") {
+		results.AddFig3(bench.Fig3(s))
+		ran = true
+	}
+	// Figs 4 and 5 come from the same runs as Figs 1-2; rerun them only when
+	// requested explicitly so "-exp all" does not repeat the measurement.
+	if *exp == "fig4" {
+		results.AddFig1(bench.Fig4(s))
+		ran = true
+	}
+	if *exp == "fig5" {
+		results.AddFig1(bench.Fig5(s))
+		ran = true
+	}
+	if run("fig6") {
+		results.AddFig6(bench.Fig6(s))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "gnnbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := results.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+}

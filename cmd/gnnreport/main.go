@@ -1,0 +1,146 @@
+// Command gnnreport turns a gnnbench -json results file into a Markdown
+// summary with the paper's qualitative claims evaluated against the measured
+// rows — the tool that fills EXPERIMENTS.md's measured column.
+//
+//	gnnbench -exp all -quick -json results.json
+//	gnnreport -in results.json > report.md
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	in := flag.String("in", "results.json", "gnnbench -json output file")
+	flag.Parse()
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnnreport: %v\n", err)
+		os.Exit(1)
+	}
+	var r bench.Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "gnnreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	profile := "full"
+	if r.Quick {
+		profile = "quick"
+	}
+	fmt.Printf("# gnnbench results (%s profile, seed %d)\n", profile, r.Seed)
+
+	if len(r.Table4) > 0 {
+		fmt.Printf("\n## Table IV — node classification\n\n")
+		fmt.Printf("| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
+		for _, row := range r.Table4 {
+			fmt.Printf("| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
+				row.Dataset, row.Model, row.Framework, row.EpochSec, row.TotalSec, row.AccMean, row.AccStd)
+		}
+		pygWins, total := frameworkWins(r.Table4)
+		fmt.Printf("\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
+	}
+	if len(r.Table5) > 0 {
+		fmt.Printf("\n## Table V — graph classification\n\n")
+		fmt.Printf("| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
+		for _, row := range r.Table5 {
+			fmt.Printf("| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
+				row.Dataset, row.Model, row.Framework, row.EpochSec, row.TotalSec, row.AccMean, row.AccStd)
+		}
+		pygWins, total := frameworkWins(r.Table5)
+		fmt.Printf("\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
+		for _, ds := range []string{"ENZYMES", "DD"} {
+			if ratio, ok := gatedRatio(r.Table5, ds); ok {
+				fmt.Printf("GatedGCN DGL/PyG epoch ratio on %s: %.2fx (paper: ~2x).\n", ds, ratio)
+			}
+		}
+	}
+	breakdownSection("Fig 1 (ENZYMES)", r.Fig1)
+	breakdownSection("Fig 2 (DD)", r.Fig2)
+	if len(r.Fig3) > 0 {
+		fmt.Printf("\n## Fig 3 — layer-wise time (batch 128)\n\n")
+		for _, row := range r.Fig3 {
+			fmt.Printf("- %s/%s:", row.Model, row.Framework)
+			names := make([]string, 0, len(row.Layers))
+			for n := range row.Layers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Printf(" %s=%.3gms", n, 1000*row.Layers[n])
+			}
+			fmt.Println()
+		}
+	}
+	if len(r.Fig6) > 0 {
+		fmt.Printf("\n## Fig 6 — multi-GPU scaling (MNIST)\n\n")
+		fmt.Printf("| Model | FW | Batch | GPUs | Epoch (s) | Load | Compute | Transfer |\n|---|---|---|---|---|---|---|---|\n")
+		for _, row := range r.Fig6 {
+			fmt.Printf("| %s | %s | %d | %d | %.4g | %.4g | %.4g | %.4g |\n",
+				row.Model, row.Framework, row.BatchSize, row.Devices,
+				row.EpochSec, row.DataLoadSec, row.ComputeSec, row.TransferSec)
+		}
+	}
+}
+
+func frameworkWins(rows []bench.Table4JSON) (pygWins, total int) {
+	type key struct{ d, m string }
+	epochs := map[key]map[string]float64{}
+	for _, r := range rows {
+		k := key{r.Dataset, r.Model}
+		if epochs[k] == nil {
+			epochs[k] = map[string]float64{}
+		}
+		epochs[k][r.Framework] = r.EpochSec
+	}
+	for _, fw := range epochs {
+		if len(fw) == 2 {
+			total++
+			if fw["PyG"] < fw["DGL"] {
+				pygWins++
+			}
+		}
+	}
+	return pygWins, total
+}
+
+func gatedRatio(rows []bench.Table5JSON, dataset string) (float64, bool) {
+	var pyg, dgl float64
+	for _, r := range rows {
+		if r.Model != "GatedGCN" || r.Dataset != dataset {
+			continue
+		}
+		if r.Framework == "PyG" {
+			pyg = r.EpochSec
+		} else {
+			dgl = r.EpochSec
+		}
+	}
+	if pyg > 0 && dgl > 0 {
+		return dgl / pyg, true
+	}
+	return 0, false
+}
+
+func breakdownSection(title string, rows []bench.FigJSON) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Printf("\n## %s — epoch breakdown / memory / utilization\n\n", title)
+	fmt.Printf("| Model | FW | Batch | Epoch (s) | Load share | Peak MB | Util |\n|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		share := 0.0
+		if r.EpochSec > 0 {
+			share = r.Phases["data-load"] / r.EpochSec
+		}
+		fmt.Printf("| %s | %s | %d | %.4g | %.0f%% | %.0f | %.0f%% |\n",
+			r.Model, r.Framework, r.BatchSize, r.EpochSec, 100*share, r.PeakMB, 100*r.Utilization)
+	}
+}

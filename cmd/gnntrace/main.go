@@ -1,0 +1,82 @@
+// Command gnntrace records the kernel timeline of a few training iterations
+// and writes it in Chrome's trace-event format — the reproduction's analogue
+// of capturing an nvprof timeline. Open the output in chrome://tracing or
+// https://ui.perfetto.dev; track 0 is the host execution, track 1 the
+// modeled-accelerator timeline.
+//
+//	gnntrace -model GAT -framework DGL -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ag"
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/models"
+	"repro/internal/optim"
+)
+
+func main() {
+	modelName := flag.String("model", "GCN", "architecture: GCN|GAT|GraphSAGE|GIN|MoNet|GatedGCN|MLP")
+	framework := flag.String("framework", "PyG", "framework: PyG|DGL")
+	batches := flag.Int("batches", 3, "training iterations to trace")
+	out := flag.String("o", "trace.json", "output file (Chrome trace-event JSON)")
+	flag.Parse()
+
+	var be fw.Backend
+	switch *framework {
+	case "PyG":
+		be = pygeo.New()
+	case "DGL":
+		be = dglb.New()
+	default:
+		fmt.Fprintf(os.Stderr, "gnntrace: unknown framework %q\n", *framework)
+		os.Exit(2)
+	}
+
+	d := datasets.Enzymes(datasets.Options{Seed: 1, Scale: 0.2})
+	m := models.New(*modelName, be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 32, Out: 32,
+		Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
+	})
+	dev := device.Default()
+	adam := optim.NewAdam(m.Params(), 1e-3)
+	adam.SetDevice(dev)
+
+	dev.EnableTrace(0)
+	for i := 0; i < *batches; i++ {
+		lo := (i * 64) % len(d.Graphs)
+		hi := lo + 64
+		if hi > len(d.Graphs) {
+			hi = len(d.Graphs)
+		}
+		b := be.Batch(d.Graphs[lo:hi], dev)
+		g := ag.New(dev)
+		loss := g.CrossEntropy(m.Forward(g, b, true, nil), b.Labels, nil)
+		adam.ZeroGrad()
+		g.Backward(loss)
+		adam.Step()
+		g.Finish()
+		b.Release(dev)
+	}
+	dev.DisableTrace()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := dev.WriteChromeTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced %d kernels from %d %s/%s iterations -> %s\n",
+		len(dev.Trace()), *batches, *modelName, *framework, *out)
+}

@@ -1,0 +1,51 @@
+// Graph classification with the paper's full recipe: GIN on the synthetic
+// ENZYMES dataset, stratified cross-validation, Adam with plateau LR decay,
+// and the per-epoch phase breakdown (data loading / forward / backward /
+// update / other) that Figs 1-2 report.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	enzymes := repro.LoadEnzymes(repro.DataOptions{Seed: 1, Scale: 0.3})
+	fmt.Printf("Graph classification on %s: %d graphs, %d classes\n\n",
+		enzymes.Name, len(enzymes.Graphs), enzymes.NumClasses)
+
+	for _, be := range []repro.Backend{repro.NewPyG(), repro.NewDGL()} {
+		be := be
+		factory := func(seed uint64) repro.Model {
+			return repro.NewModel("GIN", be, repro.ModelConfig{
+				Task:     repro.GraphClassification,
+				In:       enzymes.NumFeatures,
+				Hidden:   20,
+				Out:      20,
+				Classes:  enzymes.NumClasses,
+				Layers:   4,
+				LearnEps: true,
+				Seed:     seed,
+			})
+		}
+		res := repro.TrainGraphCV(factory, enzymes, 3, 11, repro.GraphOptions{
+			BatchSize: 32,
+			InitLR:    1e-3,
+			MaxEpochs: 12,
+			Device:    repro.NewDevice(),
+		})
+		fmt.Printf("GIN under %s: %.1f%% ± %.1f (3-fold CV), epoch %s, total %s\n",
+			be.Name(), res.AccMean, res.AccStd,
+			res.EpochMean.Round(time.Microsecond), res.TotalMean.Round(time.Millisecond))
+
+		// Phase breakdown of the first fold's epochs (Fig 1's bar contents).
+		bd := res.Folds[0].MeanBreakdown()
+		fmt.Printf("  mean epoch breakdown: %s\n", bd.String())
+		fmt.Printf("  device utilization %.1f%%, peak memory %.1f MB\n\n",
+			100*res.Folds[0].MeanUtilization(), float64(res.Folds[0].MaxPeakBytes())/1e6)
+	}
+	fmt.Println("Expected shape (paper, Table V / Fig 1): DGL's data-loading time")
+	fmt.Println("dominates its epoch and exceeds PyG's; accuracies are comparable.")
+}

@@ -1,0 +1,52 @@
+// Multi-GPU scaling (the paper's Fig 6 experiment): train GCN and GAT on the
+// MNIST superpixel dataset with DataParallel over 1, 2, 4 and 8 simulated
+// GPUs and print the epoch time with its data-loading / compute / transfer
+// decomposition. The characteristic shape: serial data loading caps the
+// speedup, and beyond 4 devices gradient transfer erases it.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	mnist := repro.LoadMNIST(repro.DataOptions{Seed: 1, Scale: 0.004}) // 280 digit graphs
+	fmt.Printf("DataParallel on %s: %d superpixel graphs\n\n", mnist.Name, len(mnist.Graphs))
+	fmt.Printf("%-5s %-5s %5s %14s %14s %14s %14s\n",
+		"Model", "GPUs", "Batch", "Epoch", "DataLoad", "Compute", "Transfer")
+
+	for _, name := range []string{"GCN", "GAT"} {
+		for _, gpus := range []int{1, 2, 4, 8} {
+			model := repro.NewModel(name, repro.NewPyG(), repro.ModelConfig{
+				Task:    repro.GraphClassification,
+				In:      mnist.NumFeatures,
+				Hidden:  16,
+				Out:     16 * 8, // GAT concatenates 8 heads
+				Classes: mnist.NumClasses,
+				Layers:  4,
+				Heads:   8,
+				Kernels: 2,
+				Seed:    5,
+			})
+			stats, mean := repro.TrainDataParallel(model, mnist, repro.DPOptions{
+				BatchSize: 128,
+				LR:        1e-3,
+				Epochs:    1,
+				Cluster:   repro.NewGPUCluster(gpus),
+				Seed:      9,
+			})
+			s := stats[0]
+			fmt.Printf("%-5s %5d %5d %14s %14s %14s %14s\n",
+				name, gpus, 128,
+				mean.Round(time.Microsecond), s.DataLoad.Round(time.Microsecond),
+				s.Compute.Round(time.Microsecond), s.Transfer.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Expected shape (paper, Fig 6): small gains from 1 to 4 GPUs because")
+	fmt.Println("data loading is serial; no gain (or a loss) from 4 to 8 GPUs because")
+	fmt.Println("gradient transfer grows with the device count.")
+}

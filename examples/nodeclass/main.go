@@ -1,0 +1,51 @@
+// Node classification framework shoot-out: train all six GNN architectures
+// on the synthetic Cora citation network under both the PyG-like and
+// DGL-like backends and print a miniature Table IV — epoch time, total time
+// and test accuracy per (model, framework) pair.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cora := repro.LoadCora(repro.DataOptions{Seed: 1, Scale: 0.25})
+	fmt.Printf("Node classification on %s: %d nodes, split %d/%d/%d\n\n",
+		cora.Name, cora.Graphs[0].NumNodes, len(cora.TrainIdx), len(cora.ValIdx), len(cora.TestIdx))
+	fmt.Printf("%-10s %-5s %12s %12s %8s\n", "Model", "FW", "Epoch", "Total", "TestAcc")
+
+	// Per-model learning rates follow the paper's Table II.
+	lr := map[string]float64{
+		"GCN": 0.01, "GAT": 0.01, "GIN": 0.005,
+		"GraphSAGE": 0.001, "MoNet": 0.003, "GatedGCN": 0.001,
+	}
+
+	for _, name := range repro.ModelNames() {
+		for _, be := range []repro.Backend{repro.NewPyG(), repro.NewDGL()} {
+			model := repro.NewModel(name, be, repro.ModelConfig{
+				Task:    repro.NodeClassification,
+				In:      cora.NumFeatures,
+				Hidden:  16,
+				Classes: cora.NumClasses,
+				Layers:  2,
+				Heads:   8,
+				Kernels: 2,
+				Dropout: 0.5,
+				Seed:    7,
+			})
+			res := repro.TrainNode(model, cora, repro.NodeOptions{
+				Epochs: 60,
+				LR:     lr[name],
+				Device: repro.NewDevice(),
+			})
+			fmt.Printf("%-10s %-5s %12s %12s %7.1f%%\n",
+				name, be.Name(), res.EpochMean.Round(time.Microsecond),
+				res.Total.Round(time.Millisecond), 100*res.TestAcc)
+		}
+	}
+	fmt.Println("\nExpected shape (paper, Table IV): PyG beats DGL on time for every")
+	fmt.Println("model while accuracies stay comparable; GatedGCN shows the widest gap.")
+}

@@ -1,0 +1,189 @@
+// Package ag implements tape-based reverse-mode automatic differentiation
+// over the tensor package, plus the graph-specific differentiable primitives
+// (gather/scatter message passing, edge softmax, segment reduction) that GNN
+// frameworks are built from.
+//
+// Every operation executes as a "kernel" on the graph's device, so the
+// simulated accelerator (internal/device) sees the same kernel stream a GPU
+// profiler would: one launch per op, with FLOP and byte counts.
+//
+// Usage per training step:
+//
+//	g := ag.New(dev)
+//	x := g.Input(features)
+//	h := g.ReLU(g.AddBias(g.MatMul(x, g.Param(W)), g.Param(b)))
+//	loss := g.CrossEntropy(h, labels, nil)
+//	g.Backward(loss)   // accumulates into W.Grad, b.Grad
+//	g.Finish()         // releases device-memory accounting for intermediates
+package ag
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/tensor"
+)
+
+// Parameter is a trainable tensor with its accumulated gradient. Parameters
+// are owned by modules (internal/nn) and updated by optimizers
+// (internal/optim); the graph only reads Value and accumulates into Grad.
+type Parameter struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParameter wraps a value tensor as a named parameter with a zero gradient.
+func NewParameter(name string, value *tensor.Tensor) *Parameter {
+	return &Parameter{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// Node is one value on the tape. Its gradient is materialized lazily during
+// Backward.
+type Node struct {
+	T            *tensor.Tensor
+	grad         *tensor.Tensor
+	requiresGrad bool
+	backward     func(g *Graph)
+	label        string
+}
+
+// Value returns the node's tensor.
+func (n *Node) Value() *tensor.Tensor { return n.T }
+
+// Grad returns the node's gradient tensor (nil before Backward reaches it).
+func (n *Node) Grad() *tensor.Tensor { return n.grad }
+
+// RequiresGrad reports whether gradients flow into this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Graph is a single-use autodiff tape bound to a device.
+type Graph struct {
+	dev        *device.Device
+	tape       []*Node
+	allocBytes int64
+	finished   bool
+}
+
+// New returns an empty tape recording kernels and allocations on dev.
+// dev may be nil, in which case no accounting happens.
+func New(dev *device.Device) *Graph {
+	return &Graph{dev: dev}
+}
+
+// Device returns the graph's device (may be nil).
+func (g *Graph) Device() *device.Device { return g.dev }
+
+// NumNodes returns the number of tape entries so far.
+func (g *Graph) NumNodes() int { return len(g.tape) }
+
+// alloc records t's storage as live device memory owned by this graph.
+func (g *Graph) alloc(t *tensor.Tensor) {
+	if t == nil {
+		return
+	}
+	b := int64(t.Size()) * 8
+	g.allocBytes += b
+	g.dev.Alloc(b)
+}
+
+// run executes f as one device kernel.
+func (g *Graph) run(flops, bytes int64, f func()) {
+	g.dev.Kernel(flops, bytes, f)
+}
+
+// node appends a tape entry whose output tensor was freshly allocated by the
+// op (and is therefore accounted as device memory).
+func (g *Graph) node(t *tensor.Tensor, requiresGrad bool, label string, backward func(*Graph)) *Node {
+	g.alloc(t)
+	n := &Node{T: t, requiresGrad: requiresGrad, backward: backward, label: label}
+	g.tape = append(g.tape, n)
+	return n
+}
+
+// Input wraps a tensor that requires no gradient (features, constants).
+// The tensor is assumed to already reside on the device (datasets and batch
+// buffers account for their own storage), so no allocation is recorded.
+func (g *Graph) Input(t *tensor.Tensor) *Node {
+	n := &Node{T: t, label: "input"}
+	g.tape = append(g.tape, n)
+	return n
+}
+
+// Param wraps a trainable parameter. After Backward, the node's gradient is
+// accumulated into p.Grad.
+func (g *Graph) Param(p *Parameter) *Node {
+	n := &Node{T: p.Value, requiresGrad: true, label: "param:" + p.Name}
+	n.backward = func(g *Graph) {
+		if n.grad != nil {
+			tensor.AddInPlace(p.Grad, n.grad)
+		}
+	}
+	g.tape = append(g.tape, n)
+	return n
+}
+
+// accum adds grad into n's gradient buffer, allocating it on first touch.
+// Ops call this only for inputs that require gradients.
+func (g *Graph) accum(n *Node, grad *tensor.Tensor) {
+	if !n.requiresGrad {
+		return
+	}
+	first := n.grad == nil
+	g.run(int64(grad.Size()), int64(grad.Size())*24, func() {
+		if first {
+			// Output-buffer allocation is the device allocator's job; it
+			// belongs inside the kernel accounting.
+			n.grad = tensor.New(n.T.Shape()...)
+		}
+		tensor.AddInPlace(n.grad, grad)
+	})
+	if first {
+		g.alloc(n.grad)
+	}
+}
+
+// Backward runs reverse-mode differentiation from loss, which must be a
+// scalar (shape [1]) node on this tape. Gradients accumulate into every
+// parameter bound via Param.
+func (g *Graph) Backward(loss *Node) {
+	if loss.T.Size() != 1 {
+		panic(fmt.Sprintf("ag: Backward needs a scalar loss, got shape %v", loss.T.Shape()))
+	}
+	if !loss.requiresGrad {
+		panic("ag: loss does not depend on any parameter")
+	}
+	loss.grad = tensor.Scalar(1)
+	g.alloc(loss.grad)
+	for i := len(g.tape) - 1; i >= 0; i-- {
+		n := g.tape[i]
+		if n.grad == nil || n.backward == nil {
+			continue
+		}
+		n.backward(g)
+	}
+}
+
+// Finish releases the device-memory accounting for every intermediate this
+// graph allocated. Call it exactly once, after the optimizer step, to mirror
+// the end-of-iteration free that frameworks perform when the autograd graph
+// is dropped.
+func (g *Graph) Finish() {
+	if g.finished {
+		panic("ag: Finish called twice")
+	}
+	g.finished = true
+	g.dev.Free(g.allocBytes)
+	g.allocBytes = 0
+	g.tape = nil
+}
+
+// checkCols panics unless n's tensor is rank 2.
+func check2(op string, n *Node) {
+	if n.T.Rank() != 2 {
+		panic(fmt.Sprintf("ag: %s wants rank-2 node, got %v", op, n.T.Shape()))
+	}
+}

@@ -1,0 +1,92 @@
+package ag
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// testCSR builds a small by-destination CSR: arcs 0->1, 2->1, 1->0, 3->2, 0->2.
+func testCSR() (src, dst []int, csr *graph.CSR, n int) {
+	src = []int{0, 2, 1, 3, 0}
+	dst = []int{1, 1, 0, 2, 2}
+	n = 4
+	return src, dst, graph.BuildCSR(n, src, dst), n
+}
+
+func TestGSpMMSumMatchesGatherScatter(t *testing.T) {
+	src, dst, csr, n := testCSR()
+	x := tensor.NewRNG(1).Randn(1, n, 3)
+	g := New(nil)
+	xn := g.Input(x)
+	fused := g.GSpMMSum(xn, csr.RowPtr, csr.Col)
+	twoStep := g.ScatterAdd(g.Gather(xn, src), dst, n)
+	if !tensor.AllClose(fused.Value(), twoStep.Value(), 1e-12, 1e-12) {
+		t.Fatalf("fused %v != two-step %v", fused.Value(), twoStep.Value())
+	}
+}
+
+func TestGradGSpMMSum(t *testing.T) {
+	_, _, csr, n := testCSR()
+	x := randParam("x", 2, n, 3)
+	check(t, []*Parameter{x}, func(g *Graph) *Node {
+		return g.MeanAll(g.GSpMMSum(g.Param(x), csr.RowPtr, csr.Col))
+	})
+}
+
+func TestGSpMMWeightedSumMatchesUnfused(t *testing.T) {
+	src, dst, csr, n := testCSR()
+	rng := tensor.NewRNG(3)
+	x := rng.Randn(1, n, 2)
+	w := rng.Randn(1, len(src), 1)
+	g := New(nil)
+	xn, wn := g.Input(x), g.Input(w)
+	fused := g.GSpMMWeightedSum(xn, wn, csr.RowPtr, csr.Col, csr.EID)
+	unfused := g.ScatterAdd(g.MulBroadcastCol(g.Gather(xn, src), wn), dst, n)
+	if !tensor.AllClose(fused.Value(), unfused.Value(), 1e-12, 1e-12) {
+		t.Fatalf("fused %v != unfused %v", fused.Value(), unfused.Value())
+	}
+}
+
+func TestGradGSpMMWeightedSum(t *testing.T) {
+	_, _, csr, n := testCSR()
+	x := randParam("x", 4, n, 2)
+	w := randParam("w", 5, 5, 1)
+	check(t, []*Parameter{x, w}, func(g *Graph) *Node {
+		return g.MeanAll(g.GSpMMWeightedSum(g.Param(x), g.Param(w), csr.RowPtr, csr.Col, csr.EID))
+	})
+}
+
+func TestGSpMMEdgeSumMatchesScatter(t *testing.T) {
+	_, dst, csr, n := testCSR()
+	m := tensor.NewRNG(6).Randn(1, 5, 3)
+	g := New(nil)
+	mn := g.Input(m)
+	fused := g.GSpMMEdgeSum(mn, csr.RowPtr, csr.EID)
+	plain := g.ScatterAdd(mn, dst, n)
+	if !tensor.AllClose(fused.Value(), plain.Value(), 1e-12, 1e-12) {
+		t.Fatalf("fused %v != scatter %v", fused.Value(), plain.Value())
+	}
+}
+
+func TestGradGSpMMEdgeSum(t *testing.T) {
+	_, _, csr, _ := testCSR()
+	m := randParam("m", 7, 5, 2)
+	check(t, []*Parameter{m}, func(g *Graph) *Node {
+		return g.MeanAll(g.GSpMMEdgeSum(g.Param(m), csr.RowPtr, csr.EID))
+	})
+}
+
+func TestGSpMMWeightValidation(t *testing.T) {
+	_, _, csr, n := testCSR()
+	g := New(nil)
+	x := g.Input(tensor.Ones(n, 2))
+	w := g.Input(tensor.Ones(3, 1)) // wrong edge count
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for weight-count mismatch")
+		}
+	}()
+	g.GSpMMWeightedSum(x, w, csr.RowPtr, csr.Col, csr.EID)
+}

@@ -1,0 +1,192 @@
+package ag
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// The multi-head ops below treat a [R, H*D] tensor as H contiguous
+// D-wide head blocks per row, the layout real GAT implementations use so all
+// heads ride one kernel instead of H separate chains.
+
+// HeadDot contracts each head block with its head's weight vector:
+// out[r,h] = sum_d x[r, h*D+d] * a[h,d] for x [R, H*D] and a [H, D].
+func (g *Graph) HeadDot(x, a *Node) *Node {
+	check2("HeadDot", x)
+	check2("HeadDot", a)
+	h, d := a.T.Dim(0), a.T.Dim(1)
+	r := x.T.Rows()
+	if x.T.Cols() != h*d {
+		panic(fmt.Sprintf("ag: HeadDot x width %d != heads %d * dim %d", x.T.Cols(), h, d))
+	}
+	sz := int64(r * h * d)
+	var out *tensor.Tensor
+	g.run(2*sz, 24*sz, func() {
+		out = tensor.New(r, h)
+		for i := 0; i < r; i++ {
+			xrow := x.T.Row(i)
+			orow := out.Row(i)
+			for hh := 0; hh < h; hh++ {
+				arow := a.T.Row(hh)
+				var s float64
+				for dd := 0; dd < d; dd++ {
+					s += xrow[hh*d+dd] * arow[dd]
+				}
+				orow[hh] = s
+			}
+		}
+	})
+	res := g.node(out, x.requiresGrad || a.requiresGrad, "headdot", nil)
+	res.backward = func(gr *Graph) {
+		if x.requiresGrad {
+			var gx *tensor.Tensor
+			gr.run(2*sz, 24*sz, func() {
+				gx = tensor.New(r, h*d)
+				for i := 0; i < r; i++ {
+					grow := res.grad.Row(i)
+					xrow := gx.Row(i)
+					for hh := 0; hh < h; hh++ {
+						arow := a.T.Row(hh)
+						for dd := 0; dd < d; dd++ {
+							xrow[hh*d+dd] = grow[hh] * arow[dd]
+						}
+					}
+				}
+			})
+			gr.accum(x, gx)
+		}
+		if a.requiresGrad {
+			var ga *tensor.Tensor
+			gr.run(2*sz, 24*sz, func() {
+				ga = tensor.New(h, d)
+				for i := 0; i < r; i++ {
+					grow := res.grad.Row(i)
+					xrow := x.T.Row(i)
+					for hh := 0; hh < h; hh++ {
+						garow := ga.Row(hh)
+						for dd := 0; dd < d; dd++ {
+							garow[dd] += grow[hh] * xrow[hh*d+dd]
+						}
+					}
+				}
+			})
+			gr.accum(a, ga)
+		}
+	}
+	return res
+}
+
+// MulHeads scales each head block by its per-row head weight:
+// out[r, h*D+d] = x[r, h*D+d] * w[r, h] for x [R, H*D] and w [R, H].
+// This is the attention-weighting step applied to all heads at once.
+func (g *Graph) MulHeads(x, w *Node) *Node {
+	check2("MulHeads", x)
+	check2("MulHeads", w)
+	r, h := w.T.Dim(0), w.T.Dim(1)
+	if x.T.Rows() != r || x.T.Cols()%h != 0 {
+		panic(fmt.Sprintf("ag: MulHeads shapes %v and %v incompatible", x.T.Shape(), w.T.Shape()))
+	}
+	d := x.T.Cols() / h
+	sz := int64(x.T.Size())
+	var out *tensor.Tensor
+	g.run(sz, 32*sz, func() {
+		out = tensor.New(r, h*d)
+		for i := 0; i < r; i++ {
+			xrow := x.T.Row(i)
+			wrow := w.T.Row(i)
+			orow := out.Row(i)
+			for hh := 0; hh < h; hh++ {
+				wv := wrow[hh]
+				for dd := 0; dd < d; dd++ {
+					orow[hh*d+dd] = xrow[hh*d+dd] * wv
+				}
+			}
+		}
+	})
+	res := g.node(out, x.requiresGrad || w.requiresGrad, "mulheads", nil)
+	res.backward = func(gr *Graph) {
+		if x.requiresGrad {
+			var gx *tensor.Tensor
+			gr.run(sz, 32*sz, func() {
+				gx = tensor.New(r, h*d)
+				for i := 0; i < r; i++ {
+					grow := res.grad.Row(i)
+					wrow := w.T.Row(i)
+					xrow := gx.Row(i)
+					for hh := 0; hh < h; hh++ {
+						wv := wrow[hh]
+						for dd := 0; dd < d; dd++ {
+							xrow[hh*d+dd] = grow[hh*d+dd] * wv
+						}
+					}
+				}
+			})
+			gr.accum(x, gx)
+		}
+		if w.requiresGrad {
+			var gw *tensor.Tensor
+			gr.run(sz, 32*sz, func() {
+				gw = tensor.New(r, h)
+				for i := 0; i < r; i++ {
+					grow := res.grad.Row(i)
+					xrow := x.T.Row(i)
+					wrow := gw.Row(i)
+					for hh := 0; hh < h; hh++ {
+						var s float64
+						for dd := 0; dd < d; dd++ {
+							s += grow[hh*d+dd] * xrow[hh*d+dd]
+						}
+						wrow[hh] = s
+					}
+				}
+			})
+			gr.accum(w, gw)
+		}
+	}
+	return res
+}
+
+// MeanHeads averages the H head blocks of x ([R, H*D]) into [R, D] — the
+// head-averaging final GAT layer.
+func (g *Graph) MeanHeads(x *Node, heads int) *Node {
+	check2("MeanHeads", x)
+	if x.T.Cols()%heads != 0 {
+		panic(fmt.Sprintf("ag: MeanHeads width %d not divisible by %d heads", x.T.Cols(), heads))
+	}
+	r := x.T.Rows()
+	d := x.T.Cols() / heads
+	sz := int64(x.T.Size())
+	inv := 1 / float64(heads)
+	var out *tensor.Tensor
+	g.run(sz, 24*sz, func() {
+		out = tensor.New(r, d)
+		for i := 0; i < r; i++ {
+			xrow := x.T.Row(i)
+			orow := out.Row(i)
+			for hh := 0; hh < heads; hh++ {
+				for dd := 0; dd < d; dd++ {
+					orow[dd] += xrow[hh*d+dd] * inv
+				}
+			}
+		}
+	})
+	res := g.node(out, x.requiresGrad, "meanheads", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(sz, 24*sz, func() {
+			gx = tensor.New(r, heads*d)
+			for i := 0; i < r; i++ {
+				grow := res.grad.Row(i)
+				xrow := gx.Row(i)
+				for hh := 0; hh < heads; hh++ {
+					for dd := 0; dd < d; dd++ {
+						xrow[hh*d+dd] = grow[dd] * inv
+					}
+				}
+			}
+		})
+		gr.accum(x, gx)
+	}
+	return res
+}

@@ -1,0 +1,96 @@
+package ag
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestHeadDotValues(t *testing.T) {
+	// 2 heads, dim 2: x row = [1,2 | 3,4], a = [[1,0],[0,1]].
+	g := New(nil)
+	x := g.Input(tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4))
+	a := g.Input(tensor.FromSlice([]float64{1, 0, 0, 1}, 2, 2))
+	out := g.HeadDot(x, a)
+	if out.Value().At(0, 0) != 1 || out.Value().At(0, 1) != 4 {
+		t.Fatalf("HeadDot = %v", out.Value())
+	}
+}
+
+func TestGradHeadDot(t *testing.T) {
+	x := randParam("x", 1, 5, 6) // 2 heads x dim 3
+	a := randParam("a", 2, 2, 3)
+	check(t, []*Parameter{x, a}, func(g *Graph) *Node {
+		return g.MeanAll(g.Square(g.HeadDot(g.Param(x), g.Param(a))))
+	})
+}
+
+func TestMulHeadsValues(t *testing.T) {
+	g := New(nil)
+	x := g.Input(tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4))
+	w := g.Input(tensor.FromSlice([]float64{10, 100}, 1, 2))
+	out := g.MulHeads(x, w)
+	want := []float64{10, 20, 300, 400}
+	for i, v := range want {
+		if out.Value().Data[i] != v {
+			t.Fatalf("MulHeads[%d] = %v, want %v", i, out.Value().Data[i], v)
+		}
+	}
+}
+
+func TestGradMulHeads(t *testing.T) {
+	x := randParam("x", 3, 4, 6)
+	w := randParam("w", 4, 4, 2)
+	check(t, []*Parameter{x, w}, func(g *Graph) *Node {
+		return g.MeanAll(g.MulHeads(g.Param(x), g.Param(w)))
+	})
+}
+
+func TestMeanHeadsValues(t *testing.T) {
+	g := New(nil)
+	x := g.Input(tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4))
+	out := g.MeanHeads(x, 2)
+	if math.Abs(out.Value().At(0, 0)-2) > 1e-12 || math.Abs(out.Value().At(0, 1)-3) > 1e-12 {
+		t.Fatalf("MeanHeads = %v", out.Value())
+	}
+}
+
+func TestGradMeanHeads(t *testing.T) {
+	x := randParam("x", 5, 3, 8)
+	check(t, []*Parameter{x}, func(g *Graph) *Node {
+		return g.MeanAll(g.Square(g.MeanHeads(g.Param(x), 4)))
+	})
+}
+
+func TestHeadShapeValidation(t *testing.T) {
+	g := New(nil)
+	x := g.Input(tensor.Ones(2, 5)) // width 5 not divisible
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-divisible head width")
+		}
+	}()
+	g.MeanHeads(x, 2)
+}
+
+func TestGradCopyAndScaleByScalar(t *testing.T) {
+	x := randParam("x", 6, 3, 2)
+	s := randParam("s", 7, 1)
+	check(t, []*Parameter{x, s}, func(g *Graph) *Node {
+		c := g.Copy(g.Param(x))
+		return g.MeanAll(g.ScaleByScalar(c, g.AddScalar(g.Param(s), 1)))
+	})
+}
+
+func TestCopyIsFreshBuffer(t *testing.T) {
+	g := New(nil)
+	x := g.Input(tensor.Ones(2, 2))
+	c := g.Copy(x)
+	if c.Value() == x.Value() {
+		t.Fatal("Copy must materialize a new buffer")
+	}
+	if !tensor.AllClose(c.Value(), x.Value(), 0, 0) {
+		t.Fatal("Copy must preserve values")
+	}
+}

@@ -1,0 +1,107 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy returns the mean cross-entropy between row logits and integer
+// class labels, computed with a fused, numerically stable
+// log-softmax + negative log likelihood. rows selects which rows contribute
+// (nil means all); node-classification tasks pass the training mask here.
+func (g *Graph) CrossEntropy(logits *Node, labels []int, rows []int) *Node {
+	check2("CrossEntropy", logits)
+	n, c := logits.T.Rows(), logits.T.Cols()
+	if len(labels) != n {
+		panic(fmt.Sprintf("ag: CrossEntropy got %d labels for %d rows", len(labels), n))
+	}
+	if rows == nil {
+		rows = make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	if len(rows) == 0 {
+		panic("ag: CrossEntropy over zero rows")
+	}
+	for _, i := range rows {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("ag: CrossEntropy row %d out of range [0,%d)", i, n))
+		}
+		if l := labels[i]; l < 0 || l >= c {
+			panic(fmt.Sprintf("ag: label %d out of range [0,%d)", l, c))
+		}
+	}
+	sz := int64(len(rows) * c)
+	// Softmax probabilities for the selected rows, saved for backward.
+	var probs, out *tensor.Tensor
+	g.run(5*sz, 24*sz, func() {
+		probs = tensor.New(len(rows), c)
+		out = tensor.New(1)
+		var total float64
+		for k, i := range rows {
+			row := logits.T.Row(i)
+			m := math.Inf(-1)
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			var z float64
+			prow := probs.Row(k)
+			for j, v := range row {
+				e := math.Exp(v - m)
+				prow[j] = e
+				z += e
+			}
+			for j := range prow {
+				prow[j] /= z
+			}
+			total += -math.Log(math.Max(prow[labels[i]], 1e-300))
+		}
+		out.Data[0] = total / float64(len(rows))
+	})
+	g.alloc(probs)
+	res := g.node(out, logits.requiresGrad, "crossentropy", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(2*sz, 24*sz, func() {
+			gx = tensor.New(n, c)
+			scale := res.grad.Data[0] / float64(len(rows))
+			for k, i := range rows {
+				prow := probs.Row(k)
+				xrow := gx.Row(i)
+				for j := 0; j < c; j++ {
+					xrow[j] = scale * prow[j]
+				}
+				xrow[labels[i]] -= scale
+			}
+		})
+		gr.accum(logits, gx)
+	}
+	return res
+}
+
+// Accuracy returns the fraction of the selected rows whose argmax matches the
+// label. rows nil means all rows. This is a metric, not a differentiable op.
+func Accuracy(logits *tensor.Tensor, labels []int, rows []int) float64 {
+	pred := tensor.ArgMaxRows(logits)
+	if rows == nil {
+		rows = make([]int, logits.Rows())
+		for i := range rows {
+			rows[i] = i
+		}
+	}
+	if len(rows) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, i := range rows {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(rows))
+}

@@ -1,0 +1,269 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Gather returns out[k] = x[idx[k]] over rows; the backbone of per-edge
+// message construction (gather source-node features along edges).
+func (g *Graph) Gather(x *Node, idx []int) *Node {
+	check2("Gather", x)
+	f := x.T.Cols()
+	sz := int64(len(idx) * f)
+	var out *tensor.Tensor
+	g.run(0, 16*sz, func() { out = tensor.GatherRows(x.T, idx) })
+	res := g.node(out, x.requiresGrad, "gather", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(sz, 24*sz, func() { gx = tensor.ScatterAddRows(res.grad, idx, x.T.Rows()) })
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// ScatterAdd sums rows of x into n destination rows: out[idx[k]] += x[k].
+// This is the aggregation step of message passing (PyG's scatter_add).
+func (g *Graph) ScatterAdd(x *Node, idx []int, n int) *Node {
+	check2("ScatterAdd", x)
+	sz := int64(x.T.Size())
+	var out *tensor.Tensor
+	g.run(sz, 24*sz, func() { out = tensor.ScatterAddRows(x.T, idx, n) })
+	res := g.node(out, x.requiresGrad, "scatteradd", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(0, 16*sz, func() { gx = tensor.GatherRows(res.grad, idx) })
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// ScatterMean averages rows of x into n destination rows. Rows receiving no
+// contributions stay zero.
+func (g *Graph) ScatterMean(x *Node, idx []int, n int) *Node {
+	summed := g.ScatterAdd(x, idx, n)
+	counts := tensor.ScatterCounts(idx, n)
+	inv := tensor.New(n)
+	for i, c := range counts {
+		if c > 0 {
+			inv.Data[i] = 1 / c
+		}
+	}
+	g.alloc(inv)
+	return g.scaleRowsConst(summed, inv)
+}
+
+// ScatterMax takes the per-destination elementwise maximum of rows of x.
+// Destinations receiving no contribution get zero (matching PyG's
+// scatter_max fill behaviour after masking).
+func (g *Graph) ScatterMax(x *Node, idx []int, n int) *Node {
+	check2("ScatterMax", x)
+	f := x.T.Cols()
+	sz := int64(x.T.Size())
+	var out *tensor.Tensor
+	var arg []int // which source row won each (dst, col) slot
+	g.run(sz, 24*sz, func() {
+		out = tensor.Full(math.Inf(-1), n, f)
+		arg = make([]int, n*f)
+		for i := range arg {
+			arg[i] = -1
+		}
+		for k, dst := range idx {
+			srow := x.T.Row(k)
+			drow := out.Row(dst)
+			for j := 0; j < f; j++ {
+				if srow[j] > drow[j] {
+					drow[j] = srow[j]
+					arg[dst*f+j] = k
+				}
+			}
+		}
+		for i := range out.Data {
+			if math.IsInf(out.Data[i], -1) {
+				out.Data[i] = 0
+			}
+		}
+	})
+	res := g.node(out, x.requiresGrad, "scattermax", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(sz, 24*sz, func() {
+			gx = tensor.New(x.T.Shape()...)
+			for slot, k := range arg {
+				if k >= 0 {
+					gx.Data[k*f+slot%f] += res.grad.Data[slot]
+				}
+			}
+		})
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// scaleRowsConst multiplies row i of x by the constant s[i] (no gradient to s).
+func (g *Graph) scaleRowsConst(x *Node, s *tensor.Tensor) *Node {
+	sz := int64(x.T.Size())
+	var out *tensor.Tensor
+	g.run(sz, 24*sz, func() { out = tensor.MulColVector(x.T, s) })
+	res := g.node(out, x.requiresGrad, "scalerows", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(sz, 24*sz, func() { gx = tensor.MulColVector(res.grad, s) })
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// ScaleRows multiplies row i of x by the constant s[i] (s has length =
+// rows of x; no gradient flows to s). Used for fixed degree normalization.
+func (g *Graph) ScaleRows(x *Node, s *tensor.Tensor) *Node {
+	check2("ScaleRows", x)
+	if s.Size() != x.T.Rows() {
+		panic(fmt.Sprintf("ag: ScaleRows wants %d scales, got %v", x.T.Rows(), s.Shape()))
+	}
+	return g.scaleRowsConst(x, s.Reshape(s.Size()))
+}
+
+// EdgeSoftmax normalizes per-edge scores over the edges sharing a
+// destination node: alpha_e = exp(s_e) / sum_{e': dst(e')=dst(e)} exp(s_e').
+// scores is [E, H] (H independent channels, e.g. attention heads); dst names
+// each edge's destination in [0, n). The softmax uses the per-group max
+// subtraction trick. This is DGL's edge_softmax / PyG's softmax(index=...).
+func (g *Graph) EdgeSoftmax(scores *Node, dst []int, n int) *Node {
+	check2("EdgeSoftmax", scores)
+	e, h := scores.T.Rows(), scores.T.Cols()
+	if len(dst) != e {
+		panic(fmt.Sprintf("ag: EdgeSoftmax got %d scores for %d edges", e, len(dst)))
+	}
+	sz := int64(e * h)
+	var out *tensor.Tensor
+	g.run(4*sz, 32*sz, func() {
+		out = tensor.New(e, h)
+		maxes := tensor.Full(math.Inf(-1), n, h)
+		for k, d := range dst {
+			srow := scores.T.Row(k)
+			mrow := maxes.Row(d)
+			for j := 0; j < h; j++ {
+				if srow[j] > mrow[j] {
+					mrow[j] = srow[j]
+				}
+			}
+		}
+		sums := tensor.New(n, h)
+		for k, d := range dst {
+			srow := scores.T.Row(k)
+			mrow := maxes.Row(d)
+			orow := out.Row(k)
+			zrow := sums.Row(d)
+			for j := 0; j < h; j++ {
+				v := math.Exp(srow[j] - mrow[j])
+				orow[j] = v
+				zrow[j] += v
+			}
+		}
+		for k, d := range dst {
+			orow := out.Row(k)
+			zrow := sums.Row(d)
+			for j := 0; j < h; j++ {
+				orow[j] /= zrow[j]
+			}
+		}
+	})
+	res := g.node(out, scores.requiresGrad, "edgesoftmax", nil)
+	res.backward = func(gr *Graph) {
+		// dL/ds_e = alpha_e * (dL/dalpha_e - sum_{e' in group} alpha_e' dL/dalpha_e')
+		var gs *tensor.Tensor
+		gr.run(4*sz, 32*sz, func() {
+			gs = tensor.New(e, h)
+			dots := tensor.New(n, h)
+			for k, d := range dst {
+				arow := out.Row(k)
+				grow := res.grad.Row(k)
+				drow := dots.Row(d)
+				for j := 0; j < h; j++ {
+					drow[j] += arow[j] * grow[j]
+				}
+			}
+			for k, d := range dst {
+				arow := out.Row(k)
+				grow := res.grad.Row(k)
+				drow := dots.Row(d)
+				srow := gs.Row(k)
+				for j := 0; j < h; j++ {
+					srow[j] = arow[j] * (grow[j] - drow[j])
+				}
+			}
+		})
+		gr.accum(scores, gs)
+	}
+	return res
+}
+
+// SegmentSum reduces contiguous row segments: segment i covers rows
+// [offsets[i], offsets[i+1]) and sums to output row i. offsets must start at
+// 0, end at x's row count, and be nondecreasing. This mirrors DGL's segment
+// reduce, which requires (and exploits) the sorted node order produced by
+// its batching.
+func (g *Graph) SegmentSum(x *Node, offsets []int) *Node {
+	check2("SegmentSum", x)
+	validateOffsets(offsets, x.T.Rows())
+	segs := len(offsets) - 1
+	f := x.T.Cols()
+	sz := int64(x.T.Size())
+	var out *tensor.Tensor
+	g.run(sz, 16*sz, func() {
+		out = tensor.New(segs, f)
+		for s := 0; s < segs; s++ {
+			orow := out.Row(s)
+			for r := offsets[s]; r < offsets[s+1]; r++ {
+				xrow := x.T.Row(r)
+				for j := 0; j < f; j++ {
+					orow[j] += xrow[j]
+				}
+			}
+		}
+	})
+	res := g.node(out, x.requiresGrad, "segmentsum", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(sz, 16*sz, func() {
+			gx = tensor.New(x.T.Shape()...)
+			for s := 0; s < segs; s++ {
+				grow := res.grad.Row(s)
+				for r := offsets[s]; r < offsets[s+1]; r++ {
+					copy(gx.Row(r), grow)
+				}
+			}
+		})
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// SegmentMean averages contiguous row segments (see SegmentSum). Empty
+// segments produce zero rows.
+func (g *Graph) SegmentMean(x *Node, offsets []int) *Node {
+	summed := g.SegmentSum(x, offsets)
+	segs := len(offsets) - 1
+	inv := tensor.New(segs)
+	for s := 0; s < segs; s++ {
+		if c := offsets[s+1] - offsets[s]; c > 0 {
+			inv.Data[s] = 1 / float64(c)
+		}
+	}
+	g.alloc(inv)
+	return g.scaleRowsConst(summed, inv)
+}
+
+func validateOffsets(offsets []int, rows int) {
+	if len(offsets) < 2 || offsets[0] != 0 || offsets[len(offsets)-1] != rows {
+		panic(fmt.Sprintf("ag: segment offsets must span [0,%d], got %v", rows, offsets))
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			panic(fmt.Sprintf("ag: segment offsets must be nondecreasing, got %v", offsets))
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm applies 1-D batch normalization over the rows of x ([N,F]) with
+// learnable gamma and beta ([F] parameters). In training mode it normalizes
+// with batch statistics and updates the running estimates in place (with the
+// given momentum); in eval mode it uses the running estimates. eps guards the
+// variance. This is the op GIN and GatedGCN use after aggregation.
+func (g *Graph) BatchNorm(x *Node, gamma, beta *Node, runMean, runVar *tensor.Tensor, momentum, eps float64, training bool) *Node {
+	check2("BatchNorm", x)
+	n, f := x.T.Rows(), x.T.Cols()
+	if gamma.T.Size() != f || beta.T.Size() != f {
+		panic(fmt.Sprintf("ag: BatchNorm gamma/beta must be [%d]", f))
+	}
+	sz := int64(n * f)
+
+	var xhat, invstd, out *tensor.Tensor
+	g.run(6*sz, 48*sz, func() {
+		xhat = tensor.New(n, f)
+		invstd = tensor.New(f)
+		out = tensor.New(n, f)
+		var mean, varr *tensor.Tensor
+		if training && n > 1 {
+			m, std := tensor.MeanStd(x.T)
+			mean = m
+			varr = tensor.Square(std)
+			// update running statistics
+			for j := 0; j < f; j++ {
+				runMean.Data[j] = (1-momentum)*runMean.Data[j] + momentum*mean.Data[j]
+				runVar.Data[j] = (1-momentum)*runVar.Data[j] + momentum*varr.Data[j]
+			}
+		} else {
+			mean = runMean
+			varr = runVar
+		}
+		for j := 0; j < f; j++ {
+			invstd.Data[j] = 1 / math.Sqrt(varr.Data[j]+eps)
+		}
+		for i := 0; i < n; i++ {
+			xrow := x.T.Row(i)
+			hrow := xhat.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < f; j++ {
+				h := (xrow[j] - mean.Data[j]) * invstd.Data[j]
+				hrow[j] = h
+				orow[j] = gamma.T.Data[j]*h + beta.T.Data[j]
+			}
+		}
+	})
+	g.alloc(xhat)
+	g.alloc(invstd)
+	res := g.node(out, x.requiresGrad || gamma.requiresGrad || beta.requiresGrad, "batchnorm", nil)
+	batchStats := training && n > 1
+	res.backward = func(gr *Graph) {
+		if gamma.requiresGrad {
+			var gg *tensor.Tensor
+			gr.run(2*sz, 24*sz, func() {
+				gg = tensor.New(gamma.T.Shape()...)
+				for i := 0; i < n; i++ {
+					grow := res.grad.Row(i)
+					hrow := xhat.Row(i)
+					for j := 0; j < f; j++ {
+						gg.Data[j] += grow[j] * hrow[j]
+					}
+				}
+			})
+			gr.accum(gamma, gg)
+		}
+		if beta.requiresGrad {
+			var gb *tensor.Tensor
+			gr.run(sz, 16*sz, func() {
+				gb = tensor.SumRows(res.grad).Reshape(beta.T.Shape()...)
+			})
+			gr.accum(beta, gb)
+		}
+		if x.requiresGrad {
+			var gx *tensor.Tensor
+			gr.run(6*sz, 48*sz, func() {
+				gx = tensor.New(n, f)
+				if batchStats {
+					// Standard batch-norm input gradient with batch statistics:
+					// dx = (gamma*invstd/N) * (N*dy - sum(dy) - xhat*sum(dy*xhat))
+					sumDy := tensor.New(f)
+					sumDyXhat := tensor.New(f)
+					for i := 0; i < n; i++ {
+						grow := res.grad.Row(i)
+						hrow := xhat.Row(i)
+						for j := 0; j < f; j++ {
+							sumDy.Data[j] += grow[j]
+							sumDyXhat.Data[j] += grow[j] * hrow[j]
+						}
+					}
+					inv := 1 / float64(n)
+					for i := 0; i < n; i++ {
+						grow := res.grad.Row(i)
+						hrow := xhat.Row(i)
+						xrow := gx.Row(i)
+						for j := 0; j < f; j++ {
+							xrow[j] = gamma.T.Data[j] * invstd.Data[j] * inv *
+								(float64(n)*grow[j] - sumDy.Data[j] - hrow[j]*sumDyXhat.Data[j])
+						}
+					}
+				} else {
+					// Running statistics are constants: dx = dy*gamma*invstd.
+					for i := 0; i < n; i++ {
+						grow := res.grad.Row(i)
+						xrow := gx.Row(i)
+						for j := 0; j < f; j++ {
+							xrow[j] = grow[j] * gamma.T.Data[j] * invstd.Data[j]
+						}
+					}
+				}
+			})
+			gr.accum(x, gx)
+		}
+	}
+	return res
+}
+
+// L2NormalizeRows projects each row of x onto the unit ball:
+// y_i = x_i / max(||x_i||, eps). GraphSAGE applies this between layers.
+func (g *Graph) L2NormalizeRows(x *Node, eps float64) *Node {
+	check2("L2NormalizeRows", x)
+	n, f := x.T.Rows(), x.T.Cols()
+	sz := int64(n * f)
+	var norms, out *tensor.Tensor
+	g.run(2*sz, 32*sz, func() {
+		norms = tensor.New(n)
+		out = tensor.New(n, f)
+		for i := 0; i < n; i++ {
+			xrow := x.T.Row(i)
+			var s float64
+			for _, v := range xrow {
+				s += v * v
+			}
+			nv := math.Sqrt(s)
+			if nv < eps {
+				nv = eps
+			}
+			norms.Data[i] = nv
+			orow := out.Row(i)
+			for j := 0; j < f; j++ {
+				orow[j] = xrow[j] / nv
+			}
+		}
+	})
+	g.alloc(norms)
+	res := g.node(out, x.requiresGrad, "l2norm", nil)
+	res.backward = func(gr *Graph) {
+		var gx *tensor.Tensor
+		gr.run(4*sz, 40*sz, func() {
+			gx = tensor.New(n, f)
+			for i := 0; i < n; i++ {
+				grow := res.grad.Row(i)
+				yrow := out.Row(i)
+				xrow := gx.Row(i)
+				var dot float64
+				for j := 0; j < f; j++ {
+					dot += grow[j] * yrow[j]
+				}
+				inv := 1 / norms.Data[i]
+				for j := 0; j < f; j++ {
+					xrow[j] = inv * (grow[j] - yrow[j]*dot)
+				}
+			}
+		})
+		gr.accum(x, gx)
+	}
+	return res
+}
+
+// GaussianWeight computes MoNet's kernel weights over pseudo-coordinates:
+// w_e = exp(-1/2 * sum_d ((u_ed - mu_d) * isig_d)^2) for constant u ([E,D])
+// and learnable mu, isig ([D] parameter nodes). Returns [E,1]. Gradients flow
+// to mu and isig only (pseudo-coordinates are graph constants).
+func (g *Graph) GaussianWeight(u *tensor.Tensor, mu, isig *Node) *Node {
+	if u.Rank() != 2 {
+		panic(fmt.Sprintf("ag: GaussianWeight pseudo-coords must be rank 2, got %v", u.Shape()))
+	}
+	e, d := u.Rows(), u.Cols()
+	if mu.T.Size() != d || isig.T.Size() != d {
+		panic(fmt.Sprintf("ag: GaussianWeight mu/isig must be [%d]", d))
+	}
+	sz := int64(e * d)
+	var out *tensor.Tensor
+	g.run(6*sz, 24*sz, func() {
+		out = tensor.New(e, 1)
+		for k := 0; k < e; k++ {
+			urow := u.Row(k)
+			var s float64
+			for j := 0; j < d; j++ {
+				z := (urow[j] - mu.T.Data[j]) * isig.T.Data[j]
+				s += z * z
+			}
+			out.Data[k] = math.Exp(-0.5 * s)
+		}
+	})
+	res := g.node(out, mu.requiresGrad || isig.requiresGrad, "gaussianweight", nil)
+	res.backward = func(gr *Graph) {
+		var gmu, gsig *tensor.Tensor
+		gr.run(8*sz, 32*sz, func() {
+			gmu = tensor.New(mu.T.Shape()...)
+			gsig = tensor.New(isig.T.Shape()...)
+			for k := 0; k < e; k++ {
+				urow := u.Row(k)
+				dw := res.grad.Data[k] * out.Data[k]
+				for j := 0; j < d; j++ {
+					diff := urow[j] - mu.T.Data[j]
+					is := isig.T.Data[j]
+					// dw/dmu_j  = w * diff * isig^2
+					gmu.Data[j] += dw * diff * is * is
+					// dw/disig_j = -w * diff^2 * isig
+					gsig.Data[j] += -dw * diff * diff * is
+				}
+			}
+		})
+		gr.accum(mu, gmu)
+		gr.accum(isig, gsig)
+	}
+	return res
+}

@@ -1,0 +1,458 @@
+package ag
+
+import (
+	"fmt"
+	"repro/internal/tensor"
+)
+
+// MatMul returns a @ b for [M,K] @ [K,N] nodes.
+func (g *Graph) MatMul(a, b *Node) *Node {
+	check2("MatMul", a)
+	check2("MatMul", b)
+	m, k, n := a.T.Dim(0), a.T.Dim(1), b.T.Dim(1)
+	var out *tensor.Tensor
+	flops := int64(2 * m * k * n)
+	bytes := int64(8 * (m*k + k*n + m*n))
+	g.run(flops, bytes, func() { out = tensor.MatMul(a.T, b.T) })
+	res := g.node(out, a.requiresGrad || b.requiresGrad, "matmul", nil)
+	res.backward = func(gr *Graph) {
+		if a.requiresGrad {
+			var ga *tensor.Tensor
+			gr.run(flops, bytes, func() { ga = tensor.MatMulTB(res.grad, b.T) })
+			gr.accum(a, ga)
+		}
+		if b.requiresGrad {
+			var gb *tensor.Tensor
+			gr.run(flops, bytes, func() { gb = tensor.MatMulTA(a.T, res.grad) })
+			gr.accum(b, gb)
+		}
+	}
+	return res
+}
+
+// Add returns a + b for same-shaped nodes.
+func (g *Graph) Add(a, b *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 24*n, func() { out = tensor.Add(a.T, b.T) })
+	res := g.node(out, a.requiresGrad || b.requiresGrad, "add", nil)
+	res.backward = func(gr *Graph) {
+		gr.accum(a, res.grad)
+		gr.accum(b, res.grad)
+	}
+	return res
+}
+
+// Sub returns a - b for same-shaped nodes.
+func (g *Graph) Sub(a, b *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 24*n, func() { out = tensor.Sub(a.T, b.T) })
+	res := g.node(out, a.requiresGrad || b.requiresGrad, "sub", nil)
+	res.backward = func(gr *Graph) {
+		gr.accum(a, res.grad)
+		if b.requiresGrad {
+			var neg *tensor.Tensor
+			gr.run(n, 16*n, func() { neg = tensor.Neg(res.grad) })
+			gr.accum(b, neg)
+		}
+	}
+	return res
+}
+
+// Mul returns the elementwise product of same-shaped nodes.
+func (g *Graph) Mul(a, b *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 24*n, func() { out = tensor.Mul(a.T, b.T) })
+	res := g.node(out, a.requiresGrad || b.requiresGrad, "mul", nil)
+	res.backward = func(gr *Graph) {
+		if a.requiresGrad {
+			var ga *tensor.Tensor
+			gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, b.T) })
+			gr.accum(a, ga)
+		}
+		if b.requiresGrad {
+			var gb *tensor.Tensor
+			gr.run(n, 24*n, func() { gb = tensor.Mul(res.grad, a.T) })
+			gr.accum(b, gb)
+		}
+	}
+	return res
+}
+
+// Div returns the elementwise quotient a / b of same-shaped nodes.
+func (g *Graph) Div(a, b *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 24*n, func() { out = tensor.Div(a.T, b.T) })
+	res := g.node(out, a.requiresGrad || b.requiresGrad, "div", nil)
+	res.backward = func(gr *Graph) {
+		if a.requiresGrad {
+			var ga *tensor.Tensor
+			gr.run(n, 24*n, func() { ga = tensor.Div(res.grad, b.T) })
+			gr.accum(a, ga)
+		}
+		if b.requiresGrad {
+			var gb *tensor.Tensor
+			gr.run(3*n, 32*n, func() {
+				gb = tensor.Zip(res.grad, b.T, func(dg, bv float64) float64 { return -dg / (bv * bv) })
+				gb = tensor.Mul(gb, a.T)
+			})
+			gr.accum(b, gb)
+		}
+	}
+	return res
+}
+
+// Scale returns s * a.
+func (g *Graph) Scale(a *Node, s float64) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 16*n, func() { out = tensor.Scale(a.T, s) })
+	res := g.node(out, a.requiresGrad, "scale", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 16*n, func() { ga = tensor.Scale(res.grad, s) })
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// AddScalar returns a + s elementwise.
+func (g *Graph) AddScalar(a *Node, s float64) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 16*n, func() { out = tensor.AddScalar(a.T, s) })
+	res := g.node(out, a.requiresGrad, "addscalar", nil)
+	res.backward = func(gr *Graph) { gr.accum(a, res.grad) }
+	return res
+}
+
+// AddBias returns m + b broadcast over rows: m is [N,F], b is [F].
+func (g *Graph) AddBias(m, b *Node) *Node {
+	check2("AddBias", m)
+	var out *tensor.Tensor
+	n := int64(m.T.Size())
+	g.run(n, 24*n, func() { out = tensor.AddRowVector(m.T, b.T) })
+	res := g.node(out, m.requiresGrad || b.requiresGrad, "addbias", nil)
+	res.backward = func(gr *Graph) {
+		gr.accum(m, res.grad)
+		if b.requiresGrad {
+			var gb *tensor.Tensor
+			gr.run(n, 8*n, func() { gb = tensor.SumRows(res.grad).Reshape(b.T.Shape()...) })
+			gr.accum(b, gb)
+		}
+	}
+	return res
+}
+
+// MulBroadcastCol returns x ([N,F]) with row i multiplied by w[i] (w is [N]
+// or [N,1]). Gradients flow to both operands; this is the op behind
+// attention/gate-weighted aggregation.
+func (g *Graph) MulBroadcastCol(x, w *Node) *Node {
+	check2("MulBroadcastCol", x)
+	n := x.T.Rows()
+	if w.T.Size() != n {
+		panic(fmt.Sprintf("ag: MulBroadcastCol weight size %v for %d rows", w.T.Shape(), n))
+	}
+	var out *tensor.Tensor
+	sz := int64(x.T.Size())
+	g.run(sz, 24*sz, func() { out = tensor.MulColVector(x.T, w.T.Reshape(n)) })
+	res := g.node(out, x.requiresGrad || w.requiresGrad, "mulbcol", nil)
+	res.backward = func(gr *Graph) {
+		if x.requiresGrad {
+			var gx *tensor.Tensor
+			gr.run(sz, 24*sz, func() { gx = tensor.MulColVector(res.grad, w.T.Reshape(n)) })
+			gr.accum(x, gx)
+		}
+		if w.requiresGrad {
+			var gw *tensor.Tensor
+			gr.run(sz, 16*sz, func() {
+				gw = tensor.SumCols(tensor.Mul(res.grad, x.T)).Reshape(w.T.Shape()...)
+			})
+			gr.accum(w, gw)
+		}
+	}
+	return res
+}
+
+// ReLU returns max(0, a) elementwise.
+func (g *Graph) ReLU(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 16*n, func() { out = tensor.ReLU(a.T) })
+	res := g.node(out, a.requiresGrad, "relu", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 24*n, func() {
+			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 {
+				if x > 0 {
+					return dg
+				}
+				return 0
+			})
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// LeakyReLU returns a where positive and slope*a elsewhere.
+func (g *Graph) LeakyReLU(a *Node, slope float64) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 16*n, func() { out = tensor.LeakyReLU(a.T, slope) })
+	res := g.node(out, a.requiresGrad, "leakyrelu", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 24*n, func() {
+			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 {
+				if x > 0 {
+					return dg
+				}
+				return slope * dg
+			})
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// ELU returns a where positive and alpha*(e^a - 1) elsewhere.
+func (g *Graph) ELU(a *Node, alpha float64) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(2*n, 16*n, func() { out = tensor.ELU(a.T, alpha) })
+	res := g.node(out, a.requiresGrad, "elu", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(2*n, 24*n, func() {
+			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 {
+				if y > 0 {
+					return dg
+				}
+				return dg * (y + alpha)
+			})
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// Sigmoid returns the logistic function elementwise.
+func (g *Graph) Sigmoid(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(4*n, 16*n, func() { out = tensor.Sigmoid(a.T) })
+	res := g.node(out, a.requiresGrad, "sigmoid", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(3*n, 24*n, func() {
+			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 { return dg * y * (1 - y) })
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// Tanh returns tanh elementwise.
+func (g *Graph) Tanh(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(4*n, 16*n, func() { out = tensor.Tanh(a.T) })
+	res := g.node(out, a.requiresGrad, "tanh", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(3*n, 24*n, func() {
+			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 { return dg * (1 - y*y) })
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// Exp returns e^a elementwise.
+func (g *Graph) Exp(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(4*n, 16*n, func() { out = tensor.Exp(a.T) })
+	res := g.node(out, a.requiresGrad, "exp", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, out) })
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// Square returns a*a elementwise.
+func (g *Graph) Square(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(n, 16*n, func() { out = tensor.Square(a.T) })
+	res := g.node(out, a.requiresGrad, "square", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(2*n, 24*n, func() {
+			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 { return 2 * dg * x })
+		})
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// ConcatCols concatenates nodes with equal row counts along the feature axis.
+func (g *Graph) ConcatCols(parts ...*Node) *Node {
+	ts := make([]*tensor.Tensor, len(parts))
+	req := false
+	var total int64
+	for i, p := range parts {
+		check2("ConcatCols", p)
+		ts[i] = p.T
+		req = req || p.requiresGrad
+		total += int64(p.T.Size())
+	}
+	var out *tensor.Tensor
+	g.run(0, 16*total, func() { out = tensor.ConcatCols(ts...) })
+	res := g.node(out, req, "concatcols", nil)
+	res.backward = func(gr *Graph) {
+		widths := make([]int, len(parts))
+		for i, p := range parts {
+			widths[i] = p.T.Cols()
+		}
+		var grads []*tensor.Tensor
+		gr.run(0, 16*total, func() { grads = tensor.SplitCols(res.grad, widths...) })
+		for i, p := range parts {
+			gr.accum(p, grads[i])
+		}
+	}
+	return res
+}
+
+// SplitCols slices a node into column blocks of the given widths. Used by
+// multi-head attention to address each head's features.
+func (g *Graph) SplitCols(a *Node, widths ...int) []*Node {
+	check2("SplitCols", a)
+	var parts []*tensor.Tensor
+	total := int64(a.T.Size())
+	g.run(0, 16*total, func() { parts = tensor.SplitCols(a.T, widths...) })
+	outs := make([]*Node, len(parts))
+	offsets := make([]int, len(parts))
+	off := 0
+	for i, w := range widths {
+		offsets[i] = off
+		off += w
+	}
+	for i, p := range parts {
+		i, p := i, p
+		res := g.node(p, a.requiresGrad, "splitcols", nil)
+		res.backward = func(gr *Graph) {
+			// Expand this block's gradient back to the full width.
+			var full *tensor.Tensor
+			gr.run(0, 16*int64(p.Size()), func() {
+				full = tensor.New(a.T.Shape()...)
+				rows, w := p.Rows(), p.Cols()
+				for r := 0; r < rows; r++ {
+					copy(full.Row(r)[offsets[i]:offsets[i]+w], res.grad.Row(r))
+				}
+			})
+			gr.accum(a, full)
+		}
+		outs[i] = res
+	}
+	return outs
+}
+
+// Dropout zeroes each element with probability p and scales survivors by
+// 1/(1-p) (inverted dropout). With training=false it is the identity.
+func (g *Graph) Dropout(a *Node, p float64, training bool, rng *tensor.RNG) *Node {
+	if !training || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic(fmt.Sprintf("ag: dropout probability %v must be < 1", p))
+	}
+	n := int64(a.T.Size())
+	var mask, out *tensor.Tensor
+	g.run(3*n, 24*n, func() {
+		// Mask generation is part of the dropout kernel (cuRAND on a GPU).
+		mask = rng.Bernoulli(1-p, a.T.Shape()...)
+		tensor.ScaleInPlace(mask, 1/(1-p))
+		out = tensor.Mul(a.T, mask)
+	})
+	g.alloc(mask)
+	res := g.node(out, a.requiresGrad, "dropout", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, mask) })
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// ScaleByScalar multiplies every element of x by the scalar node s (shape
+// [1]), with gradients to both. GIN's learnable (1+eps) factor uses this.
+func (g *Graph) ScaleByScalar(x, s *Node) *Node {
+	if s.T.Size() != 1 {
+		panic(fmt.Sprintf("ag: ScaleByScalar wants scalar node, got %v", s.T.Shape()))
+	}
+	var out *tensor.Tensor
+	n := int64(x.T.Size())
+	g.run(n, 16*n, func() { out = tensor.Scale(x.T, s.T.Data[0]) })
+	res := g.node(out, x.requiresGrad || s.requiresGrad, "scalebyscalar", nil)
+	res.backward = func(gr *Graph) {
+		if x.requiresGrad {
+			var gx *tensor.Tensor
+			gr.run(n, 16*n, func() { gx = tensor.Scale(res.grad, s.T.Data[0]) })
+			gr.accum(x, gx)
+		}
+		if s.requiresGrad {
+			var gs *tensor.Tensor
+			gr.run(2*n, 16*n, func() { gs = tensor.Scalar(tensor.Dot(res.grad, x.T)) })
+			gr.accum(s, gs)
+		}
+	}
+	return res
+}
+
+// Copy materializes a's value in a fresh buffer (an explicit device copy
+// with pass-through gradient). DGL layers use it when storing per-edge
+// tensors into the graph's edge frame — extra kernels PyG's transient
+// tensors avoid.
+func (g *Graph) Copy(a *Node) *Node {
+	var out *tensor.Tensor
+	n := int64(a.T.Size())
+	g.run(0, 16*n, func() { out = a.T.Clone() })
+	res := g.node(out, a.requiresGrad, "copy", nil)
+	res.backward = func(gr *Graph) { gr.accum(a, res.grad) }
+	return res
+}
+
+// MeanAll reduces a node to its scalar mean.
+func (g *Graph) MeanAll(a *Node) *Node {
+	n := int64(a.T.Size())
+	var out *tensor.Tensor
+	g.run(n, 8*n, func() { out = tensor.Scalar(tensor.Mean(a.T)) })
+	res := g.node(out, a.requiresGrad, "meanall", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 8*n, func() { ga = tensor.Full(res.grad.Data[0]/float64(a.T.Size()), a.T.Shape()...) })
+		gr.accum(a, ga)
+	}
+	return res
+}
+
+// SumAll reduces a node to its scalar sum.
+func (g *Graph) SumAll(a *Node) *Node {
+	n := int64(a.T.Size())
+	var out *tensor.Tensor
+	g.run(n, 8*n, func() { out = tensor.Scalar(tensor.Sum(a.T)) })
+	res := g.node(out, a.requiresGrad, "sumall", nil)
+	res.backward = func(gr *Graph) {
+		var ga *tensor.Tensor
+		gr.run(n, 8*n, func() { ga = tensor.Full(res.grad.Data[0], a.T.Shape()...) })
+		gr.accum(a, ga)
+	}
+	return res
+}

@@ -1,0 +1,8 @@
+package bench
+
+import "repro/internal/datasets"
+
+// dummyDataset builds a minimal dataset for config-shape tests.
+func dummyDataset() *datasets.Dataset {
+	return datasets.Enzymes(datasets.Options{Seed: 1, Scale: 0.04})
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/train"
+)
+
+// Fig6Row is one point of Fig 6: epoch time for (model, framework, batch
+// size, device count) DataParallel training on MNIST, with its component
+// breakdown from the cluster model.
+type Fig6Row struct {
+	Model     string
+	Framework string
+	BatchSize int
+	Devices   int
+
+	EpochTime time.Duration
+	DataLoad  time.Duration
+	Compute   time.Duration
+	Transfer  time.Duration
+}
+
+// Fig6 reproduces multi-GPU DataParallel scaling: GCN (isotropic) and GAT
+// (anisotropic) on MNIST superpixels across 1/2/4/8 devices and batch sizes
+// 64/128/256 (Sec. IV-E).
+func Fig6(s Settings) []Fig6Row {
+	w := s.out()
+	d := datasets.MNISTSuperpixels(s.mnistOptions())
+	fmt.Fprintf(w, "\nFig 6 — multi-GPU epoch time, MNIST (%d graphs)\n", len(d.Graphs))
+	var rows []Fig6Row
+	for _, model := range []string{"GCN", "GAT"} {
+		for _, be := range Backends() {
+			for _, bs := range batchSizes() {
+				for _, n := range deviceCounts() {
+					cluster := device.NewCluster(n, device.RTX2080Ti(), device.PCIe3x16())
+					m := buildModel(model, be, s.graphConfig(model, d, s.Seed))
+					stats, mean := train.RunDataParallel(m, d, train.DPOptions{
+						BatchSize: bs, LR: 1e-3, Epochs: 1, Cluster: cluster, Seed: s.Seed,
+					})
+					last := stats[len(stats)-1]
+					row := Fig6Row{
+						Model: model, Framework: be.Name(), BatchSize: bs, Devices: n,
+						EpochTime: mean, DataLoad: last.DataLoad,
+						Compute: last.Compute, Transfer: last.Transfer,
+					}
+					rows = append(rows, row)
+					fmt.Fprintf(w, "%-5s %-5s bs=%-4d gpus=%d epoch=%-12s load=%-12s compute=%-12s transfer=%s\n",
+						model, be.Name(), bs, n, row.EpochTime.Round(time.Microsecond),
+						row.DataLoad.Round(time.Microsecond), row.Compute.Round(time.Microsecond),
+						row.Transfer.Round(time.Microsecond))
+				}
+			}
+		}
+	}
+	RenderFig6Series(w, rows)
+	return rows
+}

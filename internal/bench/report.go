@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// The renderers below draw the paper's figures as text charts, so a terminal
+// run of gnnbench shows the same stacked-bar / line-series shapes the paper
+// plots.
+
+const barWidth = 50
+
+var phaseGlyphs = map[profile.Phase]byte{
+	profile.PhaseDataLoad: 'L',
+	profile.PhaseForward:  'F',
+	profile.PhaseBackward: 'B',
+	profile.PhaseUpdate:   'U',
+	profile.PhaseOther:    'o',
+}
+
+// RenderBreakdownBars draws each row's epoch as a stacked horizontal bar
+// (L=data loading, F=forward, B=backward, U=update, o=other), scaled to the
+// slowest row — the visual form of Figs 1-2.
+func RenderBreakdownBars(w io.Writer, rows []BreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	var maxT time.Duration
+	for _, r := range rows {
+		if r.EpochTime > maxT {
+			maxT = r.EpochTime
+		}
+	}
+	if maxT == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-10s %-5s %-5s |%-*s| epoch\n", "Model", "FW", "Batch", barWidth, " L=load F=fwd B=bwd U=update o=other")
+	for _, r := range rows {
+		var bar strings.Builder
+		for p := profile.PhaseDataLoad; p <= profile.PhaseOther; p++ {
+			n := int(float64(barWidth) * r.Breakdown.Get(p).Seconds() / maxT.Seconds())
+			for i := 0; i < n; i++ {
+				bar.WriteByte(phaseGlyphs[p])
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-5s %-5d |%-*s| %s\n",
+			r.Model, r.Framework, r.BatchSize, barWidth, bar.String(),
+			r.EpochTime.Round(time.Microsecond))
+	}
+}
+
+// RenderMemoryBars draws each row's peak memory as a bar (Fig 4's form).
+func RenderMemoryBars(w io.Writer, rows []BreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	var maxB int64
+	for _, r := range rows {
+		if r.PeakBytes > maxB {
+			maxB = r.PeakBytes
+		}
+	}
+	if maxB == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-10s %-5s %-5s peak memory\n", "Model", "FW", "Batch")
+	for _, r := range rows {
+		n := int(float64(barWidth) * float64(r.PeakBytes) / float64(maxB))
+		fmt.Fprintf(w, "%-10s %-5s %-5d |%-*s| %.1f MB\n",
+			r.Model, r.Framework, r.BatchSize, barWidth, strings.Repeat("#", n),
+			float64(r.PeakBytes)/1e6)
+	}
+}
+
+// RenderUtilizationBars draws each row's device utilization on a fixed 0-100%
+// scale (Fig 5's form).
+func RenderUtilizationBars(w io.Writer, rows []BreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-10s %-5s %-5s utilization (full bar = 100%%)\n", "Model", "FW", "Batch")
+	for _, r := range rows {
+		n := int(float64(barWidth) * r.Utilization)
+		if n > barWidth {
+			n = barWidth
+		}
+		fmt.Fprintf(w, "%-10s %-5s %-5d |%-*s| %.1f%%\n",
+			r.Model, r.Framework, r.BatchSize, barWidth, strings.Repeat("#", n),
+			100*r.Utilization)
+	}
+}
+
+// RenderFig6Series draws each (model, framework, batch) series' epoch time
+// across device counts (Fig 6's form).
+func RenderFig6Series(w io.Writer, rows []Fig6Row) {
+	if len(rows) == 0 {
+		return
+	}
+	type key struct {
+		m, fw string
+		bs    int
+	}
+	series := map[key]map[int]time.Duration{}
+	order := []key{}
+	var maxT time.Duration
+	for _, r := range rows {
+		k := key{r.Model, r.Framework, r.BatchSize}
+		if series[k] == nil {
+			series[k] = map[int]time.Duration{}
+			order = append(order, k)
+		}
+		series[k][r.Devices] = r.EpochTime
+		if r.EpochTime > maxT {
+			maxT = r.EpochTime
+		}
+	}
+	if maxT == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-5s %-5s %-5s epoch time by device count\n", "Model", "FW", "Batch")
+	for _, k := range order {
+		for _, n := range deviceCounts() {
+			t, ok := series[k][n]
+			if !ok {
+				continue
+			}
+			bars := int(float64(barWidth) * t.Seconds() / maxT.Seconds())
+			fmt.Fprintf(w, "%-5s %-5s %-5d %dgpu |%-*s| %s\n",
+				k.m, k.fw, k.bs, n, barWidth, strings.Repeat("#", bars),
+				t.Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+func sampleRows() []BreakdownRow {
+	var bd1, bd2 profile.Breakdown
+	bd1.Add(profile.PhaseDataLoad, 40*time.Millisecond)
+	bd1.Add(profile.PhaseForward, 30*time.Millisecond)
+	bd1.Add(profile.PhaseBackward, 30*time.Millisecond)
+	bd2.Add(profile.PhaseDataLoad, 10*time.Millisecond)
+	bd2.Add(profile.PhaseForward, 20*time.Millisecond)
+	return []BreakdownRow{
+		{Model: "GCN", Framework: "DGL", BatchSize: 64, Breakdown: bd1,
+			EpochTime: 100 * time.Millisecond, PeakBytes: 4_000_000, Utilization: 0.25},
+		{Model: "GCN", Framework: "PyG", BatchSize: 64, Breakdown: bd2,
+			EpochTime: 30 * time.Millisecond, PeakBytes: 2_000_000, Utilization: 0.4},
+	}
+}
+
+func TestRenderBreakdownBars(t *testing.T) {
+	var buf bytes.Buffer
+	RenderBreakdownBars(&buf, sampleRows())
+	out := buf.String()
+	if !strings.Contains(out, "GCN") || !strings.Contains(out, "DGL") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The slower row's bar must contain more load glyphs than the faster's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 bars, got %d lines", len(lines))
+	}
+	if strings.Count(lines[1], "L") <= strings.Count(lines[2], "L") {
+		t.Fatalf("DGL bar should show more loading:\n%s", out)
+	}
+	// Empty input renders nothing.
+	var empty bytes.Buffer
+	RenderBreakdownBars(&empty, nil)
+	if empty.Len() != 0 {
+		t.Fatal("empty rows must render nothing")
+	}
+}
+
+func TestRenderMemoryAndUtilizationBars(t *testing.T) {
+	var buf bytes.Buffer
+	RenderMemoryBars(&buf, sampleRows())
+	if !strings.Contains(buf.String(), "4.0 MB") || !strings.Contains(buf.String(), "2.0 MB") {
+		t.Fatalf("memory labels missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	RenderUtilizationBars(&buf, sampleRows())
+	if !strings.Contains(buf.String(), "25.0%") || !strings.Contains(buf.String(), "40.0%") {
+		t.Fatalf("utilization labels missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderFig6Series(t *testing.T) {
+	rows := []Fig6Row{
+		{Model: "GCN", Framework: "PyG", BatchSize: 64, Devices: 1, EpochTime: 80 * time.Millisecond},
+		{Model: "GCN", Framework: "PyG", BatchSize: 64, Devices: 8, EpochTime: 60 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	RenderFig6Series(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "1gpu") || !strings.Contains(out, "8gpu") {
+		t.Fatalf("device labels missing:\n%s", out)
+	}
+}

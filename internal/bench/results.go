@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/profile"
+)
+
+// Results collects the structured outputs of every experiment that ran, for
+// machine-readable export (gnnbench -json).
+type Results struct {
+	Quick bool   `json:"quick"`
+	Seed  uint64 `json:"seed"`
+
+	Table4 []Table4JSON `json:"table4,omitempty"`
+	Table5 []Table5JSON `json:"table5,omitempty"`
+	Fig1   []FigJSON    `json:"fig1,omitempty"`
+	Fig2   []FigJSON    `json:"fig2,omitempty"`
+	Fig3   []LayerJSON  `json:"fig3,omitempty"`
+	Fig6   []Fig6JSON   `json:"fig6,omitempty"`
+}
+
+// Table4JSON is Table4Row with durations in seconds.
+type Table4JSON struct {
+	Dataset   string  `json:"dataset"`
+	Model     string  `json:"model"`
+	Framework string  `json:"framework"`
+	EpochSec  float64 `json:"epoch_sec"`
+	TotalSec  float64 `json:"total_sec"`
+	AccMean   float64 `json:"acc_mean"`
+	AccStd    float64 `json:"acc_std"`
+}
+
+// Table5JSON mirrors Table5Row.
+type Table5JSON = Table4JSON
+
+// FigJSON is a BreakdownRow with durations in seconds.
+type FigJSON struct {
+	Dataset     string             `json:"dataset"`
+	Model       string             `json:"model"`
+	Framework   string             `json:"framework"`
+	BatchSize   int                `json:"batch_size"`
+	EpochSec    float64            `json:"epoch_sec"`
+	Phases      map[string]float64 `json:"phases_sec"`
+	PeakMB      float64            `json:"peak_mb"`
+	Utilization float64            `json:"utilization"`
+}
+
+// LayerJSON is a LayerRow with durations in seconds.
+type LayerJSON struct {
+	Model     string             `json:"model"`
+	Framework string             `json:"framework"`
+	Layers    map[string]float64 `json:"layers_sec"`
+}
+
+// Fig6JSON is a Fig6Row with durations in seconds.
+type Fig6JSON struct {
+	Model       string  `json:"model"`
+	Framework   string  `json:"framework"`
+	BatchSize   int     `json:"batch_size"`
+	Devices     int     `json:"devices"`
+	EpochSec    float64 `json:"epoch_sec"`
+	DataLoadSec float64 `json:"data_load_sec"`
+	ComputeSec  float64 `json:"compute_sec"`
+	TransferSec float64 `json:"transfer_sec"`
+}
+
+func sec(d time.Duration) float64 { return d.Seconds() }
+
+// AddTable4 converts and stores Table IV rows.
+func (r *Results) AddTable4(rows []Table4Row) {
+	for _, row := range rows {
+		r.Table4 = append(r.Table4, Table4JSON{
+			Dataset: row.Dataset, Model: row.Model, Framework: row.Framework,
+			EpochSec: sec(row.Epoch), TotalSec: sec(row.Total),
+			AccMean: row.AccMean, AccStd: row.AccStd,
+		})
+	}
+}
+
+// AddTable5 converts and stores Table V rows.
+func (r *Results) AddTable5(rows []Table5Row) {
+	for _, row := range rows {
+		r.Table5 = append(r.Table5, Table5JSON{
+			Dataset: row.Dataset, Model: row.Model, Framework: row.Framework,
+			EpochSec: sec(row.Epoch), TotalSec: sec(row.Total),
+			AccMean: row.AccMean, AccStd: row.AccStd,
+		})
+	}
+}
+
+func figJSON(rows []BreakdownRow) []FigJSON {
+	var out []FigJSON
+	for _, row := range rows {
+		phases := map[string]float64{}
+		for p := profile.PhaseDataLoad; p <= profile.PhaseOther; p++ {
+			phases[p.String()] = sec(row.Breakdown.Get(p))
+		}
+		out = append(out, FigJSON{
+			Dataset: row.Dataset, Model: row.Model, Framework: row.Framework,
+			BatchSize: row.BatchSize, EpochSec: sec(row.EpochTime),
+			Phases: phases, PeakMB: float64(row.PeakBytes) / 1e6,
+			Utilization: row.Utilization,
+		})
+	}
+	return out
+}
+
+// AddFig1 converts and stores Fig 1 rows.
+func (r *Results) AddFig1(rows []BreakdownRow) { r.Fig1 = append(r.Fig1, figJSON(rows)...) }
+
+// AddFig2 converts and stores Fig 2 rows.
+func (r *Results) AddFig2(rows []BreakdownRow) { r.Fig2 = append(r.Fig2, figJSON(rows)...) }
+
+// AddFig3 converts and stores Fig 3 rows.
+func (r *Results) AddFig3(rows []LayerRow) {
+	for _, row := range rows {
+		layers := map[string]float64{}
+		for i, name := range row.Layers {
+			layers[name] = sec(row.Times[i])
+		}
+		r.Fig3 = append(r.Fig3, LayerJSON{Model: row.Model, Framework: row.Framework, Layers: layers})
+	}
+}
+
+// AddFig6 converts and stores Fig 6 rows.
+func (r *Results) AddFig6(rows []Fig6Row) {
+	for _, row := range rows {
+		r.Fig6 = append(r.Fig6, Fig6JSON{
+			Model: row.Model, Framework: row.Framework,
+			BatchSize: row.BatchSize, Devices: row.Devices,
+			EpochSec: sec(row.EpochTime), DataLoadSec: sec(row.DataLoad),
+			ComputeSec: sec(row.Compute), TransferSec: sec(row.Transfer),
+		})
+	}
+}
+
+// WriteJSON writes the collected results as indented JSON.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode results: %w", err)
+	}
+	return nil
+}

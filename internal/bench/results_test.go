@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/profile"
+)
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	r := &Results{Quick: true, Seed: 7}
+	r.AddTable4([]Table4Row{{
+		Dataset: "Cora", Model: "GCN", Framework: "PyG",
+		Epoch: 5 * time.Millisecond, Total: time.Second, AccMean: 80.5, AccStd: 1.2,
+	}})
+	r.AddTable5([]Table5Row{{
+		Dataset: "DD", Model: "GAT", Framework: "DGL",
+		Epoch: time.Second, Total: time.Minute, AccMean: 75, AccStd: 2,
+	}})
+	var bd profile.Breakdown
+	bd.Add(profile.PhaseDataLoad, 30*time.Millisecond)
+	bd.Add(profile.PhaseForward, 20*time.Millisecond)
+	r.AddFig1([]BreakdownRow{{
+		Dataset: "ENZYMES", Model: "GIN", Framework: "PyG", BatchSize: 128,
+		Breakdown: bd, EpochTime: 50 * time.Millisecond,
+		PeakBytes: 2_000_000, Utilization: 0.3,
+	}})
+	r.AddFig3([]LayerRow{{
+		Model: "GCN", Framework: "DGL",
+		Layers: []string{"conv1", "pooling"},
+		Times:  []time.Duration{time.Millisecond, 2 * time.Millisecond},
+	}})
+	r.AddFig6([]Fig6Row{{
+		Model: "GCN", Framework: "PyG", BatchSize: 64, Devices: 4,
+		EpochTime: 100 * time.Millisecond, DataLoad: 60 * time.Millisecond,
+		Compute: 30 * time.Millisecond, Transfer: 10 * time.Millisecond,
+	}})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Results
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Table4) != 1 || decoded.Table4[0].EpochSec != 0.005 {
+		t.Fatalf("table4 roundtrip: %+v", decoded.Table4)
+	}
+	if decoded.Fig1[0].Phases["data-load"] != 0.03 {
+		t.Fatalf("fig1 phases: %+v", decoded.Fig1[0].Phases)
+	}
+	if decoded.Fig1[0].PeakMB != 2 {
+		t.Fatalf("fig1 peak: %v", decoded.Fig1[0].PeakMB)
+	}
+	if decoded.Fig3[0].Layers["pooling"] != 0.002 {
+		t.Fatalf("fig3 layers: %+v", decoded.Fig3[0].Layers)
+	}
+	if decoded.Fig6[0].Devices != 4 || decoded.Fig6[0].ComputeSec != 0.03 {
+		t.Fatalf("fig6: %+v", decoded.Fig6[0])
+	}
+	if !strings.Contains(buf.String(), "\"quick\": true") {
+		t.Fatal("profile flag missing from JSON")
+	}
+}

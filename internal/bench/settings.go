@@ -1,0 +1,125 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// section: Table IV (node classification), Table V (graph classification),
+// Fig 1-2 (epoch-time breakdowns on ENZYMES and DD), Fig 3 (layer-wise
+// times), Fig 4 (peak memory), Fig 5 (GPU utilization) and Fig 6 (multi-GPU
+// scaling on MNIST). Each experiment has a runner that prints the paper's
+// rows/series and returns structured results for assertions.
+//
+// Two profiles exist: Full reproduces paper-scale workloads (hours on a
+// 1-CPU host) and Quick shrinks datasets and epoch counts so the entire
+// suite runs in minutes while preserving every qualitative comparison the
+// paper makes (who wins, by roughly what factor, where the crossovers are).
+package bench
+
+import (
+	"io"
+
+	"repro/internal/datasets"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+)
+
+// Settings selects the experiment profile.
+type Settings struct {
+	// Quick shrinks datasets/epochs for minute-scale runs (the default for
+	// `go test -bench` and `gnnbench -quick`).
+	Quick bool
+	// Seed drives dataset generation and training randomness.
+	Seed uint64
+	// Out receives the formatted tables (nil discards).
+	Out io.Writer
+}
+
+func (s Settings) out() io.Writer {
+	if s.Out == nil {
+		return io.Discard
+	}
+	return s.Out
+}
+
+// Backends returns the two frameworks in the paper's presentation order.
+func Backends() []fw.Backend { return []fw.Backend{pygeo.New(), dglb.New()} }
+
+// coraOptions / pubmedOptions / enzymesOptions / ddOptions / mnistOptions
+// scale each dataset per profile.
+func (s Settings) coraOptions() datasets.Options {
+	if s.Quick {
+		return datasets.Options{Seed: s.Seed, Scale: 0.15}
+	}
+	return datasets.Options{Seed: s.Seed}
+}
+
+func (s Settings) pubmedOptions() datasets.Options {
+	if s.Quick {
+		return datasets.Options{Seed: s.Seed, Scale: 0.03}
+	}
+	return datasets.Options{Seed: s.Seed}
+}
+
+func (s Settings) enzymesOptions() datasets.Options {
+	if s.Quick {
+		return datasets.Options{Seed: s.Seed, Scale: 0.45}
+	}
+	return datasets.Options{Seed: s.Seed}
+}
+
+func (s Settings) ddOptions() datasets.Options {
+	if s.Quick {
+		return datasets.Options{Seed: s.Seed, Scale: 0.12}
+	}
+	return datasets.Options{Seed: s.Seed}
+}
+
+func (s Settings) mnistOptions() datasets.Options {
+	if s.Quick {
+		return datasets.Options{Seed: s.Seed, Scale: 0.004} // 280 graphs
+	}
+	return datasets.Options{Seed: s.Seed, Scale: 0.1} // 7000 graphs: full 70k is impractical per epoch on one CPU
+}
+
+// nodeEpochs is the per-run epoch budget for Table IV.
+func (s Settings) nodeEpochs() int {
+	if s.Quick {
+		return 100
+	}
+	return 200
+}
+
+// nodeSeeds lists the per-model seeds whose accuracy spread gives ±s.d.
+func (s Settings) nodeSeeds() []uint64 {
+	if s.Quick {
+		return []uint64{1, 2}
+	}
+	return []uint64{1, 2, 3, 4}
+}
+
+// graphFolds is the cross-validation round count for Table V.
+func (s Settings) graphFolds() int {
+	if s.Quick {
+		return 3
+	}
+	return 10
+}
+
+// graphMaxEpochs caps graph-classification training per fold.
+func (s Settings) graphMaxEpochs() int {
+	if s.Quick {
+		return 25
+	}
+	return 1000 // the LR plateau rule is the real stopping criterion
+}
+
+// figEpochs is the measurement epochs for the breakdown/memory/util figures.
+func (s Settings) figEpochs() int {
+	if s.Quick {
+		return 2
+	}
+	return 5
+}
+
+// batchSizes are the paper's three measurement batch sizes (Figs 1-2, 4-6).
+func batchSizes() []int { return []int{64, 128, 256} }
+
+// deviceCounts are Fig 6's GPU counts.
+func deviceCounts() []int { return []int{1, 2, 4, 8} }

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/train"
+)
+
+// Table4Row is one cell group of Table IV: a (dataset, model, framework)
+// triple with its epoch time, total training time and accuracy spread.
+type Table4Row struct {
+	Dataset   string
+	Model     string
+	Framework string
+	Epoch     time.Duration
+	Total     time.Duration
+	AccMean   float64
+	AccStd    float64
+}
+
+// Table4 reproduces the paper's Table IV: node classification on Cora and
+// PubMed, six models under both frameworks, reporting time per epoch, total
+// training time and test accuracy ± s.d. over seeds.
+func Table4(s Settings) []Table4Row {
+	w := s.out()
+	var rows []Table4Row
+	for _, load := range []func() *datasets.Dataset{
+		func() *datasets.Dataset { return datasets.Cora(s.coraOptions()) },
+		func() *datasets.Dataset { return datasets.PubMed(s.pubmedOptions()) },
+	} {
+		d := load()
+		fmt.Fprintf(w, "\nTable IV — %s (train %d / val %d / test %d nodes)\n",
+			d.Name, len(d.TrainIdx), len(d.ValIdx), len(d.TestIdx))
+		fmt.Fprintf(w, "%-10s %-5s %12s %12s %14s\n", "Model", "FW", "Epoch", "Total", "Acc±s.d.")
+		for _, model := range models.AllNames() {
+			for _, be := range Backends() {
+				dev := device.Default()
+				sum := train.RunNodeSeeds(func(seed uint64) models.Model {
+					return buildModel(model, be, s.nodeConfig(model, d, seed))
+				}, d, train.NodeOptions{
+					Epochs: s.nodeEpochs(), LR: nodeLR(model), Device: dev,
+				}, s.nodeSeeds())
+				row := Table4Row{
+					Dataset: d.Name, Model: model, Framework: be.Name(),
+					Epoch: sum.EpochMean, Total: sum.TotalMean,
+					AccMean: sum.AccMean, AccStd: sum.AccStd,
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%-10s %-5s %12s %12s %8.1f±%.1f\n",
+					model, be.Name(), row.Epoch.Round(time.Microsecond),
+					row.Total.Round(time.Millisecond), row.AccMean, row.AccStd)
+			}
+		}
+	}
+	return rows
+}

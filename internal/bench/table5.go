@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Table5Row is one cell group of Table V: graph classification under
+// 10-fold cross-validation.
+type Table5Row struct {
+	Dataset   string
+	Model     string
+	Framework string
+	Epoch     time.Duration
+	Total     time.Duration
+	AccMean   float64
+	AccStd    float64
+}
+
+// Table5 reproduces the paper's Table V: graph classification on ENZYMES and
+// DD with the Sec. IV-B recipe (stratified k-fold CV, Adam with plateau
+// decay, batch size 128).
+func Table5(s Settings) []Table5Row {
+	w := s.out()
+	var rows []Table5Row
+	for _, load := range []func() *datasets.Dataset{
+		func() *datasets.Dataset { return datasets.Enzymes(s.enzymesOptions()) },
+		func() *datasets.Dataset { return datasets.DD(s.ddOptions()) },
+	} {
+		d := load()
+		splits := datasets.CrossValidationSplits(
+			datasets.StratifiedKFold(tensor.NewRNG(s.Seed^0xcf), d.GraphLabels(), s.graphFolds()))
+		fmt.Fprintf(w, "\nTable V — %s (%d graphs, %d-fold CV)\n", d.Name, len(d.Graphs), len(splits))
+		fmt.Fprintf(w, "%-10s %-5s %12s %12s %14s\n", "Model", "FW", "Epoch", "Total", "Acc±s.d.")
+		for _, model := range models.AllNames() {
+			for _, be := range Backends() {
+				dev := device.Default()
+				res := train.RunGraphCV(func(seed uint64) models.Model {
+					return buildModel(model, be, s.graphConfig(model, d, s.Seed+seed))
+				}, d, splits, train.GraphOptions{
+					BatchSize: 128, InitLR: graphLR(model),
+					MaxEpochs: s.graphMaxEpochs(), Device: dev, Seed: s.Seed,
+				})
+				row := Table5Row{
+					Dataset: d.Name, Model: model, Framework: be.Name(),
+					Epoch: res.EpochMean, Total: res.TotalMean,
+					AccMean: res.AccMean, AccStd: res.AccStd,
+				}
+				rows = append(rows, row)
+				fmt.Fprintf(w, "%-10s %-5s %12s %12s %8.1f±%.1f\n",
+					model, be.Name(), row.Epoch.Round(time.Microsecond),
+					row.Total.Round(time.Millisecond), row.AccMean, row.AccStd)
+			}
+		}
+	}
+	return rows
+}

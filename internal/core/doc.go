@@ -1,0 +1,16 @@
+// Package core anchors the paper's primary contribution. For this paper — a
+// measurement study rather than a new system — the "core" is the comparative
+// benchmarking apparatus, which lives in three packages:
+//
+//   - internal/fw (with fw/pygeo and fw/dglb): the two framework
+//     implementations under comparison, reproducing PyTorch Geometric's and
+//     Deep Graph Library's real code paths behind one interface;
+//   - internal/bench: the experiment harness regenerating every table and
+//     figure of the evaluation, plus the claim checkers that assert the
+//     paper's findings;
+//   - internal/device + internal/profile: the measurement instruments
+//     (simulated accelerator, phase and layer profilers) the numbers come
+//     from.
+//
+// This package intentionally holds no code of its own.
+package core

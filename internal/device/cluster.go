@@ -1,0 +1,96 @@
+package device
+
+import (
+	"fmt"
+	"time"
+)
+
+// Interconnect models the link between devices (PCIe in the paper's testbed).
+// DataParallel training pays for scattering inputs, broadcasting parameters
+// and gathering gradients across this link every batch.
+type Interconnect struct {
+	// Latency is the fixed per-transfer cost.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+}
+
+// PCIe3x16 returns constants approximating a PCIe 3.0 x16 link.
+func PCIe3x16() Interconnect {
+	return Interconnect{Latency: 10 * time.Microsecond, BytesPerSec: 12e9}
+}
+
+// TransferTime returns the simulated time to move bytes across the link once.
+func (ic Interconnect) TransferTime(bytes int64) time.Duration {
+	return ic.Latency + time.Duration(float64(bytes)/ic.BytesPerSec*float64(time.Second))
+}
+
+// Cluster is a set of simulated devices joined by an interconnect, the
+// substrate for the paper's multi-GPU DataParallel experiments (Fig 6).
+type Cluster struct {
+	Devices []*Device
+	Link    Interconnect
+}
+
+// NewCluster returns n identical devices with the given cost model.
+func NewCluster(n int, m CostModel, link Interconnect) *Cluster {
+	if n < 1 {
+		panic(fmt.Sprintf("device: cluster needs at least one device, got %d", n))
+	}
+	ds := make([]*Device, n)
+	for i := range ds {
+		ds[i] = New(fmt.Sprintf("cuda:%d", i), m)
+	}
+	return &Cluster{Devices: ds, Link: link}
+}
+
+// Size returns the number of devices.
+func (c *Cluster) Size() int { return len(c.Devices) }
+
+// MaxSimTime returns the largest simulated kernel time across devices —
+// DataParallel waits for the slowest replica.
+func (c *Cluster) MaxSimTime() time.Duration {
+	var m time.Duration
+	for _, d := range c.Devices {
+		if s := d.Stats().SimTime; s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// ResetTime resets the kernel counters on every device.
+func (c *Cluster) ResetTime() {
+	for _, d := range c.Devices {
+		d.ResetTime()
+	}
+}
+
+// AllReduceTime returns the simulated cost of reducing gradBytes of gradients
+// from every replica to device 0 and broadcasting updated parameters back,
+// as PyTorch's DataParallel does each batch. With n replicas that is
+// 2*(n-1) transfers of the full parameter buffer over the shared link,
+// serialized (DataParallel is single-process and funnels through device 0).
+func (c *Cluster) AllReduceTime(gradBytes int64) time.Duration {
+	n := len(c.Devices)
+	if n <= 1 {
+		return 0
+	}
+	per := c.Link.TransferTime(gradBytes)
+	return time.Duration(2*(n-1)) * per
+}
+
+// ScatterTime returns the simulated cost of splitting a batch of inputBytes
+// across the replicas (n-1 transfers of a 1/n shard each).
+func (c *Cluster) ScatterTime(inputBytes int64) time.Duration {
+	n := len(c.Devices)
+	if n <= 1 {
+		return 0
+	}
+	shard := inputBytes / int64(n)
+	var t time.Duration
+	for i := 1; i < n; i++ {
+		t += c.Link.TransferTime(shard)
+	}
+	return t
+}

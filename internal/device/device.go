@@ -1,0 +1,199 @@
+// Package device models the accelerator that the paper profiles with
+// nvprof/Nsight/nvidia-smi. Every tensor operation executed through the
+// autograd engine reports to a Device as a "kernel": the device records the
+// kernel's real wall-clock duration (the analogue of "GPU active time" in the
+// paper's Eq. 5), a simulated duration derived from a cost model (used for
+// multi-device scaling where real parallel hardware is unavailable), and the
+// allocator high-water mark (the analogue of nvidia-smi peak memory).
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CostModel converts kernel work (FLOPs and bytes moved) into simulated
+// execution time on the modelled accelerator. Defaults approximate an NVIDIA
+// RTX 2080Ti, the GPU used in the paper.
+type CostModel struct {
+	// FlopsPerSec is sustained floating-point throughput.
+	FlopsPerSec float64
+	// BytesPerSec is sustained memory bandwidth.
+	BytesPerSec float64
+	// LaunchOverhead is the fixed per-kernel launch cost. This constant is
+	// what makes small-graph workloads (ENZYMES) batch-size sensitive and
+	// large-graph workloads (DD) batch-size insensitive, as in Figs 1-2.
+	LaunchOverhead time.Duration
+}
+
+// RTX2080Ti returns cost-model constants approximating the paper's GPU.
+func RTX2080Ti() CostModel {
+	return CostModel{
+		FlopsPerSec:    13.4e12,
+		BytesPerSec:    616e9,
+		LaunchOverhead: 5 * time.Microsecond,
+	}
+}
+
+// KernelTime returns the simulated duration of one kernel doing the given
+// amount of work. Compute and memory phases are modelled as overlapping
+// (roofline): the kernel takes the max of the two, plus launch overhead.
+func (m CostModel) KernelTime(flops, bytes int64) time.Duration {
+	compute := float64(flops) / m.FlopsPerSec
+	memory := float64(bytes) / m.BytesPerSec
+	t := compute
+	if memory > t {
+		t = memory
+	}
+	return m.LaunchOverhead + time.Duration(t*float64(time.Second))
+}
+
+// Stats is a snapshot of a device's counters.
+type Stats struct {
+	Kernels     int64         // kernels launched
+	ActiveTime  time.Duration // real wall time spent inside kernels
+	SimTime     time.Duration // cost-model time for the same kernels
+	Flops       int64         // total floating-point operations reported
+	BytesMoved  int64         // total bytes reported moved by kernels
+	AllocBytes  int64         // currently allocated bytes
+	PeakBytes   int64         // allocator high-water mark
+	TotalallocF int64         // cumulative bytes ever allocated
+}
+
+// Device is one simulated accelerator. It is safe for concurrent use.
+type Device struct {
+	Name  string
+	Model CostModel
+
+	mu         sync.Mutex
+	kernels    int64
+	activeTime time.Duration
+	simTime    time.Duration
+	flops      int64
+	bytesMoved int64
+	alloc      int64
+	peak       int64
+	totalAlloc int64
+
+	tracing    bool
+	traceCap   int
+	traceStart time.Time
+	trace      []KernelEvent
+}
+
+// New returns a device with the given name and cost model.
+func New(name string, m CostModel) *Device {
+	return &Device{Name: name, Model: m}
+}
+
+// Default returns a 2080Ti-like device named "cuda:0".
+func Default() *Device { return New("cuda:0", RTX2080Ti()) }
+
+// Kernel executes f as one kernel doing the given work, recording real and
+// simulated time. A nil device executes f with no accounting, so hot paths
+// never need nil checks at call sites.
+func (d *Device) Kernel(flops, bytes int64, f func()) {
+	if d == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	sim := d.Model.KernelTime(flops, bytes)
+	d.mu.Lock()
+	d.kernels++
+	d.activeTime += elapsed
+	d.simTime += sim
+	d.flops += flops
+	d.bytesMoved += bytes
+	d.record(start, elapsed, sim, flops, bytes)
+	d.mu.Unlock()
+}
+
+// Alloc records bytes of device memory being allocated.
+func (d *Device) Alloc(bytes int64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.alloc += bytes
+	d.totalAlloc += bytes
+	if d.alloc > d.peak {
+		d.peak = d.alloc
+	}
+	d.mu.Unlock()
+}
+
+// Free records bytes of device memory being released.
+func (d *Device) Free(bytes int64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.alloc -= bytes
+	if d.alloc < 0 {
+		d.mu.Unlock()
+		panic(fmt.Sprintf("device %s: negative allocation (freed more than allocated)", d.Name))
+	}
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	if d == nil {
+		return Stats{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Kernels:     d.kernels,
+		ActiveTime:  d.activeTime,
+		SimTime:     d.simTime,
+		Flops:       d.flops,
+		BytesMoved:  d.bytesMoved,
+		AllocBytes:  d.alloc,
+		PeakBytes:   d.peak,
+		TotalallocF: d.totalAlloc,
+	}
+}
+
+// ResetPeak sets the allocator high-water mark to the current allocation, so
+// a new measurement interval can begin.
+func (d *Device) ResetPeak() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.peak = d.alloc
+	d.mu.Unlock()
+}
+
+// ResetTime zeroes the kernel counters (allocation state is preserved).
+func (d *Device) ResetTime() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.kernels = 0
+	d.activeTime = 0
+	d.simTime = 0
+	d.flops = 0
+	d.bytesMoved = 0
+	d.mu.Unlock()
+}
+
+// Utilization returns the paper's GPU compute utilization (Eq. 5): the
+// fraction of the elapsed interval during which a kernel was active,
+// computed from the active time accumulated since the counters were reset.
+func Utilization(active time.Duration, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(active) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

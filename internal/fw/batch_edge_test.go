@@ -1,0 +1,53 @@
+package fw_test
+
+import (
+	"testing"
+
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestEdgeAttrBatching(t *testing.T) {
+	g1 := &graph.Graph{NumNodes: 2, Src: []int{0}, Dst: []int{1},
+		X: tensor.Ones(2, 2), EdgeAttr: tensor.FromSlice([]float64{5, 6}, 1, 2)}
+	g2 := &graph.Graph{NumNodes: 2, Src: []int{1}, Dst: []int{0},
+		X: tensor.Ones(2, 2), EdgeAttr: tensor.FromSlice([]float64{7, 8}, 1, 2)}
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		b := be.Batch([]*graph.Graph{g1, g2}, nil)
+		if b.EdgeAttr == nil || b.EdgeAttr.Rows() != 2 {
+			t.Fatalf("%s: edge attrs not batched", be.Name())
+		}
+		if b.EdgeAttr.At(0, 0) != 5 || b.EdgeAttr.At(1, 1) != 8 {
+			t.Fatalf("%s: edge attrs wrong: %v", be.Name(), b.EdgeAttr)
+		}
+		if b.Src[1] != 3 || b.Dst[1] != 2 {
+			t.Fatalf("%s: edge offsets wrong: %v %v", be.Name(), b.Src, b.Dst)
+		}
+	}
+}
+
+func TestEmptyBatchPanics(t *testing.T) {
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: empty batch must panic", be.Name())
+				}
+			}()
+			be.Batch(nil, nil)
+		}()
+	}
+}
+
+func TestDispatchAndBaselineOrdering(t *testing.T) {
+	pyg, dgl := pygeo.New(), dglb.New()
+	if dgl.DispatchOverhead() <= pyg.DispatchOverhead() {
+		t.Fatal("DGL dispatch overhead must exceed PyG's")
+	}
+	if dgl.BaselineBytes() <= pyg.BaselineBytes() {
+		t.Fatal("DGL runtime baseline must exceed PyG's")
+	}
+}

@@ -1,0 +1,180 @@
+// Package fw defines the framework abstraction the six GNN models are
+// written against, mirroring the role PyTorch Geometric and Deep Graph
+// Library play in the paper. The two implementations — fw/pygeo and fw/dglb —
+// compute identical math through deliberately different code paths that
+// reproduce each framework's real mechanisms:
+//
+//   - pygeo batches graphs with PyG's "advanced mini-batching" (bulk feature
+//     concatenation and vectorized edge-index offsetting, no per-node work)
+//     and aggregates with two-kernel gather+scatter message passing;
+//   - dglb batches through heterograph-aware bookkeeping (per-type metadata
+//     even for homogeneous graphs, per-graph copies), aggregates with fused
+//     GSpMM kernels over CSR, pools with segment reduction, and requires the
+//     GatedGCN edge-feature update path.
+//
+// These differences are exactly the ones the paper identifies as the sources
+// of DGL's data-loading and per-layer overheads (Sec. IV-C).
+package fw
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/ag"
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Batch is a set of graphs merged into one disconnected graph, the unit of
+// one training iteration. Node rows are ordered graph-by-graph, so
+// NodeOffsets[i] is the first node of graph i (NumGraphs+1 entries).
+type Batch struct {
+	NumNodes  int
+	NumGraphs int
+	Src, Dst  []int
+	X         *tensor.Tensor // [NumNodes, F]
+	EdgeAttr  *tensor.Tensor // [NumEdges, Fe] or nil
+
+	NodeOffsets []int // per-graph node offsets, len NumGraphs+1
+	GraphID     []int // node -> graph index
+	Labels      []int // graph-level labels, len NumGraphs
+	NodeLabels  []int // node-level labels (node-classification batches)
+
+	InDeg []float64 // in-degree per node (datasets include self-loops)
+
+	// CSR is the by-destination adjacency the DGL backend's fused kernels
+	// run over; nil for the PyG backend.
+	CSR *graph.CSR
+
+	pseudo *tensor.Tensor
+}
+
+// NumEdges returns the number of arcs in the batch.
+func (b *Batch) NumEdges() int { return len(b.Src) }
+
+// Pseudo returns MoNet's pseudo-coordinates u_e = (deg(src)^-1/2,
+// deg(dst)^-1/2) per arc, computed on first use and cached. They are graph
+// constants: no gradient flows through them.
+func (b *Batch) Pseudo(dev *device.Device) *tensor.Tensor {
+	if b.pseudo != nil {
+		return b.pseudo
+	}
+	e := b.NumEdges()
+	p := tensor.New(e, 2)
+	dev.Kernel(int64(4*e), int64(8*4*e), func() {
+		for k := 0; k < e; k++ {
+			p.Set(k, 0, invSqrt(b.InDeg[b.Src[k]]))
+			p.Set(k, 1, invSqrt(b.InDeg[b.Dst[k]]))
+		}
+	})
+	dev.Alloc(int64(p.Size()) * 8)
+	b.pseudo = p
+	return p
+}
+
+func invSqrt(d float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return 1 / math.Sqrt(d)
+}
+
+// Bytes returns the device-memory footprint of the batch's dense payload
+// (features, edge attributes, edge index), the quantity the batching step
+// allocates on the accelerator.
+func (b *Batch) Bytes() int64 {
+	var n int64
+	if b.X != nil {
+		n += int64(b.X.Size()) * 8
+	}
+	if b.EdgeAttr != nil {
+		n += int64(b.EdgeAttr.Size()) * 8
+	}
+	n += int64(len(b.Src)+len(b.Dst)) * 8
+	if b.CSR != nil {
+		// DGL materializes the sparse formats on the device alongside COO.
+		n += int64(len(b.CSR.RowPtr)+len(b.CSR.Col)+len(b.CSR.EID)) * 8
+	}
+	return n
+}
+
+// Release frees the batch's device-memory accounting. Trainers call it when
+// the iteration's graph has been finished.
+func (b *Batch) Release(dev *device.Device) {
+	dev.Free(b.Bytes())
+	if b.pseudo != nil {
+		dev.Free(int64(b.pseudo.Size()) * 8)
+		b.pseudo = nil
+	}
+}
+
+// Backend is the framework interface the models call. All methods build onto
+// the supplied autograd graph; the batch must have been produced by the same
+// backend's Batch method.
+type Backend interface {
+	// Name identifies the framework ("PyG" or "DGL").
+	Name() string
+
+	// Batch merges graphs into one disconnected graph and accounts its
+	// device transfer. This is the "data loading / processing" phase of the
+	// paper's Figs 1-2 breakdown.
+	Batch(graphs []*graph.Graph, dev *device.Device) *Batch
+
+	// AggSum computes, per node, the sum of in-neighbor features:
+	// out[i] = Σ_{(j->i)} x[j].
+	AggSum(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+	// AggMean is AggSum divided by in-degree (zero for isolated nodes).
+	AggMean(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+	// AggWeightedSum weighs each arc's message by the per-edge scalar w
+	// ([E] or [E,1]): out[i] = Σ_{(j->i)} w_e * x[j].
+	AggWeightedSum(g *ag.Graph, b *Batch, x *ag.Node, w *ag.Node) *ag.Node
+
+	// GatherSrc / GatherDst materialize per-arc views of node features.
+	GatherSrc(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+	GatherDst(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+	// EdgeSoftmax normalizes per-arc scores over each destination's arcs.
+	EdgeSoftmax(g *ag.Graph, b *Batch, scores *ag.Node) *ag.Node
+	// ScatterEdgesSum sums per-arc values into destination nodes:
+	// out[i] = Σ_{(j->i)} m_e for m [E,F].
+	ScatterEdgesSum(g *ag.Graph, b *Batch, m *ag.Node) *ag.Node
+
+	// StoreEdgeFrame persists a per-edge tensor as edge data on the batch
+	// graph. DGL layers write attention scores, kernel weights and gates
+	// into g.edata (a real device copy per store); PyG keeps such tensors
+	// transient (identity). This is one of the "more operations" the paper
+	// observes in DGL's conv layers.
+	StoreEdgeFrame(g *ag.Graph, b *Batch, m *ag.Node) *ag.Node
+
+	// ReadoutMean pools node features into one row per graph (the "mean"
+	// readout of Tables II-III).
+	ReadoutMean(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+	// ReadoutSum is the sum-pooling readout variant.
+	ReadoutSum(g *ag.Graph, b *Batch, x *ag.Node) *ag.Node
+
+	// DispatchOverhead is the host-side cost of launching one kernel through
+	// the framework's op-dispatch machinery. PyG rides PyTorch's C++
+	// dispatcher with thin wrappers; DGL schedules every message-passing op
+	// through its update_all runtime (message/reduce resolution, format
+	// checks, heterograph type dispatch), which costs several times more per
+	// op — a large part of why DGL's conv layers are slower even when its
+	// fused kernels do less device work (paper Sec. IV-C). Calibrated
+	// constants; see DESIGN.md.
+	DispatchOverhead() time.Duration
+
+	// BaselineBytes is the framework's resident device-memory footprint
+	// before any model state: CUDA context, kernel modules, allocator pools.
+	// nvidia-smi (the paper's memory probe) sees this baseline; DGL's is
+	// larger than PyG's. Values are calibrated constants (see DESIGN.md).
+	BaselineBytes() int64
+
+	// GCNNormalizeBothSides reports whether the framework's GCN layer scales
+	// features by deg^-1/2 before AND after aggregation (DGL's norm='both')
+	// instead of folding normalization into per-edge weights (PyG).
+	GCNNormalizeBothSides() bool
+	// UpdatesEdgeFeatures reports whether the framework's GatedGCN layer
+	// maintains explicit edge features updated through a fully connected
+	// layer every layer (DGL), the paper's explanation for GatedGCN-DGL
+	// being ~2x slower and the most memory-hungry configuration.
+	UpdatesEdgeFeatures() bool
+}

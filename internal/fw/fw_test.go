@@ -1,0 +1,239 @@
+package fw_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ag"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func randomGraphs(seed uint64, count int) []*graph.Graph {
+	rng := tensor.NewRNG(seed)
+	gs := make([]*graph.Graph, count)
+	for i := range gs {
+		n := 2 + rng.IntN(8)
+		g := graph.ErdosRenyi(rng, n, 0.5).WithSelfLoops()
+		g.X = rng.Randn(1, n, 3)
+		g.Label = rng.IntN(2)
+		gs[i] = g
+	}
+	return gs
+}
+
+func backends() (fw.Backend, fw.Backend) { return pygeo.New(), dglb.New() }
+
+func TestBatchingEquivalence(t *testing.T) {
+	pyg, dgl := backends()
+	gs := randomGraphs(1, 5)
+	bp := pyg.Batch(gs, nil)
+	bd := dgl.Batch(gs, nil)
+	if bp.NumNodes != bd.NumNodes || bp.NumGraphs != bd.NumGraphs {
+		t.Fatalf("size mismatch: PyG %d/%d DGL %d/%d", bp.NumNodes, bp.NumGraphs, bd.NumNodes, bd.NumGraphs)
+	}
+	if !tensor.AllClose(bp.X, bd.X, 0, 0) {
+		t.Fatal("batched features differ between backends")
+	}
+	for i := range bp.Src {
+		if bp.Src[i] != bd.Src[i] || bp.Dst[i] != bd.Dst[i] {
+			t.Fatalf("edge %d differs: PyG %d->%d DGL %d->%d", i, bp.Src[i], bp.Dst[i], bd.Src[i], bd.Dst[i])
+		}
+	}
+	for i := range bp.NodeOffsets {
+		if bp.NodeOffsets[i] != bd.NodeOffsets[i] {
+			t.Fatal("node offsets differ")
+		}
+	}
+	for i := range bp.InDeg {
+		if bp.InDeg[i] != bd.InDeg[i] {
+			t.Fatal("degrees differ")
+		}
+	}
+	for i := range bp.Labels {
+		if bp.Labels[i] != bd.Labels[i] {
+			t.Fatal("labels differ")
+		}
+	}
+	if bd.CSR == nil {
+		t.Fatal("DGL batch must carry CSR")
+	}
+	if bp.CSR != nil {
+		t.Fatal("PyG batch must not build CSR")
+	}
+}
+
+func TestAggregationEquivalence(t *testing.T) {
+	pyg, dgl := backends()
+	f := func(seed uint64) bool {
+		gs := randomGraphs(seed, 3)
+		bp := pyg.Batch(gs, nil)
+		bd := dgl.Batch(gs, nil)
+		gp := ag.New(nil)
+		gd := ag.New(nil)
+		xp := gp.Input(bp.X)
+		xd := gd.Input(bd.X)
+		rng := tensor.NewRNG(seed ^ 0xabc)
+		w := rng.Randn(1, bp.NumEdges(), 1)
+		m := rng.Randn(1, bp.NumEdges(), 3)
+
+		pairs := [][2]*ag.Node{
+			{pyg.AggSum(gp, bp, xp), dgl.AggSum(gd, bd, xd)},
+			{pyg.AggMean(gp, bp, xp), dgl.AggMean(gd, bd, xd)},
+			{pyg.AggWeightedSum(gp, bp, xp, gp.Input(w)), dgl.AggWeightedSum(gd, bd, xd, gd.Input(w))},
+			{pyg.ScatterEdgesSum(gp, bp, gp.Input(m)), dgl.ScatterEdgesSum(gd, bd, gd.Input(m))},
+			{pyg.ReadoutMean(gp, bp, xp), dgl.ReadoutMean(gd, bd, xd)},
+			{pyg.GatherSrc(gp, bp, xp), dgl.GatherSrc(gd, bd, xd)},
+			{pyg.GatherDst(gp, bp, xp), dgl.GatherDst(gd, bd, xd)},
+			{pyg.EdgeSoftmax(gp, bp, gp.Input(m)), dgl.EdgeSoftmax(gd, bd, gd.Input(m))},
+		}
+		for _, pair := range pairs {
+			if !tensor.AllClose(pair[0].Value(), pair[1].Value(), 1e-10, 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggSumValues(t *testing.T) {
+	// Hand-checked aggregation on a path 0->1->2.
+	g := &graph.Graph{NumNodes: 3, Src: []int{0, 1}, Dst: []int{1, 2}}
+	g.X = tensor.FromSlice([]float64{1, 10, 100}, 3, 1)
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		b := be.Batch([]*graph.Graph{g}, nil)
+		gg := ag.New(nil)
+		out := be.AggSum(gg, b, gg.Input(b.X))
+		want := []float64{0, 1, 10}
+		for i, w := range want {
+			if out.Value().Data[i] != w {
+				t.Fatalf("%s AggSum[%d] = %v, want %v", be.Name(), i, out.Value().Data[i], w)
+			}
+		}
+	}
+}
+
+func TestReadoutMeanValues(t *testing.T) {
+	g1 := &graph.Graph{NumNodes: 2, X: tensor.FromSlice([]float64{1, 3}, 2, 1), Label: 0}
+	g2 := &graph.Graph{NumNodes: 3, X: tensor.FromSlice([]float64{3, 6, 9}, 3, 1), Label: 1}
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		b := be.Batch([]*graph.Graph{g1, g2}, nil)
+		gg := ag.New(nil)
+		out := be.ReadoutMean(gg, b, gg.Input(b.X))
+		if out.Value().Rows() != 2 {
+			t.Fatalf("%s readout rows %d", be.Name(), out.Value().Rows())
+		}
+		if math.Abs(out.Value().At(0, 0)-2) > 1e-12 || math.Abs(out.Value().At(1, 0)-6) > 1e-12 {
+			t.Fatalf("%s readout = %v", be.Name(), out.Value())
+		}
+	}
+}
+
+func TestBehaviorFlags(t *testing.T) {
+	pyg, dgl := backends()
+	if pyg.GCNNormalizeBothSides() || pyg.UpdatesEdgeFeatures() {
+		t.Fatal("PyG flags wrong")
+	}
+	if !dgl.GCNNormalizeBothSides() || !dgl.UpdatesEdgeFeatures() {
+		t.Fatal("DGL flags wrong")
+	}
+	if pyg.Name() == dgl.Name() {
+		t.Fatal("backends must be distinguishable")
+	}
+}
+
+func TestBatchDeviceAccounting(t *testing.T) {
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		dev := device.Default()
+		gs := randomGraphs(7, 4)
+		b := be.Batch(gs, dev)
+		if dev.Stats().AllocBytes != b.Bytes() {
+			t.Fatalf("%s: batch bytes %d, device %d", be.Name(), b.Bytes(), dev.Stats().AllocBytes)
+		}
+		// Pseudo-coordinate computation allocates and is cached.
+		p1 := b.Pseudo(dev)
+		p2 := b.Pseudo(dev)
+		if p1 != p2 {
+			t.Fatal("Pseudo must cache")
+		}
+		b.Release(dev)
+		if dev.Stats().AllocBytes != 0 {
+			t.Fatalf("%s: Release left %d bytes", be.Name(), dev.Stats().AllocBytes)
+		}
+	}
+}
+
+func TestPseudoCoordValues(t *testing.T) {
+	g := &graph.Graph{NumNodes: 2, Src: []int{0, 1, 0, 1}, Dst: []int{0, 1, 1, 0}}
+	g.X = tensor.New(2, 1)
+	be := pygeo.New()
+	b := be.Batch([]*graph.Graph{g}, nil)
+	p := b.Pseudo(nil)
+	// Every node has in-degree 2, so every pseudo coordinate is 1/sqrt(2).
+	want := 1 / math.Sqrt(2)
+	for _, v := range p.Data {
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("pseudo coord %v, want %v", v, want)
+		}
+	}
+}
+
+func TestNodeLabelBatching(t *testing.T) {
+	g := &graph.Graph{NumNodes: 3, Src: []int{0}, Dst: []int{1}, Y: []int{2, 0, 1}}
+	g.X = tensor.New(3, 1)
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		b := be.Batch([]*graph.Graph{g}, nil)
+		if len(b.NodeLabels) != 3 || b.NodeLabels[0] != 2 || b.NodeLabels[2] != 1 {
+			t.Fatalf("%s node labels %v", be.Name(), b.NodeLabels)
+		}
+	}
+}
+
+func TestDGLSchemaValidation(t *testing.T) {
+	g1 := &graph.Graph{NumNodes: 2, X: tensor.New(2, 3)}
+	g2 := &graph.Graph{NumNodes: 2} // missing features
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DGL batch must reject mismatched frame schemas")
+		}
+	}()
+	dglb.New().Batch([]*graph.Graph{g1, g2}, nil)
+}
+
+func TestDGLAggOnPyGBatchPanics(t *testing.T) {
+	gs := randomGraphs(9, 2)
+	bp := pygeo.New().Batch(gs, nil)
+	gg := ag.New(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DGL kernels must reject batches without CSR")
+		}
+	}()
+	dglb.New().AggSum(gg, bp, gg.Input(bp.X))
+}
+
+func TestGradientsFlowThroughBackendOps(t *testing.T) {
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		gs := randomGraphs(11, 2)
+		b := be.Batch(gs, nil)
+		w := ag.NewParameter("w", tensor.NewRNG(5).Randn(0.5, 3, 2))
+		wEdge := ag.NewParameter("we", tensor.NewRNG(6).Randn(0.5, b.NumEdges(), 1))
+		err := ag.GradCheck([]*ag.Parameter{w, wEdge}, func(g *ag.Graph) *ag.Node {
+			h := g.MatMul(g.Input(b.X), g.Param(w))
+			agg := be.AggWeightedSum(g, b, h, g.Param(wEdge))
+			pooled := be.ReadoutMean(g, b, agg)
+			return g.MeanAll(g.Square(pooled))
+		}, 1e-6, 1e-4, 1e-7)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package graph defines the graph representation shared by datasets, the two
+// framework backends and the models: a directed edge list (COO) with dense
+// node features, plus CSR conversion, degree utilities and the random-graph
+// generators the synthetic datasets are built from.
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Graph is one graph sample. Edges are directed arcs (Src[i] -> Dst[i]);
+// undirected datasets store both arcs. Node-classification graphs carry
+// per-node labels Y; graph-classification graphs carry a single Label.
+type Graph struct {
+	NumNodes int
+	Src, Dst []int
+
+	// X holds node features, [NumNodes, F].
+	X *tensor.Tensor
+	// EdgeAttr holds optional edge features, [NumEdges, Fe] (nil if absent).
+	EdgeAttr *tensor.Tensor
+	// Pos holds optional node coordinates, [NumNodes, 2] (MNIST superpixels).
+	Pos *tensor.Tensor
+
+	// Y holds per-node class labels for node-classification graphs.
+	Y []int
+	// Label is the graph-level class for graph-classification graphs.
+	Label int
+}
+
+// NumEdges returns the number of directed arcs.
+func (g *Graph) NumEdges() int { return len(g.Src) }
+
+// NumFeatures returns the node feature width.
+func (g *Graph) NumFeatures() int {
+	if g.X == nil {
+		return 0
+	}
+	return g.X.Cols()
+}
+
+// Validate checks structural invariants and returns a descriptive error for
+// the first violation. Datasets call this after generation; backends may
+// assume validated input.
+func (g *Graph) Validate() error {
+	if g.NumNodes < 0 {
+		return fmt.Errorf("graph: negative node count %d", g.NumNodes)
+	}
+	if len(g.Src) != len(g.Dst) {
+		return fmt.Errorf("graph: src/dst length mismatch %d vs %d", len(g.Src), len(g.Dst))
+	}
+	for i := range g.Src {
+		if g.Src[i] < 0 || g.Src[i] >= g.NumNodes || g.Dst[i] < 0 || g.Dst[i] >= g.NumNodes {
+			return fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, g.Src[i], g.Dst[i], g.NumNodes)
+		}
+	}
+	if g.X != nil && g.X.Rows() != g.NumNodes {
+		return fmt.Errorf("graph: feature rows %d != nodes %d", g.X.Rows(), g.NumNodes)
+	}
+	if g.EdgeAttr != nil && g.EdgeAttr.Rows() != g.NumEdges() {
+		return fmt.Errorf("graph: edge-attr rows %d != edges %d", g.EdgeAttr.Rows(), g.NumEdges())
+	}
+	if g.Pos != nil && g.Pos.Rows() != g.NumNodes {
+		return fmt.Errorf("graph: pos rows %d != nodes %d", g.Pos.Rows(), g.NumNodes)
+	}
+	if g.Y != nil && len(g.Y) != g.NumNodes {
+		return fmt.Errorf("graph: label count %d != nodes %d", len(g.Y), g.NumNodes)
+	}
+	return nil
+}
+
+// InDegrees returns the number of incoming arcs per node.
+func (g *Graph) InDegrees() []float64 {
+	deg := make([]float64, g.NumNodes)
+	for _, d := range g.Dst {
+		deg[d]++
+	}
+	return deg
+}
+
+// OutDegrees returns the number of outgoing arcs per node.
+func (g *Graph) OutDegrees() []float64 {
+	deg := make([]float64, g.NumNodes)
+	for _, s := range g.Src {
+		deg[s]++
+	}
+	return deg
+}
+
+// WithSelfLoops returns a copy of g with one self-loop appended per node
+// (edge attributes, if any, are zero for the new arcs). GCN-style models add
+// self-loops so a node's own features survive aggregation.
+func (g *Graph) WithSelfLoops() *Graph {
+	e := g.NumEdges()
+	out := &Graph{
+		NumNodes: g.NumNodes,
+		Src:      make([]int, e, e+g.NumNodes),
+		Dst:      make([]int, e, e+g.NumNodes),
+		X:        g.X, Pos: g.Pos, Y: g.Y, Label: g.Label,
+	}
+	copy(out.Src, g.Src)
+	copy(out.Dst, g.Dst)
+	for i := 0; i < g.NumNodes; i++ {
+		out.Src = append(out.Src, i)
+		out.Dst = append(out.Dst, i)
+	}
+	if g.EdgeAttr != nil {
+		fe := g.EdgeAttr.Cols()
+		out.EdgeAttr = tensor.ConcatRows(g.EdgeAttr, tensor.New(g.NumNodes, fe))
+	}
+	return out
+}
+
+// Undirected returns a copy of g with the reverse of every arc appended
+// (skipping arcs whose reverse is already present is deliberately NOT done:
+// datasets call this once on a one-direction edge list).
+func (g *Graph) Undirected() *Graph {
+	e := g.NumEdges()
+	out := &Graph{
+		NumNodes: g.NumNodes,
+		Src:      make([]int, 0, 2*e),
+		Dst:      make([]int, 0, 2*e),
+		X:        g.X, Pos: g.Pos, Y: g.Y, Label: g.Label,
+	}
+	out.Src = append(out.Src, g.Src...)
+	out.Dst = append(out.Dst, g.Dst...)
+	for i := 0; i < e; i++ {
+		out.Src = append(out.Src, g.Dst[i])
+		out.Dst = append(out.Dst, g.Src[i])
+	}
+	if g.EdgeAttr != nil {
+		out.EdgeAttr = tensor.ConcatRows(g.EdgeAttr, g.EdgeAttr)
+	}
+	return out
+}
+
+// CSR is a compressed sparse row view of a graph's arcs grouped by
+// destination node: for node v, the incoming arcs are Edges[RowPtr[v]:RowPtr[v+1]],
+// each entry naming (source node, original edge index). DGL's fused GSpMM
+// kernel aggregates through this layout.
+type CSR struct {
+	RowPtr []int
+	Col    []int // source node per incoming arc
+	EID    []int // original edge index per incoming arc
+}
+
+// BuildCSR groups arcs by destination in O(E).
+func BuildCSR(numNodes int, src, dst []int) *CSR {
+	rowPtr := make([]int, numNodes+1)
+	for _, d := range dst {
+		rowPtr[d+1]++
+	}
+	for i := 0; i < numNodes; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	col := make([]int, len(src))
+	eid := make([]int, len(src))
+	cursor := append([]int(nil), rowPtr[:numNodes]...)
+	for e := range src {
+		d := dst[e]
+		col[cursor[d]] = src[e]
+		eid[cursor[d]] = e
+		cursor[d]++
+	}
+	return &CSR{RowPtr: rowPtr, Col: col, EID: eid}
+}

@@ -1,0 +1,7 @@
+package models
+
+import "repro/internal/profile"
+
+// newLayerTimesForTest exposes profile.NewLayerTimes to model tests without a
+// direct import in every test file.
+func newLayerTimesForTest() *profile.LayerTimes { return profile.NewLayerTimes() }

@@ -1,0 +1,165 @@
+package models
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ag"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// permuteGraph relabels a graph's nodes by the permutation perm (new id of
+// old node v is perm[v]), preserving structure, features and labels.
+func permuteGraph(g *graph.Graph, perm []int) *graph.Graph {
+	out := &graph.Graph{NumNodes: g.NumNodes, Label: g.Label}
+	out.Src = make([]int, len(g.Src))
+	out.Dst = make([]int, len(g.Dst))
+	for i := range g.Src {
+		out.Src[i] = perm[g.Src[i]]
+		out.Dst[i] = perm[g.Dst[i]]
+	}
+	out.X = tensor.New(g.NumNodes, g.X.Cols())
+	for v := 0; v < g.NumNodes; v++ {
+		copy(out.X.Row(perm[v]), g.X.Row(v))
+	}
+	if g.Y != nil {
+		out.Y = make([]int, g.NumNodes)
+		for v, y := range g.Y {
+			out.Y[perm[v]] = y
+		}
+	}
+	return out
+}
+
+// TestPropPermutationEquivariance: relabeling a graph's nodes must permute
+// node-level outputs identically and leave graph-level outputs unchanged —
+// the defining invariance of message-passing GNNs. Checked for every
+// architecture on both backends. (GatedGCN included: its per-edge state is
+// also permutation-equivariant.)
+func TestPropPermutationEquivariance(t *testing.T) {
+	backends := []fw.Backend{pygeo.New(), dglb.New()}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 4 + rng.IntN(6)
+		g := graph.ErdosRenyi(rng, n, 0.5).WithSelfLoops()
+		g.X = rng.Randn(1, n, 3)
+		g.Label = 0
+		perm := rng.Perm(n)
+		pg := permuteGraph(g, perm)
+
+		for _, be := range backends {
+			for _, name := range AllNames() {
+				cfg := Config{Task: GraphClassification, In: 3, Hidden: 4, Out: 4,
+					Classes: 2, Layers: 2, Heads: 2, Kernels: 2, Seed: seed}
+				m := New(name, be, cfg)
+				b1 := be.Batch([]*graph.Graph{g}, nil)
+				b2 := be.Batch([]*graph.Graph{pg}, nil)
+				g1, g2 := ag.New(nil), ag.New(nil)
+				o1 := m.Forward(g1, b1, false, nil)
+				o2 := m.Forward(g2, b2, false, nil)
+				if !tensor.AllClose(o1.Value(), o2.Value(), 1e-8, 1e-8) {
+					t.Logf("%s/%s not permutation invariant (graph level)", name, be.Name())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropNodeLevelEquivariance checks the node-task variant: output row of
+// node v in the original graph equals row perm[v] in the permuted graph.
+func TestPropNodeLevelEquivariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 4 + rng.IntN(6)
+		g := graph.ErdosRenyi(rng, n, 0.5).WithSelfLoops()
+		g.X = rng.Randn(1, n, 3)
+		g.Y = make([]int, n)
+		perm := rng.Perm(n)
+		pg := permuteGraph(g, perm)
+		be := pygeo.New()
+		for _, name := range AllNames() {
+			cfg := Config{Task: NodeClassification, In: 3, Hidden: 4, Classes: 3,
+				Layers: 2, Heads: 2, Kernels: 2, Seed: seed}
+			m := New(name, be, cfg)
+			b1 := be.Batch([]*graph.Graph{g}, nil)
+			b2 := be.Batch([]*graph.Graph{pg}, nil)
+			g1, g2 := ag.New(nil), ag.New(nil)
+			o1 := m.Forward(g1, b1, false, nil).Value()
+			o2 := m.Forward(g2, b2, false, nil).Value()
+			for v := 0; v < n; v++ {
+				r1 := o1.Row(v)
+				r2 := o2.Row(perm[v])
+				for j := range r1 {
+					d := r1[j] - r2[j]
+					if d > 1e-8 || d < -1e-8 {
+						t.Logf("%s node %d differs after permutation", name, v)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropBatchOrderInvariance: shuffling the graphs within a mini-batch
+// must permute the per-graph logits correspondingly — batching must not leak
+// information across graphs.
+func TestPropBatchOrderInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		count := 3 + rng.IntN(3)
+		gs := make([]*graph.Graph, count)
+		for i := range gs {
+			n := 3 + rng.IntN(5)
+			g := graph.ErdosRenyi(rng, n, 0.6).WithSelfLoops()
+			g.X = rng.Randn(1, n, 3)
+			g.Label = i % 2
+			gs[i] = g
+		}
+		perm := rng.Perm(count)
+		shuffled := make([]*graph.Graph, count)
+		for i, p := range perm {
+			shuffled[p] = gs[i]
+		}
+		for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+			for _, name := range []string{"GCN", "GAT", "GatedGCN"} {
+				cfg := Config{Task: GraphClassification, In: 3, Hidden: 4, Out: 4,
+					Classes: 2, Layers: 2, Heads: 2, Kernels: 2, Seed: seed}
+				m := New(name, be, cfg)
+				b1 := be.Batch(gs, nil)
+				b2 := be.Batch(shuffled, nil)
+				g1, g2 := ag.New(nil), ag.New(nil)
+				o1 := m.Forward(g1, b1, false, nil).Value()
+				o2 := m.Forward(g2, b2, false, nil).Value()
+				for i := 0; i < count; i++ {
+					r1 := o1.Row(i)
+					r2 := o2.Row(perm[i])
+					for j := range r1 {
+						d := r1[j] - r2[j]
+						if d > 1e-8 || d < -1e-8 {
+							t.Logf("%s/%s graph %d leaks across batch order", name, be.Name(), i)
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

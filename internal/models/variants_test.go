@@ -1,0 +1,136 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/ag"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/tensor"
+)
+
+func TestSAGEAggregatorVariants(t *testing.T) {
+	for _, agg := range []string{"", "meanpool", "mean", "maxpool"} {
+		cfg := graphCfg()
+		cfg.SAGEAggregator = agg
+		for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+			m := NewGraphSAGE(be, cfg)
+			b := tinyBatch(be, 21, 3, cfg.In)
+			g := ag.New(nil)
+			out := m.Forward(g, b, true, nil)
+			if out.Value().Rows() != b.NumGraphs || out.Value().Cols() != cfg.Classes {
+				t.Fatalf("agg=%q/%s: bad output %v", agg, be.Name(), out.Value().Shape())
+			}
+		}
+	}
+	// "mean" has no pooling parameters; "meanpool" does.
+	plain := len(NewGraphSAGE(pygeo.New(), func() Config { c := graphCfg(); c.SAGEAggregator = "mean"; return c }()).Params())
+	pool := len(NewGraphSAGE(pygeo.New(), graphCfg()).Params())
+	if plain >= pool {
+		t.Fatalf("mean aggregator should have fewer params: %d vs %d", plain, pool)
+	}
+}
+
+func TestSAGEVariantGradients(t *testing.T) {
+	for _, agg := range []string{"mean", "maxpool"} {
+		cfg := Config{Task: GraphClassification, In: 3, Hidden: 4, Out: 4, Classes: 2,
+			Layers: 2, Seed: 7, SAGEAggregator: agg}
+		m := NewGraphSAGE(pygeo.New(), cfg)
+		b := tinyBatch(pygeo.New(), 23, 4, cfg.In)
+		err := ag.GradCheck(m.Params(), func(g *ag.Graph) *ag.Node {
+			return g.CrossEntropy(m.Forward(g, b, true, nil), b.Labels, nil)
+		}, 1e-6, 2e-4, 1e-6)
+		if err != nil {
+			t.Fatalf("agg=%q: %v", agg, err)
+		}
+	}
+}
+
+func TestSAGEUnknownAggregatorPanics(t *testing.T) {
+	cfg := graphCfg()
+	cfg.SAGEAggregator = "bogus"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown aggregator must panic")
+		}
+	}()
+	NewGraphSAGE(pygeo.New(), cfg)
+}
+
+func TestReadoutVariants(t *testing.T) {
+	pyg, dgl := pygeo.New(), dglb.New()
+	for _, readout := range []string{"mean", "sum"} {
+		cfg := graphCfg()
+		cfg.Readout = readout
+		mp := New("GCN", pyg, cfg)
+		md := New("GCN", dgl, cfg)
+		bp := tinyBatch(pyg, 25, 4, cfg.In)
+		bd := tinyBatch(dgl, 25, 4, cfg.In)
+		gp, gd := ag.New(nil), ag.New(nil)
+		op := mp.Forward(gp, bp, false, nil)
+		od := md.Forward(gd, bd, false, nil)
+		if !tensor.AllClose(op.Value(), od.Value(), 1e-9, 1e-9) {
+			t.Fatalf("readout=%q: backends disagree", readout)
+		}
+	}
+	// Mean and sum readouts genuinely differ on multi-node graphs.
+	cfgMean := graphCfg()
+	cfgSum := graphCfg()
+	cfgSum.Readout = "sum"
+	b := tinyBatch(pyg, 27, 4, cfgMean.In)
+	gm, gs := ag.New(nil), ag.New(nil)
+	om := New("GIN", pyg, cfgMean).Forward(gm, b, false, nil)
+	os := New("GIN", pyg, cfgSum).Forward(gs, b, false, nil)
+	if tensor.AllClose(om.Value(), os.Value(), 1e-9, 1e-9) {
+		t.Fatal("mean and sum readouts should differ")
+	}
+}
+
+func TestUnknownReadoutPanics(t *testing.T) {
+	cfg := graphCfg()
+	cfg.Readout = "max"
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown readout must panic")
+		}
+	}()
+	New("GCN", pygeo.New(), cfg)
+}
+
+func TestMLPBaseline(t *testing.T) {
+	for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+		m := New("MLP", be, graphCfg())
+		if m.Name() != "MLP" {
+			t.Fatal("name wrong")
+		}
+		b := tinyBatch(be, 31, 4, graphCfg().In)
+		g := ag.New(nil)
+		out := m.Forward(g, b, true, nil)
+		if out.Value().Rows() != b.NumGraphs || out.Value().Cols() != graphCfg().Classes {
+			t.Fatalf("MLP/%s output %v", be.Name(), out.Value().Shape())
+		}
+	}
+	// Gradcheck end to end.
+	cfg := Config{Task: NodeClassification, In: 3, Hidden: 4, Classes: 3, Layers: 2, Seed: 9}
+	m := NewMLPBaseline(pygeo.New(), cfg)
+	b := tinyBatch(pygeo.New(), 33, 2, cfg.In)
+	err := ag.GradCheck(m.Params(), func(g *ag.Graph) *ag.Node {
+		return g.CrossEntropy(m.Forward(g, b, true, nil), b.NodeLabels, nil)
+	}, 1e-6, 1e-4, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline ignores edges: rewiring the graph must not change output.
+	g1 := tinyBatch(pygeo.New(), 35, 1, cfg.In)
+	g1b := *g1
+	g1b.Src = append([]int(nil), g1.Dst...) // reversed arcs
+	g1b.Dst = append([]int(nil), g1.Src...)
+	gg1, gg2 := ag.New(nil), ag.New(nil)
+	m2 := NewMLPBaseline(pygeo.New(), cfg)
+	o1 := m2.Forward(gg1, g1, false, nil)
+	o2 := m2.Forward(gg2, &g1b, false, nil)
+	if !tensor.AllClose(o1.Value(), o2.Value(), 0, 0) {
+		t.Fatal("MLP baseline must be structure-agnostic")
+	}
+}

@@ -1,0 +1,170 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/ag"
+)
+
+// Checkpoint format: a small self-describing binary stream —
+//
+//	magic "GNNCKPT1" | uint32 paramCount |
+//	  per parameter: uint32 nameLen | name | uint32 rank | dims... |
+//	                 float64 values... |
+//	uint32 CRC-32 (IEEE) of everything before it
+//
+// Parameter order and shapes must match between Save and Load; names are
+// verified so a checkpoint cannot silently load into the wrong architecture.
+
+var ckptMagic = [8]byte{'G', 'N', 'N', 'C', 'K', 'P', 'T', '1'}
+
+// Save serializes the parameters to w.
+func Save(w io.Writer, params []*ag.Parameter) error {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(ckptMagic[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint write: %w", err)
+	}
+	if err := writeU32(cw, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := writeU32(cw, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := cw.Write(name); err != nil {
+			return fmt.Errorf("nn: checkpoint write: %w", err)
+		}
+		shape := p.Value.Shape()
+		if err := writeU32(cw, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := writeU32(cw, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8*len(p.Value.Data))
+		for i, v := range p.Value.Data {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := cw.Write(buf); err != nil {
+			return fmt.Errorf("nn: checkpoint write: %w", err)
+		}
+	}
+	sum := cw.crc
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameter values from r into params, verifying the magic,
+// per-parameter names and shapes, and the trailing checksum.
+func Load(r io.Reader, params []*ag.Parameter) error {
+	cr := &crcReader{r: r}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic %q)", magic)
+	}
+	count, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		nameLen, err := readU32(cr)
+		if err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(cr, name); err != nil {
+			return fmt.Errorf("nn: checkpoint read: %w", err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint parameter %q does not match model parameter %q", name, p.Name)
+		}
+		rank, err := readU32(cr)
+		if err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if int(rank) != len(shape) {
+			return fmt.Errorf("nn: %s rank %d in checkpoint, %d in model", p.Name, rank, len(shape))
+		}
+		for i := 0; i < int(rank); i++ {
+			d, err := readU32(cr)
+			if err != nil {
+				return err
+			}
+			if int(d) != shape[i] {
+				return fmt.Errorf("nn: %s dim %d is %d in checkpoint, %d in model", p.Name, i, d, shape[i])
+			}
+		}
+		buf := make([]byte, 8*len(p.Value.Data))
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return fmt.Errorf("nn: checkpoint read: %w", err)
+		}
+		for i := range p.Value.Data {
+			p.Value.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	}
+	want := cr.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return fmt.Errorf("nn: checkpoint corrupted (crc %08x, want %08x)", got, want)
+	}
+	return nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

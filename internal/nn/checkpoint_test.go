@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ag"
+	"repro/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := NewMLP(rng, "mlp", 4, 8, 3)
+	var buf bytes.Buffer
+	if err := Save(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// A freshly initialized model with different values.
+	dst := NewMLP(tensor.NewRNG(2), "mlp", 4, 8, 3)
+	if tensor.AllClose(src.Params()[0].Value, dst.Params()[0].Value, 0, 0) {
+		t.Fatal("precondition: models must start different")
+	}
+	if err := Load(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		if !tensor.AllClose(p.Value, dst.Params()[i].Value, 0, 0) {
+			t.Fatalf("parameter %s not restored", p.Name)
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	var buf bytes.Buffer
+	if err := Save(&buf, NewMLP(rng, "mlp", 4, 8, 3).Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Different shape.
+	other := NewMLP(rng, "mlp", 4, 16, 3)
+	if err := Load(bytes.NewReader(buf.Bytes()), other.Params()); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+	// Different name.
+	renamed := NewMLP(rng, "other", 4, 8, 3)
+	if err := Load(bytes.NewReader(buf.Bytes()), renamed.Params()); err == nil {
+		t.Fatal("name mismatch must fail")
+	}
+	// Different parameter count.
+	short := []*ag.Parameter{NewMLP(rng, "mlp", 4, 8, 3).Params()[0]}
+	if err := Load(bytes.NewReader(buf.Bytes()), short); err == nil {
+		t.Fatal("count mismatch must fail")
+	}
+}
+
+func TestCheckpointDetectsCorruption(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := NewMLP(rng, "mlp", 3, 4, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-10] ^= 0xff // flip a payload byte
+	if err := Load(bytes.NewReader(data), m.Params()); err == nil {
+		t.Fatal("corruption must be detected")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m := NewMLP(tensor.NewRNG(5), "mlp", 2, 2, 2)
+	if err := Load(bytes.NewReader([]byte("not a checkpoint at all")), m.Params()); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}

@@ -1,0 +1,240 @@
+// Package optim implements the optimizers and learning-rate schedules the
+// paper's training recipes use: Adam (all experiments), plain SGD (for
+// comparison and tests), ReduceLROnPlateau (graph-classification recipe:
+// factor 0.5, patience 25, min_lr 1e-6) and its early-stopping rule.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ag"
+	"repro/internal/device"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched.
+	Step()
+	// ZeroGrad clears all parameter gradients.
+	ZeroGrad()
+	// LR returns the current learning rate.
+	LR() float64
+	// SetLR replaces the learning rate (used by schedulers).
+	SetLR(lr float64)
+}
+
+// Adam implements Kingma & Ba (2015) with PyTorch-default hyperparameters,
+// the optimizer used for every experiment in the paper.
+type Adam struct {
+	Params       []*ag.Parameter
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	dev  *device.Device
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam returns Adam over params with the given learning rate and defaults
+// beta1=0.9, beta2=0.999, eps=1e-8, no weight decay.
+func NewAdam(params []*ag.Parameter, lr float64) *Adam {
+	a := &Adam{Params: params, lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// SetDevice makes Step run its per-parameter updates as kernels on dev, so
+// the optimizer's work shows up in the device's activity accounting (the
+// paper's "parameters updating" phase runs on the GPU).
+func (a *Adam) SetDevice(dev *device.Device) { a.dev = dev }
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.Params {
+		n := int64(p.Value.Size())
+		a.dev.Kernel(10*n, 40*n, func() { a.update(i, bc1, bc2) })
+	}
+}
+
+func (a *Adam) update(i int, bc1, bc2 float64) {
+	p := a.Params[i]
+	m, v := a.m[i], a.v[i]
+	for j := range p.Value.Data {
+		g := p.Grad.Data[j]
+		if a.WeightDecay != 0 {
+			g += a.WeightDecay * p.Value.Data[j]
+		}
+		m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+		v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+		mhat := m.Data[j] / bc1
+		vhat := v.Data[j] / bc2
+		p.Value.Data[j] -= a.lr * mhat / (math.Sqrt(vhat) + a.Eps)
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.Params {
+		p.ZeroGrad()
+	}
+}
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	Params   []*ag.Parameter
+	lr       float64
+	Momentum float64
+
+	vel []*tensor.Tensor
+}
+
+// NewSGD returns SGD over params.
+func NewSGD(params []*ag.Parameter, lr, momentum float64) *SGD {
+	s := &SGD{Params: params, lr: lr, Momentum: momentum}
+	if momentum != 0 {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	for i, p := range s.Params {
+		if s.vel == nil {
+			tensor.AddScaled(p.Value, -s.lr, p.Grad)
+			continue
+		}
+		v := s.vel[i]
+		for j := range v.Data {
+			v.Data[j] = s.Momentum*v.Data[j] + p.Grad.Data[j]
+			p.Value.Data[j] -= s.lr * v.Data[j]
+		}
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.Params {
+		p.ZeroGrad()
+	}
+}
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// ReduceLROnPlateau halves (by Factor) the optimizer's learning rate when the
+// monitored value (validation loss) has not improved for Patience epochs.
+// Training stops when the learning rate falls below MinLR — the paper's
+// graph-classification stopping rule.
+type ReduceLROnPlateau struct {
+	Opt      Optimizer
+	Factor   float64
+	Patience int
+	MinLR    float64
+
+	best    float64
+	bad     int
+	started bool
+}
+
+// NewPlateau returns the paper's scheduler: factor 0.5, patience 25,
+// min_lr 1e-6.
+func NewPlateau(opt Optimizer) *ReduceLROnPlateau {
+	return &ReduceLROnPlateau{Opt: opt, Factor: 0.5, Patience: 25, MinLR: 1e-6}
+}
+
+// Step feeds one epoch's validation loss. It returns true while training
+// should continue and false once the learning rate has decayed below MinLR.
+func (r *ReduceLROnPlateau) Step(valLoss float64) bool {
+	if !r.started || valLoss < r.best-1e-12 {
+		r.best = valLoss
+		r.bad = 0
+		r.started = true
+	} else {
+		r.bad++
+		if r.bad > r.Patience {
+			r.Opt.SetLR(r.Opt.LR() * r.Factor)
+			r.bad = 0
+		}
+	}
+	return r.Opt.LR() >= r.MinLR
+}
+
+// EarlyStopping stops when the monitored value has not improved for Patience
+// epochs (used by the node-classification recipe alongside the fixed epoch
+// cap).
+type EarlyStopping struct {
+	Patience int
+
+	best    float64
+	bad     int
+	started bool
+}
+
+// Step feeds one epoch's monitored loss; it returns false once patience is
+// exhausted.
+func (e *EarlyStopping) Step(loss float64) bool {
+	if !e.started || loss < e.best-1e-12 {
+		e.best = loss
+		e.bad = 0
+		e.started = true
+		return true
+	}
+	e.bad++
+	return e.bad <= e.Patience
+}
+
+// GradClip rescales gradients so their global L2 norm is at most maxNorm.
+// Returns the pre-clip norm.
+func GradClip(params []*ag.Parameter, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}
+
+// CheckFinite panics if any parameter or gradient is NaN or Inf; training
+// loops call it to fail fast on numerical blowups.
+func CheckFinite(params []*ag.Parameter) {
+	for _, p := range params {
+		for _, v := range p.Value.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				panic(fmt.Sprintf("optim: parameter %s is not finite", p.Name))
+			}
+		}
+	}
+}

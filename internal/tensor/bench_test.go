@@ -1,0 +1,90 @@
+package tensor
+
+import "testing"
+
+// Microbenchmarks for the kernels everything else is built on.
+
+func benchPair(n, f int) (*Tensor, *Tensor) {
+	g := NewRNG(1)
+	return g.Randn(1, n, f), g.Randn(1, n, f)
+}
+
+func BenchmarkMatMul128(b *testing.B) { benchMatMul(b, 128) }
+func BenchmarkMatMul512(b *testing.B) { benchMatMul(b, 512) }
+
+func benchMatMul(b *testing.B, n int) {
+	g := NewRNG(1)
+	x := g.Randn(1, n, n)
+	y := g.Randn(1, n, n)
+	b.SetBytes(int64(8 * n * n * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTransposedForms(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 256, 64)
+	y := g.Randn(1, 256, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTA(x, y)
+	}
+}
+
+func BenchmarkElementwiseAdd(b *testing.B) {
+	x, y := benchPair(1024, 64)
+	b.SetBytes(int64(8 * x.Size() * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Add(x, y)
+	}
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 1024, 64)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = g.IntN(1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRows(x, idx)
+	}
+}
+
+func BenchmarkScatterAddRows(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 4096, 64)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = g.IntN(1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScatterAddRows(x, idx, 1024)
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 1024, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}
+
+func BenchmarkConcatRows(b *testing.B) {
+	g := NewRNG(1)
+	parts := make([]*Tensor, 64)
+	for i := range parts {
+		parts[i] = g.Randn(1, 32, 18)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ConcatRows(parts...)
+	}
+}

@@ -1,0 +1,140 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for rank-2 tensors [M,K] @ [K,N] -> [M,N].
+// The inner loops are ordered i-k-j so the innermost loop streams over
+// contiguous rows of b and out, which is the cache-friendly layout for
+// row-major storage.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.Shape(), b.Shape()))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTA returns aᵀ @ b for a [K,M], b [K,N] -> [M,N], without materializing
+// the transpose.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTA dimension mismatch %v and %v", a.Shape(), b.Shape()))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB returns a @ bᵀ for a [M,K], b [N,K] -> [M,N], without materializing
+// the transpose.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTB dimension mismatch %v and %v", a.Shape(), b.Shape()))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", t.Shape()))
+	}
+	m, n := t.Dim(0), t.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// MatVec returns m @ v for m [M,N] and v [N] -> [M].
+func MatVec(m, v *Tensor) *Tensor {
+	if m.Rank() != 2 || v.Rank() != 1 || m.Dim(1) != v.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v @ %v", m.Shape(), v.Shape()))
+	}
+	r, c := m.Dim(0), m.Dim(1)
+	out := New(r)
+	for i := 0; i < r; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		var s float64
+		for j := 0; j < c; j++ {
+			s += row[j] * v.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Outer returns the outer product a ⊗ b for a [M], b [N] -> [M,N].
+func Outer(a, b *Tensor) *Tensor {
+	if a.Rank() != 1 || b.Rank() != 1 {
+		panic(fmt.Sprintf("tensor: Outer wants rank-1 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	m, n := a.Dim(0), b.Dim(0)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		av := a.Data[i]
+		row := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = av * b.Data[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Map returns a new tensor with f applied elementwise.
+func Map(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// MapInto applies f elementwise from src into dst (shapes must match).
+func MapInto(dst, src *Tensor, f func(float64) float64) {
+	assertSameShape("MapInto", dst, src)
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// Zip returns f applied pairwise over a and b (same shape).
+func Zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	assertSameShape("Zip", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Tensor) {
+	assertSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	assertSameShape("Div", a, b)
+	out := New(a.shape...)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] / b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * t.
+func Scale(t *Tensor, s float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies t by s.
+func ScaleInPlace(t *Tensor, s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaled accumulates s*b into a (a += s*b).
+func AddScaled(a *Tensor, s float64, b *Tensor) {
+	assertSameShape("AddScaled", a, b)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// AddScalar returns t + s elementwise.
+func AddScalar(t *Tensor, s float64) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = v + s
+	}
+	return out
+}
+
+// Neg returns -t.
+func Neg(t *Tensor) *Tensor { return Scale(t, -1) }
+
+// Exp returns e^t elementwise.
+func Exp(t *Tensor) *Tensor { return Map(t, math.Exp) }
+
+// Log returns ln(t) elementwise.
+func Log(t *Tensor) *Tensor { return Map(t, math.Log) }
+
+// Sqrt returns sqrt(t) elementwise.
+func Sqrt(t *Tensor) *Tensor { return Map(t, math.Sqrt) }
+
+// Square returns t*t elementwise.
+func Square(t *Tensor) *Tensor { return Map(t, func(v float64) float64 { return v * v }) }
+
+// Tanh returns tanh(t) elementwise.
+func Tanh(t *Tensor) *Tensor { return Map(t, math.Tanh) }
+
+// Sigmoid returns the logistic function of t elementwise.
+func Sigmoid(t *Tensor) *Tensor {
+	return Map(t, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+}
+
+// ReLU returns max(0, t) elementwise.
+func ReLU(t *Tensor) *Tensor {
+	return Map(t, func(v float64) float64 { return math.Max(0, v) })
+}
+
+// LeakyReLU returns t where t>0 and slope*t elsewhere.
+func LeakyReLU(t *Tensor, slope float64) *Tensor {
+	return Map(t, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return slope * v
+	})
+}
+
+// ELU returns t where t>0 and alpha*(e^t-1) elsewhere.
+func ELU(t *Tensor, alpha float64) *Tensor {
+	return Map(t, func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return alpha * (math.Exp(v) - 1)
+	})
+}
+
+// Clamp limits every element to [lo, hi].
+func Clamp(t *Tensor, lo, hi float64) *Tensor {
+	return Map(t, func(v float64) float64 { return math.Min(hi, math.Max(lo, v)) })
+}
+
+// AddRowVector returns m with v added to every row. m is [N,F], v is [F] (or [1,F]).
+func AddRowVector(m, v *Tensor) *Tensor {
+	f := m.Cols()
+	if v.Size() != f {
+		panic(fmt.Sprintf("tensor: AddRowVector wants vector of %d elements, got %v", f, v.Shape()))
+	}
+	out := New(m.shape...)
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		row := m.Data[i*f : (i+1)*f]
+		dst := out.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			dst[j] = row[j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// MulRowVector returns m with every row multiplied elementwise by v.
+func MulRowVector(m, v *Tensor) *Tensor {
+	f := m.Cols()
+	if v.Size() != f {
+		panic(fmt.Sprintf("tensor: MulRowVector wants vector of %d elements, got %v", f, v.Shape()))
+	}
+	out := New(m.shape...)
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		row := m.Data[i*f : (i+1)*f]
+		dst := out.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			dst[j] = row[j] * v.Data[j]
+		}
+	}
+	return out
+}
+
+// MulColVector returns m ([N,F]) with row i scaled by v[i] (v is [N]).
+func MulColVector(m, v *Tensor) *Tensor {
+	n, f := m.Rows(), m.Cols()
+	if v.Size() != n {
+		panic(fmt.Sprintf("tensor: MulColVector wants vector of %d elements, got %v", n, v.Shape()))
+	}
+	out := New(m.shape...)
+	for i := 0; i < n; i++ {
+		s := v.Data[i]
+		row := m.Data[i*f : (i+1)*f]
+		dst := out.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			dst[j] = s * row[j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two same-shaped tensors.
+func Dot(a, b *Tensor) float64 {
+	assertSameShape("Dot", a, b)
+	var s float64
+	for i := range a.Data {
+		s += a.Data[i] * b.Data[i]
+	}
+	return s
+}
+
+// AllClose reports whether a and b match elementwise within atol + rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		d := math.Abs(a.Data[i] - b.Data[i])
+		if d > atol+rtol*math.Abs(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	assertSameShape("MaxAbsDiff", a, b)
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

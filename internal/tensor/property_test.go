@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomPair builds two same-shaped random tensors from quick's seeds.
+func randomPair(seed uint64, rows, cols int) (*Tensor, *Tensor) {
+	g := NewRNG(seed)
+	return g.Randn(1, rows, cols), g.Randn(1, rows, cols)
+}
+
+func clampDim(v uint8) int { return 1 + int(v)%8 }
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		a, b := randomPair(seed, clampDim(r), clampDim(c))
+		return AllClose(Add(a, b), Add(b, a), 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMulDistributesOverAdd(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		g := NewRNG(seed)
+		n, m := clampDim(r), clampDim(c)
+		a, b, cc := g.Randn(1, n, m), g.Randn(1, n, m), g.Randn(1, n, m)
+		lhs := Mul(a, Add(b, cc))
+		rhs := Add(Mul(a, b), Mul(a, cc))
+		return AllClose(lhs, rhs, 1e-9, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulAssociativeWithIdentity(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		g := NewRNG(seed)
+		n, m := clampDim(r), clampDim(c)
+		a := g.Randn(1, n, m)
+		id := New(m, m)
+		for i := 0; i < m; i++ {
+			id.Set(i, i, 1)
+		}
+		return AllClose(MatMul(a, id), a, 1e-12, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		g := NewRNG(seed)
+		a := g.Randn(1, clampDim(r), clampDim(c))
+		return AllClose(Transpose(Transpose(a)), a, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMatMulMatchesTransposedForms(t *testing.T) {
+	f := func(seed uint64, r, k, c uint8) bool {
+		g := NewRNG(seed)
+		m, kk, n := clampDim(r), clampDim(k), clampDim(c)
+		a := g.Randn(1, m, kk)
+		b := g.Randn(1, kk, n)
+		ref := MatMul(a, b)
+		viaTA := MatMulTA(Transpose(a), b)
+		viaTB := MatMulTB(a, Transpose(b))
+		return AllClose(ref, viaTA, 1e-10, 1e-10) && AllClose(ref, viaTB, 1e-10, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		g := NewRNG(seed)
+		a := g.Randn(10, clampDim(r), clampDim(c))
+		s := SoftmaxRows(a)
+		for i := 0; i < s.Rows(); i++ {
+			var z float64
+			for j := 0; j < s.Cols(); j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				z += v
+			}
+			if math.Abs(z-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropGatherThenScatterPreservesMass(t *testing.T) {
+	// Scattering back the rows gathered by any index list preserves the total
+	// of the selected entries: sum(scatter(gather(x, idx), idx)) == sum over
+	// idx of row sums.
+	f := func(seed uint64, r, c uint8, rawIdx []uint8) bool {
+		g := NewRNG(seed)
+		n, m := clampDim(r), clampDim(c)
+		x := g.Randn(1, n, m)
+		idx := make([]int, len(rawIdx))
+		for i, v := range rawIdx {
+			idx[i] = int(v) % n
+		}
+		gathered := GatherRows(x, idx)
+		scattered := ScatterAddRows(gathered, idx, n)
+		var want float64
+		for _, i := range idx {
+			row := x.Row(i)
+			for _, v := range row {
+				want += v
+			}
+		}
+		return math.Abs(Sum(scattered)-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConcatSplitRoundTrip(t *testing.T) {
+	f := func(seed uint64, r, c1, c2 uint8) bool {
+		g := NewRNG(seed)
+		n := clampDim(r)
+		a := g.Randn(1, n, clampDim(c1))
+		b := g.Randn(1, n, clampDim(c2))
+		parts := SplitCols(ConcatCols(a, b), a.Cols(), b.Cols())
+		return AllClose(parts[0], a, 0, 0) && AllClose(parts[1], b, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropL2NormRowsNonNegativeAndExact(t *testing.T) {
+	f := func(seed uint64, r, c uint8) bool {
+		g := NewRNG(seed)
+		x := g.Randn(2, clampDim(r), clampDim(c))
+		norms := L2NormRows(x)
+		for i := 0; i < x.Rows(); i++ {
+			var s float64
+			for _, v := range x.Row(i) {
+				s += v * v
+			}
+			if math.Abs(norms.Data[i]-math.Sqrt(s)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

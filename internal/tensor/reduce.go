@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns the sum of all elements.
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(t *Tensor) float64 {
+	if t.Size() == 0 {
+		return 0
+	}
+	return Sum(t) / float64(t.Size())
+}
+
+// Max returns the largest element.
+func Max(t *Tensor) float64 {
+	m := math.Inf(-1)
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element.
+func Min(t *Tensor) float64 {
+	m := math.Inf(1)
+	for _, v := range t.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SumRows reduces an [N,F] tensor over rows, returning [F].
+func SumRows(t *Tensor) *Tensor {
+	n, f := t.Rows(), t.Cols()
+	out := New(f)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			out.Data[j] += row[j]
+		}
+	}
+	return out
+}
+
+// MeanRows reduces an [N,F] tensor over rows, returning the [F] column means.
+func MeanRows(t *Tensor) *Tensor {
+	out := SumRows(t)
+	if n := t.Rows(); n > 0 {
+		ScaleInPlace(out, 1/float64(n))
+	}
+	return out
+}
+
+// SumCols reduces an [N,F] tensor over columns, returning [N] row sums.
+func SumCols(t *Tensor) *Tensor {
+	n, f := t.Rows(), t.Cols()
+	out := New(n)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		var s float64
+		for j := 0; j < f; j++ {
+			s += row[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// MaxCols reduces an [N,F] tensor over columns, returning [N] row maxima and
+// the per-row argmax indices.
+func MaxCols(t *Tensor) (*Tensor, []int) {
+	n, f := t.Rows(), t.Cols()
+	if f == 0 {
+		panic("tensor: MaxCols of zero-width tensor")
+	}
+	out := New(n)
+	arg := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		best, bj := row[0], 0
+		for j := 1; j < f; j++ {
+			if row[j] > best {
+				best, bj = row[j], j
+			}
+		}
+		out.Data[i] = best
+		arg[i] = bj
+	}
+	return out, arg
+}
+
+// ArgMaxRows returns, for each row of an [N,F] tensor, the index of its
+// largest element.
+func ArgMaxRows(t *Tensor) []int {
+	_, arg := MaxCols(t)
+	return arg
+}
+
+// SoftmaxRows returns the row-wise softmax of an [N,F] tensor, computed with
+// the max-subtraction trick for numerical stability.
+func SoftmaxRows(t *Tensor) *Tensor {
+	n, f := t.Rows(), t.Cols()
+	out := New(t.shape...)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		dst := out.Data[i*f : (i+1)*f]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		var z float64
+		for j, v := range row {
+			e := math.Exp(v - m)
+			dst[j] = e
+			z += e
+		}
+		for j := range dst {
+			dst[j] /= z
+		}
+	}
+	return out
+}
+
+// LogSoftmaxRows returns the row-wise log-softmax of an [N,F] tensor.
+func LogSoftmaxRows(t *Tensor) *Tensor {
+	n, f := t.Rows(), t.Cols()
+	out := New(t.shape...)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		dst := out.Data[i*f : (i+1)*f]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		var z float64
+		for _, v := range row {
+			z += math.Exp(v - m)
+		}
+		lz := m + math.Log(z)
+		for j, v := range row {
+			dst[j] = v - lz
+		}
+	}
+	return out
+}
+
+// L2NormRows returns the [N] per-row Euclidean norms of an [N,F] tensor.
+func L2NormRows(t *Tensor) *Tensor {
+	n, f := t.Rows(), t.Cols()
+	out := New(n)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		out.Data[i] = math.Sqrt(s)
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm of t.
+func Norm(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MeanStd returns the mean and (population) standard deviation of each column
+// of an [N,F] tensor, as two [F] tensors.
+func MeanStd(t *Tensor) (mean, std *Tensor) {
+	n, f := t.Rows(), t.Cols()
+	mean = MeanRows(t)
+	std = New(f)
+	if n == 0 {
+		return mean, std
+	}
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			d := row[j] - mean.Data[j]
+			std.Data[j] += d * d
+		}
+	}
+	for j := 0; j < f; j++ {
+		std.Data[j] = math.Sqrt(std.Data[j] / float64(n))
+	}
+	return mean, std
+}
+
+func assertRank2(op string, t *Tensor) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s wants rank 2, got %v", op, t.Shape()))
+	}
+}

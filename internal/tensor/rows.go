@@ -1,0 +1,154 @@
+package tensor
+
+import "fmt"
+
+// GatherRows returns out[k] = t[idx[k]] for an [N,F] tensor, giving
+// [len(idx), F]. Indices may repeat; they must be in [0, N).
+func GatherRows(t *Tensor, idx []int) *Tensor {
+	assertRank2("GatherRows", t)
+	n, f := t.Rows(), t.Cols()
+	out := New(len(idx), f)
+	for k, i := range idx {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", i, n))
+		}
+		copy(out.Data[k*f:(k+1)*f], t.Data[i*f:(i+1)*f])
+	}
+	return out
+}
+
+// ScatterAddRows returns an [n,F] tensor with src's rows summed into the rows
+// named by idx: out[idx[k]] += src[k]. src is [len(idx), F].
+func ScatterAddRows(src *Tensor, idx []int, n int) *Tensor {
+	assertRank2("ScatterAddRows", src)
+	if src.Rows() != len(idx) {
+		panic(fmt.Sprintf("tensor: ScatterAddRows src has %d rows for %d indices", src.Rows(), len(idx)))
+	}
+	f := src.Cols()
+	out := New(n, f)
+	for k, i := range idx {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("tensor: ScatterAddRows index %d out of range [0,%d)", i, n))
+		}
+		srow := src.Data[k*f : (k+1)*f]
+		drow := out.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			drow[j] += srow[j]
+		}
+	}
+	return out
+}
+
+// ScatterCounts returns how many of idx map to each of n destination rows.
+func ScatterCounts(idx []int, n int) []float64 {
+	c := make([]float64, n)
+	for _, i := range idx {
+		c[i]++
+	}
+	return c
+}
+
+// ConcatCols concatenates rank-2 tensors with equal row counts along the
+// column axis: [N,F1], [N,F2], ... -> [N, F1+F2+...].
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols of nothing")
+	}
+	n := ts[0].Rows()
+	total := 0
+	for _, t := range ts {
+		assertRank2("ConcatCols", t)
+		if t.Rows() != n {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", t.Rows(), n))
+		}
+		total += t.Cols()
+	}
+	out := New(n, total)
+	for i := 0; i < n; i++ {
+		off := 0
+		dst := out.Data[i*total : (i+1)*total]
+		for _, t := range ts {
+			f := t.Cols()
+			copy(dst[off:off+f], t.Data[i*f:(i+1)*f])
+			off += f
+		}
+	}
+	return out
+}
+
+// SplitCols is the inverse of ConcatCols: it slices an [N, ΣFi] tensor into
+// tensors of widths fs.
+func SplitCols(t *Tensor, fs ...int) []*Tensor {
+	assertRank2("SplitCols", t)
+	total := 0
+	for _, f := range fs {
+		total += f
+	}
+	if total != t.Cols() {
+		panic(fmt.Sprintf("tensor: SplitCols widths sum to %d, tensor has %d columns", total, t.Cols()))
+	}
+	n := t.Rows()
+	outs := make([]*Tensor, len(fs))
+	off := 0
+	for k, f := range fs {
+		o := New(n, f)
+		for i := 0; i < n; i++ {
+			copy(o.Data[i*f:(i+1)*f], t.Data[i*t.Cols()+off:i*t.Cols()+off+f])
+		}
+		outs[k] = o
+		off += f
+	}
+	return outs
+}
+
+// ConcatRows stacks rank-2 tensors with equal column counts along the row
+// axis: [N1,F], [N2,F], ... -> [N1+N2+..., F]. This is a bulk memcpy per
+// input, which is what makes PyG-style batching cheap.
+func ConcatRows(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatRows of nothing")
+	}
+	f := ts[0].Cols()
+	total := 0
+	for _, t := range ts {
+		assertRank2("ConcatRows", t)
+		if t.Cols() != f {
+			panic(fmt.Sprintf("tensor: ConcatRows column mismatch %d vs %d", t.Cols(), f))
+		}
+		total += t.Rows()
+	}
+	out := New(total, f)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:off+len(t.Data)], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo, hi) of an [N,F] tensor.
+func SliceRows(t *Tensor, lo, hi int) *Tensor {
+	assertRank2("SliceRows", t)
+	if lo < 0 || hi > t.Rows() || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) of %d rows", lo, hi, t.Rows()))
+	}
+	f := t.Cols()
+	out := New(hi-lo, f)
+	copy(out.Data, t.Data[lo*f:hi*f])
+	return out
+}
+
+// RepeatRows returns an [N*k, F] tensor where each row of t appears k times
+// consecutively.
+func RepeatRows(t *Tensor, k int) *Tensor {
+	assertRank2("RepeatRows", t)
+	n, f := t.Rows(), t.Cols()
+	out := New(n*k, f)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for r := 0; r < k; r++ {
+			copy(out.Data[(i*k+r)*f:(i*k+r+1)*f], row)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package train
+
+import (
+	"time"
+
+	"repro/internal/ag"
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// DPOptions configures DataParallel training over a simulated device cluster
+// (the paper's Sec. IV-E / Fig 6 setup, built on PyTorch's DataParallel).
+type DPOptions struct {
+	BatchSize int
+	LR        float64
+	Epochs    int
+	Cluster   *device.Cluster
+	Seed      uint64
+}
+
+// DPEpochStats reports one DataParallel epoch. Because the reproduction host
+// has no parallel accelerators, per-device compute is charged to the cost
+// model: the epoch time is
+//
+//	data loading (host, measured)
+//	+ Σ_batches [ input scatter + max over devices of simulated kernel time
+//	              + gradient all-reduce ]
+//	+ parameter update (measured)
+//
+// which contains exactly the terms whose balance produces Fig 6's shape:
+// serial loading dominates, compute divides by N, transfers grow with N.
+type DPEpochStats struct {
+	EpochTime   time.Duration // modelled epoch time (reported in Fig 6)
+	DataLoad    time.Duration // measured host batching time
+	Compute     time.Duration // Σ max(slowest replica kernels, dispatch floor)
+	SimCompute  time.Duration // Σ slowest-replica kernel time alone
+	Dispatch    time.Duration // Σ serialized host dispatch floor alone
+	Transfer    time.Duration // Σ scatter + all-reduce
+	Update      time.Duration // measured optimizer time
+	WallTime    time.Duration // actual wall time of the (serialized) epoch
+	TrainLoss   float64
+	BatchesSeen int
+}
+
+// TrainDataParallelEpoch runs one epoch of DataParallel training of m over
+// the cluster: every mini-batch is split into one shard per device, each
+// shard's forward/backward runs on its device (serialized on this host,
+// compute time taken from the per-device cost model), gradients accumulate
+// as DataParallel's sum-reduction does, and the shared parameters step once
+// per mini-batch.
+func TrainDataParallelEpoch(m models.Model, d *datasets.Dataset, adam *optim.Adam, opt DPOptions) DPEpochStats {
+	c := opt.Cluster
+	n := c.Size()
+	be := m.Backend()
+	rng := tensor.NewRNG(opt.Seed)
+	order := rng.Perm(len(d.Graphs))
+
+	paramBytes := nn.ParamBytes(m.Params())
+	var stats DPEpochStats
+	wallStart := time.Now()
+
+	for lo := 0; lo < len(order); lo += opt.BatchSize {
+		hi := lo + opt.BatchSize
+		if hi > len(order) {
+			hi = len(order)
+		}
+		idx := order[lo:hi]
+
+		// Shard the mini-batch across devices (DataParallel's scatter).
+		shards := make([][]int, 0, n)
+		per := (len(idx) + n - 1) / n
+		for s := 0; s < len(idx); s += per {
+			e := s + per
+			if e > len(idx) {
+				e = len(idx)
+			}
+			shards = append(shards, idx[s:e])
+		}
+
+		// The DataLoader collates the full mini-batch once on the host
+		// (Python-level work, hence the collation factor); DataParallel then
+		// scatters it across replicas. The scatter shards are rebuilt from
+		// the same graphs below — an implementation detail of this
+		// reproduction charged only through ScatterTime.
+		t0 := time.Now()
+		full := be.Batch(gatherGraphs(d, idx), nil)
+		stats.DataLoad += time.Since(t0) * pythonCollateFactor
+		batchBytes := full.Bytes()
+
+		adam.ZeroGrad()
+		var lossSum float64
+		c.ResetTime()
+		for si, shard := range shards {
+			dev := c.Devices[si]
+			b := be.Batch(gatherGraphs(d, shard), dev)
+
+			g := ag.New(dev)
+			logits := m.Forward(g, b, true, nil)
+			// Scale each shard's loss so the summed gradient matches the
+			// full-batch mean loss.
+			loss := g.Scale(g.CrossEntropy(logits, b.Labels, nil), float64(len(shard))/float64(len(idx)))
+			g.Backward(loss)
+			lossSum += loss.Value().Data[0]
+			g.Finish()
+			b.Release(dev)
+		}
+		// Compute: DataParallel waits for the slowest replica. Kernel
+		// launches are asynchronous and DataParallel drives replicas from
+		// parallel threads (launches release the interpreter lock), so the
+		// dispatch chains of different replicas overlap — but within one
+		// replica dispatch is serial. The batch therefore takes the larger
+		// of the slowest replica's kernel time and the per-replica dispatch
+		// chain. The dispatch chain does not shrink with more devices
+		// (every replica still dispatches the full op set), which is the
+		// floor behind Fig 6's flattening beyond a few GPUs.
+		var maxKernels int64
+		for _, dv := range c.Devices {
+			if k := dv.Stats().Kernels; k > maxKernels {
+				maxKernels = k
+			}
+		}
+		dispatchFloor := time.Duration(maxKernels) * be.DispatchOverhead()
+		sim := c.MaxSimTime()
+		stats.SimCompute += sim
+		stats.Dispatch += dispatchFloor
+		if sim > dispatchFloor {
+			stats.Compute += sim
+		} else {
+			stats.Compute += dispatchFloor
+		}
+		stats.Transfer += c.ScatterTime(batchBytes) + c.AllReduceTime(paramBytes)
+
+		t1 := time.Now()
+		adam.Step()
+		stats.Update += time.Since(t1)
+		stats.TrainLoss += lossSum
+		stats.BatchesSeen++
+	}
+	stats.WallTime = time.Since(wallStart)
+	if stats.BatchesSeen > 0 {
+		stats.TrainLoss /= float64(stats.BatchesSeen)
+	}
+	stats.EpochTime = stats.DataLoad + stats.Compute + stats.Transfer + stats.Update
+	return stats
+}
+
+// RunDataParallel trains for opt.Epochs and returns per-epoch stats plus the
+// mean epoch time — the quantity Fig 6 plots.
+func RunDataParallel(m models.Model, d *datasets.Dataset, opt DPOptions) ([]DPEpochStats, time.Duration) {
+	if opt.Epochs <= 0 {
+		opt.Epochs = 1
+	}
+	adam := optim.NewAdam(m.Params(), opt.LR)
+	var all []DPEpochStats
+	var total time.Duration
+	for e := 0; e < opt.Epochs; e++ {
+		epOpt := opt
+		epOpt.Seed = opt.Seed + uint64(e)
+		s := TrainDataParallelEpoch(m, d, adam, epOpt)
+		all = append(all, s)
+		total += s.EpochTime
+	}
+	return all, total / time.Duration(opt.Epochs)
+}

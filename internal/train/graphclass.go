@@ -1,0 +1,325 @@
+package train
+
+import (
+	"time"
+
+	"repro/internal/ag"
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/profile"
+	"repro/internal/tensor"
+)
+
+// GraphOptions configures mini-batch graph-classification training with the
+// paper's recipe (Sec. IV-B): Adam, ReduceLROnPlateau(0.5, patience 25,
+// min_lr 1e-6), batch size 128, training stops when the LR decays away.
+type GraphOptions struct {
+	BatchSize int
+	InitLR    float64
+	MaxEpochs int // safety cap on top of the LR stopping rule
+	Patience  int // plateau patience (paper: 25)
+	MinLR     float64
+	Device    *device.Device
+	Seed      uint64 // shuffling seed
+
+	// CollectLayerTimes turns on per-layer timing (Fig 3) aggregated over
+	// the run.
+	CollectLayerTimes bool
+}
+
+func (o *GraphOptions) defaults() {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 128
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 1000
+	}
+	if o.Patience <= 0 {
+		o.Patience = 25
+	}
+	if o.MinLR <= 0 {
+		o.MinLR = 1e-6
+	}
+	if o.InitLR <= 0 {
+		o.InitLR = 1e-3
+	}
+}
+
+// EpochStats records one epoch's measurements.
+type EpochStats struct {
+	Duration    time.Duration
+	Breakdown   profile.Breakdown
+	Utilization float64 // paper Eq. 5, from device kernel activity
+	PeakBytes   int64   // allocator high-water mark during the epoch
+	TrainLoss   float64
+	ValLoss     float64
+}
+
+// FoldResult is one cross-validation round's outcome.
+type FoldResult struct {
+	TestAcc    float64
+	Epochs     []EpochStats
+	LayerTimes *profile.LayerTimes // non-nil when requested
+}
+
+// EpochMean returns the mean epoch duration.
+func (f *FoldResult) EpochMean() time.Duration {
+	if len(f.Epochs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, e := range f.Epochs {
+		sum += e.Duration
+	}
+	return sum / time.Duration(len(f.Epochs))
+}
+
+// TotalTime returns the summed epoch durations.
+func (f *FoldResult) TotalTime() time.Duration {
+	var sum time.Duration
+	for _, e := range f.Epochs {
+		sum += e.Duration
+	}
+	return sum
+}
+
+// MeanBreakdown averages the per-epoch phase breakdown.
+func (f *FoldResult) MeanBreakdown() profile.Breakdown {
+	var b profile.Breakdown
+	for i := range f.Epochs {
+		f.Epochs[i].Breakdown.AddInto(&b)
+	}
+	b.Scale(len(f.Epochs))
+	return b
+}
+
+// MeanUtilization averages per-epoch device utilization.
+func (f *FoldResult) MeanUtilization() float64 {
+	if len(f.Epochs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range f.Epochs {
+		s += e.Utilization
+	}
+	return s / float64(len(f.Epochs))
+}
+
+// MaxPeakBytes returns the largest per-epoch memory high-water mark.
+func (f *FoldResult) MaxPeakBytes() int64 {
+	var m int64
+	for _, e := range f.Epochs {
+		if e.PeakBytes > m {
+			m = e.PeakBytes
+		}
+	}
+	return m
+}
+
+// TrainGraphFold trains m on one CV split and evaluates its test accuracy.
+func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit, opt GraphOptions) FoldResult {
+	if len(split.Train) == 0 {
+		panic("train: cross-validation split has no training graphs")
+	}
+	opt.defaults()
+	be := m.Backend()
+	dev := opt.Device
+	rng := tensor.NewRNG(opt.Seed ^ 0x9f2d)
+	adam := optim.NewAdam(m.Params(), opt.InitLR)
+	adam.SetDevice(dev)
+	sch := optim.NewPlateau(adam)
+	sch.Patience = opt.Patience
+	sch.MinLR = opt.MinLR
+
+	var res FoldResult
+	if opt.CollectLayerTimes {
+		res.LayerTimes = profile.NewLayerTimes()
+	}
+	// The device carries the framework's runtime baseline (what nvidia-smi
+	// reports before any batch) plus the model's parameter state.
+	residentBytes := paramFootprint(m) + be.BaselineBytes()
+	dev.Alloc(residentBytes)
+	defer dev.Free(residentBytes)
+
+	order := append([]int(nil), split.Train...)
+	for epoch := 0; epoch < opt.MaxEpochs; epoch++ {
+		dev.ResetTime()
+		dev.ResetPeak()
+		var bd profile.Breakdown
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+		var lossSum float64
+		batches := 0
+		clock := newPhaseClock(dev, &bd, be.DispatchOverhead())
+		for lo := 0; lo < len(order); lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			var b *fw.Batch
+			clock.timeCollate(func() {
+				b = be.Batch(gatherGraphs(d, order[lo:hi]), dev)
+			})
+			// The batch crosses the host-device link before kernels can run.
+			bd.Add(profile.PhaseDataLoad, hostToDevice.TransferTime(b.Bytes()))
+			g := ag.New(dev)
+			var loss *ag.Node
+			clock.time(profile.PhaseForward, func() {
+				logits := m.Forward(g, b, true, res.LayerTimes)
+				loss = g.CrossEntropy(logits, b.Labels, nil)
+			})
+			clock.time(profile.PhaseBackward, func() {
+				adam.ZeroGrad()
+				g.Backward(loss)
+			})
+			clock.time(profile.PhaseUpdate, func() {
+				adam.Step()
+			})
+			lossSum += loss.Value().Data[0]
+			batches++
+			g.Finish()
+			b.Release(dev)
+		}
+
+		var valLoss float64
+		clock.time(profile.PhaseOther, func() {
+			valLoss = evalGraphLoss(m, d, split.Val, opt.BatchSize, dev)
+		})
+		elapsed := bd.Total()
+		stats := EpochStats{
+			Duration:    elapsed,
+			Breakdown:   bd,
+			Utilization: device.Utilization(dev.Stats().SimTime, elapsed),
+			PeakBytes:   dev.Stats().PeakBytes,
+			TrainLoss:   lossSum / float64(batches),
+			ValLoss:     valLoss,
+		}
+		res.Epochs = append(res.Epochs, stats)
+		if !sch.Step(valLoss) {
+			break
+		}
+	}
+	res.TestAcc = EvalGraphAcc(m, d, split.Test, opt.BatchSize, dev)
+	return res
+}
+
+func gatherGraphs(d *datasets.Dataset, idx []int) []*graph.Graph {
+	gs := make([]*graph.Graph, len(idx))
+	for i, j := range idx {
+		gs[i] = d.Graphs[j]
+	}
+	return gs
+}
+
+func paramFootprint(m models.Model) int64 {
+	var n int64
+	for _, p := range m.Params() {
+		n += int64(p.Value.Size()+p.Grad.Size()) * 8
+	}
+	return n
+}
+
+// EvalGraphAcc computes test accuracy over mini-batches in eval mode.
+func EvalGraphAcc(m models.Model, d *datasets.Dataset, idx []int, batchSize int, dev *device.Device) float64 {
+	be := m.Backend()
+	correct, total := 0, 0
+	for lo := 0; lo < len(idx); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
+		g := ag.New(dev)
+		logits := m.Forward(g, b, false, nil)
+		pred := tensor.ArgMaxRows(logits.Value())
+		for i, p := range pred {
+			if p == b.Labels[i] {
+				correct++
+			}
+			total++
+		}
+		g.Finish()
+		b.Release(dev)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func evalGraphLoss(m models.Model, d *datasets.Dataset, idx []int, batchSize int, dev *device.Device) float64 {
+	be := m.Backend()
+	var total float64
+	count := 0
+	for lo := 0; lo < len(idx); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
+		g := ag.New(dev)
+		logits := m.Forward(g, b, false, nil)
+		probs := logits.Value()
+		for i := 0; i < probs.Rows(); i++ {
+			row := probs.Row(i)
+			mx := row[0]
+			for _, v := range row {
+				if v > mx {
+					mx = v
+				}
+			}
+			var z float64
+			for _, v := range row {
+				z += exp(v - mx)
+			}
+			total += -(row[b.Labels[i]] - mx) + ln(z)
+			count++
+		}
+		g.Finish()
+		b.Release(dev)
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// CVResult aggregates a cross-validation run (the paper's Table V rows).
+type CVResult struct {
+	Model, Framework, Dataset string
+	AccMean, AccStd           float64 // percent
+	EpochMean                 time.Duration
+	TotalMean                 time.Duration
+	Folds                     []FoldResult
+}
+
+// RunGraphCV trains a fresh model per CV round and aggregates, mirroring the
+// paper's 10-fold protocol. factory receives the fold index as seed salt.
+func RunGraphCV(factory func(seed uint64) models.Model, d *datasets.Dataset, splits []datasets.CVSplit, opt GraphOptions) CVResult {
+	var res CVResult
+	res.Dataset = d.Name
+	var accs []float64
+	var epochSum, totalSum time.Duration
+	for fold, split := range splits {
+		m := factory(uint64(fold))
+		if res.Model == "" {
+			res.Model = m.Name()
+			res.Framework = m.Backend().Name()
+		}
+		foldOpt := opt
+		foldOpt.Seed = opt.Seed + uint64(fold)
+		fr := TrainGraphFold(m, d, split, foldOpt)
+		accs = append(accs, fr.TestAcc*100)
+		epochSum += fr.EpochMean()
+		totalSum += fr.TotalTime()
+		res.Folds = append(res.Folds, fr)
+	}
+	res.AccMean, res.AccStd = profile.Stats(accs)
+	res.EpochMean = epochSum / time.Duration(len(splits))
+	res.TotalMean = totalSum / time.Duration(len(splits))
+	return res
+}

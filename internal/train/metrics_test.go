@@ -1,0 +1,81 @@
+package train
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fw/pygeo"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	c := NewConfusion(3)
+	// class 0: 2 right, 1 predicted as 1; class 1: 1 right; class 2: 1 as 0.
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 0)
+	if c.Total() != 5 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+	p, r, f1 := c.PrecisionRecallF1(0)
+	if math.Abs(p-2.0/3) > 1e-12 || math.Abs(r-2.0/3) > 1e-12 || math.Abs(f1-2.0/3) > 1e-12 {
+		t.Fatalf("class 0 prf = %v %v %v", p, r, f1)
+	}
+	// Class 2 never predicted: precision/recall/F1 all 0.
+	p2, r2, f2 := c.PrecisionRecallF1(2)
+	if p2 != 0 || r2 != 0 || f2 != 0 {
+		t.Fatalf("class 2 prf = %v %v %v", p2, r2, f2)
+	}
+	if c.MacroF1() <= 0 || c.MacroF1() >= 1 {
+		t.Fatalf("macro F1 %v", c.MacroF1())
+	}
+	if !strings.Contains(c.String(), "3 classes") {
+		t.Fatal("String() missing summary")
+	}
+}
+
+func TestPredictAndConfusionNode(t *testing.T) {
+	d := tinyCora()
+	be := pygeo.New()
+	m := nodeModel(be, d, 3)
+	TrainNode(m, d, NodeOptions{Epochs: 40, LR: 0.01})
+	pred := PredictNode(m, d, nil)
+	if len(pred) != d.Graphs[0].NumNodes {
+		t.Fatalf("prediction count %d", len(pred))
+	}
+	c := ConfusionNode(m, d, d.TestIdx, nil)
+	if c.Total() != len(d.TestIdx) {
+		t.Fatalf("confusion total %d", c.Total())
+	}
+	// Confusion accuracy must match the trainer's accuracy computation.
+	b := be.Batch(d.Graphs, nil)
+	want := evalNodeAcc(m, b, d.TestIdx, nil)
+	if math.Abs(c.Accuracy()-want) > 1e-12 {
+		t.Fatalf("confusion acc %v != eval acc %v", c.Accuracy(), want)
+	}
+}
+
+func TestPredictAndConfusionGraphs(t *testing.T) {
+	d := tinyEnzymes()
+	m := graphModel("GCN", pygeo.New(), d, 5)
+	idx := make([]int, len(d.Graphs))
+	for i := range idx {
+		idx[i] = i
+	}
+	pred := PredictGraphs(m, d, idx, 16, nil)
+	if len(pred) != len(idx) {
+		t.Fatalf("prediction count %d", len(pred))
+	}
+	c := ConfusionGraphs(m, d, idx, 16, nil)
+	if c.Total() != len(idx) {
+		t.Fatalf("confusion total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-EvalGraphAcc(m, d, idx, 16, nil)) > 1e-12 {
+		t.Fatal("confusion accuracy disagrees with EvalGraphAcc")
+	}
+}
