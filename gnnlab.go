@@ -43,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/tensor"
 	"repro/internal/train"
@@ -131,6 +132,15 @@ func StatsOf(d *Dataset) DatasetStats { return datasets.Stats(d) }
 func PaperTableI() map[string]DatasetStats { return datasets.PaperTableI() }
 
 // Devices.
+
+// SetWorkers sets how many host CPU workers the compute kernels may use and
+// returns the previous setting. The default is GOMAXPROCS (overridable with
+// the GNNLAB_WORKERS environment variable); results are bit-identical for
+// any worker count.
+func SetWorkers(n int) int { return parallel.SetWorkers(n) }
+
+// Workers returns the current kernel worker-pool size.
+func Workers() int { return parallel.Workers() }
 
 // NewDevice returns a 2080Ti-like simulated accelerator.
 func NewDevice() *Device { return device.Default() }

@@ -3,6 +3,7 @@ package ag
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -11,6 +12,23 @@ import (
 // destination" into a single kernel over a by-destination CSR adjacency, as
 // described in the paper's Sec. IV-C. rowptr has one entry per destination
 // node plus one; col[k] is the source node of incoming arc k.
+//
+// Parallel execution: forward kernels partition destination rows (each output
+// row is owned by one worker). Backward kernels scatter into source rows, so
+// they use source-row ownership instead — every worker scans the full edge
+// list but accumulates only the gradient rows it owns. Both directions keep
+// each output element's accumulation in the serial edge order, so results are
+// bit-identical to single-threaded execution with zero atomics.
+
+// spmmGrain estimates a For grain for a CSR kernel: rows whose combined
+// edge×feature work reaches the pool's minimum profitable work unit.
+func spmmGrain(edges, rows, f int) int {
+	if rows <= 0 {
+		return 1
+	}
+	avg := (edges*f)/rows + 1
+	return parallel.RowGrain(avg)
+}
 
 // GSpMMSum computes out[v] = Σ_{k ∈ [rowptr[v], rowptr[v+1])} x[col[k]]
 // in one fused kernel.
@@ -20,33 +38,43 @@ func (g *Graph) GSpMMSum(x *Node, rowptr, col []int) *Node {
 	f := x.T.Cols()
 	e := len(col)
 	sz := int64(e * f)
+	grain := spmmGrain(e, n, f)
 	var out *tensor.Tensor
 	g.run(sz, 24*sz, func() {
 		out = tensor.New(n, f)
-		for v := 0; v < n; v++ {
-			orow := out.Row(v)
-			for k := rowptr[v]; k < rowptr[v+1]; k++ {
-				xrow := x.T.Row(col[k])
-				for j := 0; j < f; j++ {
-					orow[j] += xrow[j]
+		parallel.For(n, grain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				orow := out.Row(v)
+				for k := rowptr[v]; k < rowptr[v+1]; k++ {
+					xrow := x.T.Row(col[k])
+					for j := 0; j < f; j++ {
+						orow[j] += xrow[j]
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad, "gspmm-sum", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
+			srcRows := x.T.Rows()
 			gx = tensor.New(x.T.Shape()...)
-			for v := 0; v < n; v++ {
-				grow := res.grad.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					xrow := gx.Row(col[k])
-					for j := 0; j < f; j++ {
-						xrow[j] += grow[j]
+			parallel.For(srcRows, spmmGrain(e, srcRows, f), func(lo, hi int) {
+				for v := 0; v < n; v++ {
+					grow := res.grad.Row(v)
+					for k := rowptr[v]; k < rowptr[v+1]; k++ {
+						src := col[k]
+						if src < lo || src >= hi {
+							continue
+						}
+						xrow := gx.Row(src)
+						for j := 0; j < f; j++ {
+							xrow[j] += grow[j]
+						}
 					}
 				}
-			}
+			})
 		})
 		gr.accum(x, gx)
 	}
@@ -64,51 +92,69 @@ func (g *Graph) GSpMMWeightedSum(x, w *Node, rowptr, col, eid []int) *Node {
 		panic(fmt.Sprintf("ag: GSpMMWeightedSum wants %d weights, got %v", e, w.T.Shape()))
 	}
 	sz := int64(e * f)
+	grain := spmmGrain(e, n, f)
 	wd := w.T.Data
 	var out *tensor.Tensor
 	g.run(2*sz, 32*sz, func() {
 		out = tensor.New(n, f)
-		for v := 0; v < n; v++ {
-			orow := out.Row(v)
-			for k := rowptr[v]; k < rowptr[v+1]; k++ {
-				wk := wd[eid[k]]
-				xrow := x.T.Row(col[k])
-				for j := 0; j < f; j++ {
-					orow[j] += wk * xrow[j]
+		parallel.For(n, grain, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				orow := out.Row(v)
+				for k := rowptr[v]; k < rowptr[v+1]; k++ {
+					wk := wd[eid[k]]
+					xrow := x.T.Row(col[k])
+					for j := 0; j < f; j++ {
+						orow[j] += wk * xrow[j]
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad || w.requiresGrad, "gspmm-wsum", nil)
 	res.backward = func(gr *Graph) {
 		var gx, gw *tensor.Tensor
 		gr.run(3*sz, 48*sz, func() {
 			if x.requiresGrad {
+				srcRows := x.T.Rows()
 				gx = tensor.New(x.T.Shape()...)
+				parallel.For(srcRows, spmmGrain(e, srcRows, f), func(lo, hi int) {
+					for v := 0; v < n; v++ {
+						grow := res.grad.Row(v)
+						for k := rowptr[v]; k < rowptr[v+1]; k++ {
+							src := col[k]
+							if src < lo || src >= hi {
+								continue
+							}
+							wk := wd[eid[k]]
+							xrow := gx.Row(src)
+							for j := 0; j < f; j++ {
+								xrow[j] += wk * grow[j]
+							}
+						}
+					}
+				})
 			}
 			if w.requiresGrad {
+				// Edge-weight gradients scatter by edge id, so ownership is
+				// over the eid range: the owner of eid[k] computes that dot.
 				gw = tensor.New(w.T.Shape()...)
-			}
-			for v := 0; v < n; v++ {
-				grow := res.grad.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					src, ek := col[k], eid[k]
-					if gx != nil {
-						wk := wd[ek]
-						xrow := gx.Row(src)
-						for j := 0; j < f; j++ {
-							xrow[j] += wk * grow[j]
+				parallel.For(e, parallel.RowGrain(2*f), func(lo, hi int) {
+					for v := 0; v < n; v++ {
+						grow := res.grad.Row(v)
+						for k := rowptr[v]; k < rowptr[v+1]; k++ {
+							ek := eid[k]
+							if ek < lo || ek >= hi {
+								continue
+							}
+							xrow := x.T.Row(col[k])
+							var dot float64
+							for j := 0; j < f; j++ {
+								dot += xrow[j] * grow[j]
+							}
+							gw.Data[ek] += dot
 						}
 					}
-					if gw != nil {
-						xrow := x.T.Row(src)
-						var dot float64
-						for j := 0; j < f; j++ {
-							dot += xrow[j] * grow[j]
-						}
-						gw.Data[ek] += dot
-					}
-				}
+				})
 			}
 		})
 		if gx != nil {
@@ -127,31 +173,40 @@ func (g *Graph) GSpMMEdgeSum(m *Node, rowptr, eid []int) *Node {
 	check2("GSpMMEdgeSum", m)
 	n := len(rowptr) - 1
 	f := m.T.Cols()
+	e := m.T.Rows()
 	sz := int64(m.T.Size())
 	var out *tensor.Tensor
 	g.run(sz, 24*sz, func() {
 		out = tensor.New(n, f)
-		for v := 0; v < n; v++ {
-			orow := out.Row(v)
-			for k := rowptr[v]; k < rowptr[v+1]; k++ {
-				mrow := m.T.Row(eid[k])
-				for j := 0; j < f; j++ {
-					orow[j] += mrow[j]
+		parallel.For(n, spmmGrain(e, n, f), func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				orow := out.Row(v)
+				for k := rowptr[v]; k < rowptr[v+1]; k++ {
+					mrow := m.T.Row(eid[k])
+					for j := 0; j < f; j++ {
+						orow[j] += mrow[j]
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, m.requiresGrad, "gspmm-esum", nil)
 	res.backward = func(gr *Graph) {
 		var gm *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
 			gm = tensor.New(m.T.Shape()...)
-			for v := 0; v < n; v++ {
-				grow := res.grad.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					copy(gm.Row(eid[k]), grow)
+			parallel.For(e, parallel.RowGrain(f), func(lo, hi int) {
+				for v := 0; v < n; v++ {
+					grow := res.grad.Row(v)
+					for k := rowptr[v]; k < rowptr[v+1]; k++ {
+						ek := eid[k]
+						if ek < lo || ek >= hi {
+							continue
+						}
+						copy(gm.Row(ek), grow)
+					}
 				}
-			}
+			})
 		})
 		gr.accum(m, gm)
 	}

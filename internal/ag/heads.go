@@ -3,6 +3,7 @@ package ag
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -22,20 +23,23 @@ func (g *Graph) HeadDot(x, a *Node) *Node {
 	}
 	sz := int64(r * h * d)
 	var out *tensor.Tensor
+	grain := parallel.RowGrain(2 * h * d)
 	g.run(2*sz, 24*sz, func() {
 		out = tensor.New(r, h)
-		for i := 0; i < r; i++ {
-			xrow := x.T.Row(i)
-			orow := out.Row(i)
-			for hh := 0; hh < h; hh++ {
-				arow := a.T.Row(hh)
-				var s float64
-				for dd := 0; dd < d; dd++ {
-					s += xrow[hh*d+dd] * arow[dd]
+		parallel.For(r, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xrow := x.T.Row(i)
+				orow := out.Row(i)
+				for hh := 0; hh < h; hh++ {
+					arow := a.T.Row(hh)
+					var s float64
+					for dd := 0; dd < d; dd++ {
+						s += xrow[hh*d+dd] * arow[dd]
+					}
+					orow[hh] = s
 				}
-				orow[hh] = s
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad || a.requiresGrad, "headdot", nil)
 	res.backward = func(gr *Graph) {
@@ -43,16 +47,18 @@ func (g *Graph) HeadDot(x, a *Node) *Node {
 			var gx *tensor.Tensor
 			gr.run(2*sz, 24*sz, func() {
 				gx = tensor.New(r, h*d)
-				for i := 0; i < r; i++ {
-					grow := res.grad.Row(i)
-					xrow := gx.Row(i)
-					for hh := 0; hh < h; hh++ {
-						arow := a.T.Row(hh)
-						for dd := 0; dd < d; dd++ {
-							xrow[hh*d+dd] = grow[hh] * arow[dd]
+				parallel.For(r, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						grow := res.grad.Row(i)
+						xrow := gx.Row(i)
+						for hh := 0; hh < h; hh++ {
+							arow := a.T.Row(hh)
+							for dd := 0; dd < d; dd++ {
+								xrow[hh*d+dd] = grow[hh] * arow[dd]
+							}
 						}
 					}
-				}
+				})
 			})
 			gr.accum(x, gx)
 		}
@@ -90,19 +96,22 @@ func (g *Graph) MulHeads(x, w *Node) *Node {
 	d := x.T.Cols() / h
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
+	grain := parallel.RowGrain(h * d)
 	g.run(sz, 32*sz, func() {
 		out = tensor.New(r, h*d)
-		for i := 0; i < r; i++ {
-			xrow := x.T.Row(i)
-			wrow := w.T.Row(i)
-			orow := out.Row(i)
-			for hh := 0; hh < h; hh++ {
-				wv := wrow[hh]
-				for dd := 0; dd < d; dd++ {
-					orow[hh*d+dd] = xrow[hh*d+dd] * wv
+		parallel.For(r, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xrow := x.T.Row(i)
+				wrow := w.T.Row(i)
+				orow := out.Row(i)
+				for hh := 0; hh < h; hh++ {
+					wv := wrow[hh]
+					for dd := 0; dd < d; dd++ {
+						orow[hh*d+dd] = xrow[hh*d+dd] * wv
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad || w.requiresGrad, "mulheads", nil)
 	res.backward = func(gr *Graph) {
@@ -110,17 +119,19 @@ func (g *Graph) MulHeads(x, w *Node) *Node {
 			var gx *tensor.Tensor
 			gr.run(sz, 32*sz, func() {
 				gx = tensor.New(r, h*d)
-				for i := 0; i < r; i++ {
-					grow := res.grad.Row(i)
-					wrow := w.T.Row(i)
-					xrow := gx.Row(i)
-					for hh := 0; hh < h; hh++ {
-						wv := wrow[hh]
-						for dd := 0; dd < d; dd++ {
-							xrow[hh*d+dd] = grow[hh*d+dd] * wv
+				parallel.For(r, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						grow := res.grad.Row(i)
+						wrow := w.T.Row(i)
+						xrow := gx.Row(i)
+						for hh := 0; hh < h; hh++ {
+							wv := wrow[hh]
+							for dd := 0; dd < d; dd++ {
+								xrow[hh*d+dd] = grow[hh*d+dd] * wv
+							}
 						}
 					}
-				}
+				})
 			})
 			gr.accum(x, gx)
 		}
@@ -128,18 +139,20 @@ func (g *Graph) MulHeads(x, w *Node) *Node {
 			var gw *tensor.Tensor
 			gr.run(sz, 32*sz, func() {
 				gw = tensor.New(r, h)
-				for i := 0; i < r; i++ {
-					grow := res.grad.Row(i)
-					xrow := x.T.Row(i)
-					wrow := gw.Row(i)
-					for hh := 0; hh < h; hh++ {
-						var s float64
-						for dd := 0; dd < d; dd++ {
-							s += grow[hh*d+dd] * xrow[hh*d+dd]
+				parallel.For(r, grain, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						grow := res.grad.Row(i)
+						xrow := x.T.Row(i)
+						wrow := gw.Row(i)
+						for hh := 0; hh < h; hh++ {
+							var s float64
+							for dd := 0; dd < d; dd++ {
+								s += grow[hh*d+dd] * xrow[hh*d+dd]
+							}
+							wrow[hh] = s
 						}
-						wrow[hh] = s
 					}
-				}
+				})
 			})
 			gr.accum(w, gw)
 		}
@@ -159,32 +172,37 @@ func (g *Graph) MeanHeads(x *Node, heads int) *Node {
 	sz := int64(x.T.Size())
 	inv := 1 / float64(heads)
 	var out *tensor.Tensor
+	grain := parallel.RowGrain(heads * d)
 	g.run(sz, 24*sz, func() {
 		out = tensor.New(r, d)
-		for i := 0; i < r; i++ {
-			xrow := x.T.Row(i)
-			orow := out.Row(i)
-			for hh := 0; hh < heads; hh++ {
-				for dd := 0; dd < d; dd++ {
-					orow[dd] += xrow[hh*d+dd] * inv
+		parallel.For(r, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xrow := x.T.Row(i)
+				orow := out.Row(i)
+				for hh := 0; hh < heads; hh++ {
+					for dd := 0; dd < d; dd++ {
+						orow[dd] += xrow[hh*d+dd] * inv
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad, "meanheads", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
 			gx = tensor.New(r, heads*d)
-			for i := 0; i < r; i++ {
-				grow := res.grad.Row(i)
-				xrow := gx.Row(i)
-				for hh := 0; hh < heads; hh++ {
-					for dd := 0; dd < d; dd++ {
-						xrow[hh*d+dd] = grow[dd] * inv
+			parallel.For(r, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					grow := res.grad.Row(i)
+					xrow := gx.Row(i)
+					for hh := 0; hh < heads; hh++ {
+						for dd := 0; dd < d; dd++ {
+							xrow[hh*d+dd] = grow[dd] * inv
+						}
 					}
 				}
-			}
+			})
 		})
 		gr.accum(x, gx)
 	}

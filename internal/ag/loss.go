@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -40,26 +41,33 @@ func (g *Graph) CrossEntropy(logits *Node, labels []int, rows []int) *Node {
 	g.run(5*sz, 24*sz, func() {
 		probs = tensor.New(len(rows), c)
 		out = tensor.New(1)
-		var total float64
-		for k, i := range rows {
-			row := logits.T.Row(i)
-			m := math.Inf(-1)
-			for _, v := range row {
-				if v > m {
-					m = v
+		nll := make([]float64, len(rows))
+		parallel.For(len(rows), parallel.RowGrain(5*c), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				i := rows[k]
+				row := logits.T.Row(i)
+				m := math.Inf(-1)
+				for _, v := range row {
+					if v > m {
+						m = v
+					}
 				}
+				var z float64
+				prow := probs.Row(k)
+				for j, v := range row {
+					e := math.Exp(v - m)
+					prow[j] = e
+					z += e
+				}
+				for j := range prow {
+					prow[j] /= z
+				}
+				nll[k] = -math.Log(math.Max(prow[labels[i]], 1e-300))
 			}
-			var z float64
-			prow := probs.Row(k)
-			for j, v := range row {
-				e := math.Exp(v - m)
-				prow[j] = e
-				z += e
-			}
-			for j := range prow {
-				prow[j] /= z
-			}
-			total += -math.Log(math.Max(prow[labels[i]], 1e-300))
+		})
+		var total float64
+		for _, v := range nll {
+			total += v
 		}
 		out.Data[0] = total / float64(len(rows))
 	})
@@ -70,14 +78,20 @@ func (g *Graph) CrossEntropy(logits *Node, labels []int, rows []int) *Node {
 		gr.run(2*sz, 24*sz, func() {
 			gx = tensor.New(n, c)
 			scale := res.grad.Data[0] / float64(len(rows))
-			for k, i := range rows {
-				prow := probs.Row(k)
-				xrow := gx.Row(i)
-				for j := 0; j < c; j++ {
-					xrow[j] = scale * prow[j]
+			avg := (len(rows)*c)/n + 1
+			parallel.For(n, parallel.RowGrain(avg), func(lo, hi int) {
+				for k, i := range rows {
+					if i < lo || i >= hi {
+						continue
+					}
+					prow := probs.Row(k)
+					xrow := gx.Row(i)
+					for j := 0; j < c; j++ {
+						xrow[j] = scale * prow[j]
+					}
+					xrow[labels[i]] -= scale
 				}
-				xrow[labels[i]] -= scale
-			}
+			})
 		})
 		gr.accum(logits, gx)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -64,38 +65,52 @@ func (g *Graph) ScatterMax(x *Node, idx []int, n int) *Node {
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
 	var arg []int // which source row won each (dst, col) slot
+	grain := spmmGrain(len(idx), n, f)
 	g.run(sz, 24*sz, func() {
 		out = tensor.Full(math.Inf(-1), n, f)
 		arg = make([]int, n*f)
 		for i := range arg {
 			arg[i] = -1
 		}
-		for k, dst := range idx {
-			srow := x.T.Row(k)
-			drow := out.Row(dst)
-			for j := 0; j < f; j++ {
-				if srow[j] > drow[j] {
-					drow[j] = srow[j]
-					arg[dst*f+j] = k
+		// Destination-row ownership: each worker scans every source row but
+		// only updates the max slots of destinations it owns, preserving the
+		// serial tie-breaking (first k wins on equal values).
+		parallel.For(n, grain, func(lo, hi int) {
+			for k, dst := range idx {
+				if dst < lo || dst >= hi {
+					continue
+				}
+				srow := x.T.Row(k)
+				drow := out.Row(dst)
+				for j := 0; j < f; j++ {
+					if srow[j] > drow[j] {
+						drow[j] = srow[j]
+						arg[dst*f+j] = k
+					}
 				}
 			}
-		}
-		for i := range out.Data {
-			if math.IsInf(out.Data[i], -1) {
-				out.Data[i] = 0
+			for i := lo * f; i < hi*f; i++ {
+				if math.IsInf(out.Data[i], -1) {
+					out.Data[i] = 0
+				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad, "scattermax", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
 			gx = tensor.New(x.T.Shape()...)
-			for slot, k := range arg {
-				if k >= 0 {
-					gx.Data[k*f+slot%f] += res.grad.Data[slot]
+			// Partition by destination row: each source row k feeds exactly
+			// one destination (idx[k]), so the slots of one destination are
+			// the only writers of that source's gradient row.
+			parallel.For(n, grain, func(lo, hi int) {
+				for slot := lo * f; slot < hi*f; slot++ {
+					if k := arg[slot]; k >= 0 {
+						gx.Data[k*f+slot%f] += res.grad.Data[slot]
+					}
 				}
-			}
+			})
 		})
 		gr.accum(x, gx)
 	}
@@ -139,37 +154,52 @@ func (g *Graph) EdgeSoftmax(scores *Node, dst []int, n int) *Node {
 	}
 	sz := int64(e * h)
 	var out *tensor.Tensor
+	grain := spmmGrain(e, n, 4*h)
 	g.run(4*sz, 32*sz, func() {
 		out = tensor.New(e, h)
 		maxes := tensor.Full(math.Inf(-1), n, h)
-		for k, d := range dst {
-			srow := scores.T.Row(k)
-			mrow := maxes.Row(d)
-			for j := 0; j < h; j++ {
-				if srow[j] > mrow[j] {
-					mrow[j] = srow[j]
+		sums := tensor.New(n, h)
+		// Destination-group ownership: a worker runs all three softmax passes
+		// for the destinations it owns. Edge rows of out are written only by
+		// their destination's owner, so no two workers touch the same slot.
+		parallel.For(n, grain, func(lo, hi int) {
+			for k, d := range dst {
+				if d < lo || d >= hi {
+					continue
+				}
+				srow := scores.T.Row(k)
+				mrow := maxes.Row(d)
+				for j := 0; j < h; j++ {
+					if srow[j] > mrow[j] {
+						mrow[j] = srow[j]
+					}
 				}
 			}
-		}
-		sums := tensor.New(n, h)
-		for k, d := range dst {
-			srow := scores.T.Row(k)
-			mrow := maxes.Row(d)
-			orow := out.Row(k)
-			zrow := sums.Row(d)
-			for j := 0; j < h; j++ {
-				v := math.Exp(srow[j] - mrow[j])
-				orow[j] = v
-				zrow[j] += v
+			for k, d := range dst {
+				if d < lo || d >= hi {
+					continue
+				}
+				srow := scores.T.Row(k)
+				mrow := maxes.Row(d)
+				orow := out.Row(k)
+				zrow := sums.Row(d)
+				for j := 0; j < h; j++ {
+					v := math.Exp(srow[j] - mrow[j])
+					orow[j] = v
+					zrow[j] += v
+				}
 			}
-		}
-		for k, d := range dst {
-			orow := out.Row(k)
-			zrow := sums.Row(d)
-			for j := 0; j < h; j++ {
-				orow[j] /= zrow[j]
+			for k, d := range dst {
+				if d < lo || d >= hi {
+					continue
+				}
+				orow := out.Row(k)
+				zrow := sums.Row(d)
+				for j := 0; j < h; j++ {
+					orow[j] /= zrow[j]
+				}
 			}
-		}
+		})
 	})
 	res := g.node(out, scores.requiresGrad, "edgesoftmax", nil)
 	res.backward = func(gr *Graph) {
@@ -178,23 +208,31 @@ func (g *Graph) EdgeSoftmax(scores *Node, dst []int, n int) *Node {
 		gr.run(4*sz, 32*sz, func() {
 			gs = tensor.New(e, h)
 			dots := tensor.New(n, h)
-			for k, d := range dst {
-				arow := out.Row(k)
-				grow := res.grad.Row(k)
-				drow := dots.Row(d)
-				for j := 0; j < h; j++ {
-					drow[j] += arow[j] * grow[j]
+			parallel.For(n, grain, func(lo, hi int) {
+				for k, d := range dst {
+					if d < lo || d >= hi {
+						continue
+					}
+					arow := out.Row(k)
+					grow := res.grad.Row(k)
+					drow := dots.Row(d)
+					for j := 0; j < h; j++ {
+						drow[j] += arow[j] * grow[j]
+					}
 				}
-			}
-			for k, d := range dst {
-				arow := out.Row(k)
-				grow := res.grad.Row(k)
-				drow := dots.Row(d)
-				srow := gs.Row(k)
-				for j := 0; j < h; j++ {
-					srow[j] = arow[j] * (grow[j] - drow[j])
+				for k, d := range dst {
+					if d < lo || d >= hi {
+						continue
+					}
+					arow := out.Row(k)
+					grow := res.grad.Row(k)
+					drow := dots.Row(d)
+					srow := gs.Row(k)
+					for j := 0; j < h; j++ {
+						srow[j] = arow[j] * (grow[j] - drow[j])
+					}
 				}
-			}
+			})
 		})
 		gr.accum(scores, gs)
 	}
@@ -213,29 +251,34 @@ func (g *Graph) SegmentSum(x *Node, offsets []int) *Node {
 	f := x.T.Cols()
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
+	grain := spmmGrain(x.T.Rows(), segs, f)
 	g.run(sz, 16*sz, func() {
 		out = tensor.New(segs, f)
-		for s := 0; s < segs; s++ {
-			orow := out.Row(s)
-			for r := offsets[s]; r < offsets[s+1]; r++ {
-				xrow := x.T.Row(r)
-				for j := 0; j < f; j++ {
-					orow[j] += xrow[j]
+		parallel.For(segs, grain, func(lo, hi int) {
+			for s := lo; s < hi; s++ {
+				orow := out.Row(s)
+				for r := offsets[s]; r < offsets[s+1]; r++ {
+					xrow := x.T.Row(r)
+					for j := 0; j < f; j++ {
+						orow[j] += xrow[j]
+					}
 				}
 			}
-		}
+		})
 	})
 	res := g.node(out, x.requiresGrad, "segmentsum", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 16*sz, func() {
 			gx = tensor.New(x.T.Shape()...)
-			for s := 0; s < segs; s++ {
-				grow := res.grad.Row(s)
-				for r := offsets[s]; r < offsets[s+1]; r++ {
-					copy(gx.Row(r), grow)
+			parallel.For(segs, grain, func(lo, hi int) {
+				for s := lo; s < hi; s++ {
+					grow := res.grad.Row(s)
+					for r := offsets[s]; r < offsets[s+1]; r++ {
+						copy(gx.Row(r), grow)
+					}
 				}
-			}
+			})
 		})
 		gr.accum(x, gx)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -42,16 +43,18 @@ func (g *Graph) BatchNorm(x *Node, gamma, beta *Node, runMean, runVar *tensor.Te
 		for j := 0; j < f; j++ {
 			invstd.Data[j] = 1 / math.Sqrt(varr.Data[j]+eps)
 		}
-		for i := 0; i < n; i++ {
-			xrow := x.T.Row(i)
-			hrow := xhat.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < f; j++ {
-				h := (xrow[j] - mean.Data[j]) * invstd.Data[j]
-				hrow[j] = h
-				orow[j] = gamma.T.Data[j]*h + beta.T.Data[j]
+		parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xrow := x.T.Row(i)
+				hrow := xhat.Row(i)
+				orow := out.Row(i)
+				for j := 0; j < f; j++ {
+					h := (xrow[j] - mean.Data[j]) * invstd.Data[j]
+					hrow[j] = h
+					orow[j] = gamma.T.Data[j]*h + beta.T.Data[j]
+				}
 			}
-		}
+		})
 	})
 	g.alloc(xhat)
 	g.alloc(invstd)
@@ -97,24 +100,28 @@ func (g *Graph) BatchNorm(x *Node, gamma, beta *Node, runMean, runVar *tensor.Te
 						}
 					}
 					inv := 1 / float64(n)
-					for i := 0; i < n; i++ {
-						grow := res.grad.Row(i)
-						hrow := xhat.Row(i)
-						xrow := gx.Row(i)
-						for j := 0; j < f; j++ {
-							xrow[j] = gamma.T.Data[j] * invstd.Data[j] * inv *
-								(float64(n)*grow[j] - sumDy.Data[j] - hrow[j]*sumDyXhat.Data[j])
+					parallel.For(n, parallel.RowGrain(6*f), func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							grow := res.grad.Row(i)
+							hrow := xhat.Row(i)
+							xrow := gx.Row(i)
+							for j := 0; j < f; j++ {
+								xrow[j] = gamma.T.Data[j] * invstd.Data[j] * inv *
+									(float64(n)*grow[j] - sumDy.Data[j] - hrow[j]*sumDyXhat.Data[j])
+							}
 						}
-					}
+					})
 				} else {
 					// Running statistics are constants: dx = dy*gamma*invstd.
-					for i := 0; i < n; i++ {
-						grow := res.grad.Row(i)
-						xrow := gx.Row(i)
-						for j := 0; j < f; j++ {
-							xrow[j] = grow[j] * gamma.T.Data[j] * invstd.Data[j]
+					parallel.For(n, parallel.RowGrain(2*f), func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							grow := res.grad.Row(i)
+							xrow := gx.Row(i)
+							for j := 0; j < f; j++ {
+								xrow[j] = grow[j] * gamma.T.Data[j] * invstd.Data[j]
+							}
 						}
-					}
+					})
 				}
 			})
 			gr.accum(x, gx)
@@ -133,22 +140,24 @@ func (g *Graph) L2NormalizeRows(x *Node, eps float64) *Node {
 	g.run(2*sz, 32*sz, func() {
 		norms = tensor.New(n)
 		out = tensor.New(n, f)
-		for i := 0; i < n; i++ {
-			xrow := x.T.Row(i)
-			var s float64
-			for _, v := range xrow {
-				s += v * v
+		parallel.For(n, parallel.RowGrain(3*f), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xrow := x.T.Row(i)
+				var s float64
+				for _, v := range xrow {
+					s += v * v
+				}
+				nv := math.Sqrt(s)
+				if nv < eps {
+					nv = eps
+				}
+				norms.Data[i] = nv
+				orow := out.Row(i)
+				for j := 0; j < f; j++ {
+					orow[j] = xrow[j] / nv
+				}
 			}
-			nv := math.Sqrt(s)
-			if nv < eps {
-				nv = eps
-			}
-			norms.Data[i] = nv
-			orow := out.Row(i)
-			for j := 0; j < f; j++ {
-				orow[j] = xrow[j] / nv
-			}
-		}
+		})
 	})
 	g.alloc(norms)
 	res := g.node(out, x.requiresGrad, "l2norm", nil)
@@ -156,19 +165,21 @@ func (g *Graph) L2NormalizeRows(x *Node, eps float64) *Node {
 		var gx *tensor.Tensor
 		gr.run(4*sz, 40*sz, func() {
 			gx = tensor.New(n, f)
-			for i := 0; i < n; i++ {
-				grow := res.grad.Row(i)
-				yrow := out.Row(i)
-				xrow := gx.Row(i)
-				var dot float64
-				for j := 0; j < f; j++ {
-					dot += grow[j] * yrow[j]
+			parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					grow := res.grad.Row(i)
+					yrow := out.Row(i)
+					xrow := gx.Row(i)
+					var dot float64
+					for j := 0; j < f; j++ {
+						dot += grow[j] * yrow[j]
+					}
+					inv := 1 / norms.Data[i]
+					for j := 0; j < f; j++ {
+						xrow[j] = inv * (grow[j] - yrow[j]*dot)
+					}
 				}
-				inv := 1 / norms.Data[i]
-				for j := 0; j < f; j++ {
-					xrow[j] = inv * (grow[j] - yrow[j]*dot)
-				}
-			}
+			})
 		})
 		gr.accum(x, gx)
 	}
@@ -191,15 +202,17 @@ func (g *Graph) GaussianWeight(u *tensor.Tensor, mu, isig *Node) *Node {
 	var out *tensor.Tensor
 	g.run(6*sz, 24*sz, func() {
 		out = tensor.New(e, 1)
-		for k := 0; k < e; k++ {
-			urow := u.Row(k)
-			var s float64
-			for j := 0; j < d; j++ {
-				z := (urow[j] - mu.T.Data[j]) * isig.T.Data[j]
-				s += z * z
+		parallel.For(e, parallel.RowGrain(6*d), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				urow := u.Row(k)
+				var s float64
+				for j := 0; j < d; j++ {
+					z := (urow[j] - mu.T.Data[j]) * isig.T.Data[j]
+					s += z * z
+				}
+				out.Data[k] = math.Exp(-0.5 * s)
 			}
-			out.Data[k] = math.Exp(-0.5 * s)
-		}
+		})
 	})
 	res := g.node(out, mu.requiresGrad || isig.requiresGrad, "gaussianweight", nil)
 	res.backward = func(gr *Graph) {

@@ -1,0 +1,150 @@
+package ag
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// bigCSR builds a random graph large enough that the CSR kernels' grain
+// genuinely splits rows across workers (edges*feat well above MinWork).
+func bigCSR(seed uint64, n, e int) (src, dst []int, csr *graph.CSR) {
+	rng := tensor.NewRNG(seed)
+	src = make([]int, e)
+	dst = make([]int, e)
+	for k := 0; k < e; k++ {
+		src[k] = rng.IntN(n)
+		dst[k] = rng.IntN(n)
+	}
+	return src, dst, graph.BuildCSR(n, src, dst)
+}
+
+func bitEqual(a, b *tensor.Tensor) bool {
+	if !tensor.SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelOpsBitIdenticalToSerial runs forward AND backward for every
+// parallelized autodiff kernel under worker counts {1, 2, 3, GOMAXPROCS} and
+// asserts the output value and every parameter gradient are bitwise equal to
+// the serial result.
+func TestParallelOpsBitIdenticalToSerial(t *testing.T) {
+	const n, e, f, heads = 801, 4001, 16, 8
+	_, dst, csr := bigCSR(11, n, e)
+	segOffsets := []int{0, 7, 150, 151, 400, n}
+	labels := make([]int, n)
+	lrng := tensor.NewRNG(13)
+	for i := range labels {
+		labels[i] = lrng.IntN(f)
+	}
+
+	cases := []struct {
+		name  string
+		build func(g *Graph, params map[string]*Parameter) *Node
+	}{
+		{"GSpMMSum", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.GSpMMSum(g.Param(p["x"]), csr.RowPtr, csr.Col)
+		}},
+		{"GSpMMWeightedSum", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.GSpMMWeightedSum(g.Param(p["x"]), g.Param(p["w"]), csr.RowPtr, csr.Col, csr.EID)
+		}},
+		{"GSpMMEdgeSum", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.GSpMMEdgeSum(g.Param(p["m"]), csr.RowPtr, csr.EID)
+		}},
+		{"ScatterAdd", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.ScatterAdd(g.Param(p["m"]), dst, n)
+		}},
+		{"ScatterMax", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.ScatterMax(g.Param(p["m"]), dst, n)
+		}},
+		{"EdgeSoftmax", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.EdgeSoftmax(g.Param(p["s"]), dst, n)
+		}},
+		{"SegmentSum", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.SegmentSum(g.Param(p["x"]), segOffsets)
+		}},
+		{"HeadDot", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.HeadDot(g.Param(p["xh"]), g.Param(p["a"]))
+		}},
+		{"MulHeads", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.MulHeads(g.Param(p["xh"]), g.Param(p["wh"]))
+		}},
+		{"MeanHeads", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.MeanHeads(g.Param(p["xh"]), heads)
+		}},
+		{"BatchNorm", func(g *Graph, p map[string]*Parameter) *Node {
+			rm, rv := tensor.New(f), tensor.Ones(f)
+			return g.BatchNorm(g.Param(p["x"]), g.Param(p["gamma"]), g.Param(p["beta"]), rm, rv, 0.1, 1e-5, true)
+		}},
+		{"L2NormalizeRows", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.L2NormalizeRows(g.Param(p["x"]), 1e-12)
+		}},
+		{"CrossEntropy", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.CrossEntropy(g.Param(p["x"]), labels, nil)
+		}},
+		{"GaussianWeight", func(g *Graph, p map[string]*Parameter) *Node {
+			return g.GaussianWeight(p["u"].Value, g.Param(p["mu"]), g.Param(p["isig"]))
+		}},
+	}
+
+	counts := []int{1, 2, 3}
+	if p := runtime.GOMAXPROCS(0); p > 3 {
+		counts = append(counts, p)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var refOut *tensor.Tensor
+			var refGrads map[string]*tensor.Tensor
+			for wi, w := range counts {
+				prev := parallel.SetWorkers(w)
+				params := map[string]*Parameter{
+					"x":     randParam("x", 2, n, f),
+					"m":     randParam("m", 3, e, f),
+					"w":     randParam("w", 4, e, 1),
+					"s":     randParam("s", 5, e, heads),
+					"xh":    randParam("xh", 6, n, heads*f),
+					"a":     randParam("a", 7, heads, f),
+					"wh":    randParam("wh", 8, n, heads),
+					"gamma": randParam("gamma", 9, f),
+					"beta":  randParam("beta", 10, f),
+					"u":     randParam("u", 14, e, 2),
+					"mu":    randParam("mu", 15, 2),
+					"isig":  randParam("isig", 16, 2),
+				}
+				g := New(nil)
+				out := tc.build(g, params)
+				g.Backward(g.MeanAll(out))
+				if wi == 0 {
+					refOut = out.Value().Clone()
+					refGrads = map[string]*tensor.Tensor{}
+					for name, p := range params {
+						refGrads[name] = p.Grad.Clone()
+					}
+				} else {
+					if !bitEqual(refOut, out.Value()) {
+						t.Fatalf("%s: %d-worker forward differs from serial (max diff %g)",
+							tc.name, w, tensor.MaxAbsDiff(refOut, out.Value()))
+					}
+					for name, p := range params {
+						if !bitEqual(refGrads[name], p.Grad) {
+							t.Fatalf("%s: %d-worker grad(%s) differs from serial (max diff %g)",
+								tc.name, w, name, tensor.MaxAbsDiff(refGrads[name], p.Grad))
+						}
+					}
+				}
+				parallel.SetWorkers(prev)
+			}
+		})
+	}
+}

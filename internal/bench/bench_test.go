@@ -6,8 +6,10 @@ import (
 	"repro/internal/profile"
 )
 
-// quickSettings returns the minute-scale measurement profile used by tests.
-func quickSettings() Settings { return Settings{Quick: true, Seed: 1} }
+// quickSettings returns the seconds-scale test profile: Quick model widths
+// with the Tiny dataset/epoch scales, so the full suite finishes in minutes
+// on a single CPU while every paper ordering still holds.
+func quickSettings() Settings { return Settings{Quick: true, Tiny: true, Seed: 1} }
 
 func TestTable4ClaimsHold(t *testing.T) {
 	if testing.Short() {

@@ -78,7 +78,13 @@ func (l *Loader) NumBatches() int {
 // Workers > 1 collation is pipelined ahead of the consumer; otherwise
 // batches are collated lazily in a single goroutine. The channel closes
 // after the last batch. Abandoning an epoch early requires Stop.
+//
+// Calling Epoch while a previous epoch is still in flight implicitly Stops
+// it first: its workers are shut down and its unconsumed batches released.
+// Without this, starting a new epoch would overwrite the channels the old
+// workers publish to, orphaning those goroutines forever.
 func (l *Loader) Epoch() <-chan *fw.Batch {
+	l.Stop()
 	order := append([]int(nil), l.idx...)
 	if l.opt.Shuffle {
 		l.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })

@@ -136,3 +136,28 @@ func TestLoaderValidation(t *testing.T) {
 	}()
 	New(pygeo.New(), tinyData(), nil, Options{})
 }
+
+func TestLoaderEpochRestartStopsPriorEpoch(t *testing.T) {
+	d := tinyData()
+	dev := device.Default()
+	for _, workers := range []int{1, 3} {
+		l := New(dglb.New(), d, nil, Options{BatchSize: 5, Workers: workers, Device: dev})
+		// Consume one batch, then abandon the epoch by starting a new one.
+		ch := l.Epoch()
+		b := <-ch
+		b.Release(dev)
+		batches, labels := collectLabels(l.Epoch(), dev)
+		if batches != l.NumBatches() {
+			t.Fatalf("workers=%d: restarted epoch yielded %d batches, want %d", workers, batches, l.NumBatches())
+		}
+		if len(labels) != len(d.Graphs) {
+			t.Fatalf("workers=%d: restarted epoch saw %d graphs, want %d", workers, len(labels), len(d.Graphs))
+		}
+		// The abandoned epoch's prefetched batches must all have been
+		// released: after releasing everything consumed, nothing may leak.
+		l.Stop()
+		if got := dev.Stats().AllocBytes; got != 0 {
+			t.Fatalf("workers=%d: %d device bytes leaked by abandoned epoch", workers, got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		withWorkers(t, workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 1000, 1001} {
+			counts := make([]int32, n)
+			For(n, 1, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialBelowGrain(t *testing.T) {
+	withWorkers(t, 8)
+	calls := 0
+	For(100, 100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("expected single chunk [0,100), got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("n <= grain must run one inline chunk, got %d", calls)
+	}
+}
+
+func TestForChunksRespectGrain(t *testing.T) {
+	withWorkers(t, 8)
+	var min atomic.Int64
+	min.Store(1 << 62)
+	For(100, 30, func(lo, hi int) {
+		if w := int64(hi - lo); w < min.Load() {
+			min.Store(w)
+		}
+	})
+	// 100 items at grain 30 allows at most 3 chunks (ceil semantics), so the
+	// smallest chunk must hold at least 100/4 items even after balancing.
+	if min.Load() < 25 {
+		t.Fatalf("grain violated: smallest chunk %d", min.Load())
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	withWorkers(t, 4)
+	defer func() {
+		if r := recover(); r != "boom-0" {
+			t.Fatalf("expected lowest-chunk panic to win, got %v", r)
+		}
+	}()
+	For(4, 1, func(lo, hi int) {
+		if lo == 0 || lo == 2 {
+			panic("boom-" + string(rune('0'+lo)))
+		}
+	})
+}
+
+func TestForNestedDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int64
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(8, 1, func(l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested For lost work: %d", total.Load())
+	}
+}
+
+func TestSetWorkersFloorsAtOne(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if Workers() != 1 {
+		t.Fatalf("SetWorkers(0) must clamp to 1, got %d", Workers())
+	}
+}
+
+func TestRowGrain(t *testing.T) {
+	if g := RowGrain(MinWork * 2); g != 1 {
+		t.Fatalf("expensive rows must give grain 1, got %d", g)
+	}
+	if g := RowGrain(1); g != MinWork {
+		t.Fatalf("cheap rows must give grain MinWork, got %d", g)
+	}
+	if g := RowGrain(0); g != MinWork {
+		t.Fatalf("degenerate cost must clamp, got %d", g)
+	}
+}

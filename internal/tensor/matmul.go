@@ -1,11 +1,17 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // MatMul returns a @ b for rank-2 tensors [M,K] @ [K,N] -> [M,N].
 // The inner loops are ordered i-k-j so the innermost loop streams over
 // contiguous rows of b and out, which is the cache-friendly layout for
-// row-major storage.
+// row-major storage. Output rows are independent, so the row loop fans out
+// over the worker pool; each row's accumulation order is unchanged, keeping
+// results bit-identical to serial execution.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
@@ -16,25 +22,30 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.Shape(), b.Shape()))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // MatMulTA returns aᵀ @ b for a [K,M], b [K,N] -> [M,N], without materializing
-// the transpose.
+// the transpose. The loop stays p-outer so rows of a and b stream
+// contiguously; each worker owns a contiguous range of output rows and skips
+// the others, so for every output element the accumulation still runs over p
+// in increasing order — bit-identical to serial for any worker count.
 func MatMulTA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTA wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
@@ -45,20 +56,22 @@ func MatMulTA(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTA dimension mismatch %v and %v", a.Shape(), b.Shape()))
 	}
 	out := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
+		for p := 0; p < k; p++ {
+			arow := a.Data[p*m : (p+1)*m]
+			brow := b.Data[p*n : (p+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -74,18 +87,20 @@ func MatMulTB(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulTB dimension mismatch %v and %v", a.Shape(), b.Shape()))
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
+	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float64
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
 			}
-			orow[j] = s
 		}
-	}
+	})
 	return out
 }
 
@@ -96,11 +111,14 @@ func Transpose(t *Tensor) *Tensor {
 	}
 	m, n := t.Dim(0), t.Dim(1)
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = t.Data[i*n+j]
+	parallel.For(n, parallel.RowGrain(m), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			orow := out.Data[j*m : (j+1)*m]
+			for i := 0; i < m; i++ {
+				orow[i] = t.Data[i*n+j]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -111,14 +129,16 @@ func MatVec(m, v *Tensor) *Tensor {
 	}
 	r, c := m.Dim(0), m.Dim(1)
 	out := New(r)
-	for i := 0; i < r; i++ {
-		row := m.Data[i*c : (i+1)*c]
-		var s float64
-		for j := 0; j < c; j++ {
-			s += row[j] * v.Data[j]
+	parallel.For(r, parallel.RowGrain(2*c), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*c : (i+1)*c]
+			var s float64
+			for j := 0; j < c; j++ {
+				s += row[j] * v.Data[j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
@@ -129,12 +149,14 @@ func Outer(a, b *Tensor) *Tensor {
 	}
 	m, n := a.Dim(0), b.Dim(0)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		av := a.Data[i]
-		row := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			row[j] = av * b.Data[j]
+	parallel.For(m, parallel.RowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			av := a.Data[i]
+			row := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				row[j] = av * b.Data[j]
+			}
 		}
-	}
+	})
 	return out
 }

@@ -3,32 +3,49 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
+)
+
+// Elementwise kernels partition the flat data slice across the worker pool;
+// every element belongs to exactly one chunk, so parallel results are
+// bit-identical to serial. elemGrain is the serial threshold for one-flop
+// elements; mapGrain charges the per-element closure call of Map/Zip.
+const (
+	elemGrain = parallel.MinWork
+	mapGrain  = parallel.MinWork / 8
 )
 
 // Map returns a new tensor with f applied elementwise.
 func Map(t *Tensor, f func(float64) float64) *Tensor {
 	out := New(t.shape...)
-	for i, v := range t.Data {
-		out.Data[i] = f(v)
-	}
+	parallel.For(len(t.Data), mapGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(t.Data[i])
+		}
+	})
 	return out
 }
 
 // MapInto applies f elementwise from src into dst (shapes must match).
 func MapInto(dst, src *Tensor, f func(float64) float64) {
 	assertSameShape("MapInto", dst, src)
-	for i, v := range src.Data {
-		dst.Data[i] = f(v)
-	}
+	parallel.For(len(src.Data), mapGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst.Data[i] = f(src.Data[i])
+		}
+	})
 }
 
 // Zip returns f applied pairwise over a and b (same shape).
 func Zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 	assertSameShape("Zip", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = f(a.Data[i], b.Data[i])
-	}
+	parallel.For(len(a.Data), mapGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = f(a.Data[i], b.Data[i])
+		}
+	})
 	return out
 }
 
@@ -36,27 +53,33 @@ func Zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("Add", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	return out
 }
 
 // AddInPlace accumulates b into a.
 func AddInPlace(a, b *Tensor) {
 	assertSameShape("AddInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("Sub", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -64,9 +87,11 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("Mul", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -74,42 +99,52 @@ func Mul(a, b *Tensor) *Tensor {
 func Div(a, b *Tensor) *Tensor {
 	assertSameShape("Div", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] / b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] / b.Data[i]
+		}
+	})
 	return out
 }
 
 // Scale returns s * t.
 func Scale(t *Tensor, s float64) *Tensor {
 	out := New(t.shape...)
-	for i, v := range t.Data {
-		out.Data[i] = s * v
-	}
+	parallel.For(len(t.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = s * t.Data[i]
+		}
+	})
 	return out
 }
 
 // ScaleInPlace multiplies t by s.
 func ScaleInPlace(t *Tensor, s float64) {
-	for i := range t.Data {
-		t.Data[i] *= s
-	}
+	parallel.For(len(t.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.Data[i] *= s
+		}
+	})
 }
 
 // AddScaled accumulates s*b into a (a += s*b).
 func AddScaled(a *Tensor, s float64, b *Tensor) {
 	assertSameShape("AddScaled", a, b)
-	for i := range a.Data {
-		a.Data[i] += s * b.Data[i]
-	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += s * b.Data[i]
+		}
+	})
 }
 
 // AddScalar returns t + s elementwise.
 func AddScalar(t *Tensor, s float64) *Tensor {
 	out := New(t.shape...)
-	for i, v := range t.Data {
-		out.Data[i] = v + s
-	}
+	parallel.For(len(t.Data), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = t.Data[i] + s
+		}
+	})
 	return out
 }
 
@@ -174,13 +209,15 @@ func AddRowVector(m, v *Tensor) *Tensor {
 	}
 	out := New(m.shape...)
 	n := m.Rows()
-	for i := 0; i < n; i++ {
-		row := m.Data[i*f : (i+1)*f]
-		dst := out.Data[i*f : (i+1)*f]
-		for j := 0; j < f; j++ {
-			dst[j] = row[j] + v.Data[j]
+	parallel.For(n, parallel.RowGrain(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*f : (i+1)*f]
+			dst := out.Data[i*f : (i+1)*f]
+			for j := 0; j < f; j++ {
+				dst[j] = row[j] + v.Data[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -192,13 +229,15 @@ func MulRowVector(m, v *Tensor) *Tensor {
 	}
 	out := New(m.shape...)
 	n := m.Rows()
-	for i := 0; i < n; i++ {
-		row := m.Data[i*f : (i+1)*f]
-		dst := out.Data[i*f : (i+1)*f]
-		for j := 0; j < f; j++ {
-			dst[j] = row[j] * v.Data[j]
+	parallel.For(n, parallel.RowGrain(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Data[i*f : (i+1)*f]
+			dst := out.Data[i*f : (i+1)*f]
+			for j := 0; j < f; j++ {
+				dst[j] = row[j] * v.Data[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -209,18 +248,22 @@ func MulColVector(m, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MulColVector wants vector of %d elements, got %v", n, v.Shape()))
 	}
 	out := New(m.shape...)
-	for i := 0; i < n; i++ {
-		s := v.Data[i]
-		row := m.Data[i*f : (i+1)*f]
-		dst := out.Data[i*f : (i+1)*f]
-		for j := 0; j < f; j++ {
-			dst[j] = s * row[j]
+	parallel.For(n, parallel.RowGrain(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := v.Data[i]
+			row := m.Data[i*f : (i+1)*f]
+			dst := out.Data[i*f : (i+1)*f]
+			for j := 0; j < f; j++ {
+				dst[j] = s * row[j]
+			}
 		}
-	}
+	})
 	return out
 }
 
-// Dot returns the inner product of two same-shaped tensors.
+// Dot returns the inner product of two same-shaped tensors. The accumulation
+// is an ordered reduction, so it stays serial (parallel partial sums would
+// change the floating-point result).
 func Dot(a, b *Tensor) float64 {
 	assertSameShape("Dot", a, b)
 	var s float64

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Sum returns the sum of all elements.
@@ -70,14 +72,16 @@ func MeanRows(t *Tensor) *Tensor {
 func SumCols(t *Tensor) *Tensor {
 	n, f := t.Rows(), t.Cols()
 	out := New(n)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*f : (i+1)*f]
-		var s float64
-		for j := 0; j < f; j++ {
-			s += row[j]
+	parallel.For(n, parallel.RowGrain(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*f : (i+1)*f]
+			var s float64
+			for j := 0; j < f; j++ {
+				s += row[j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
@@ -90,17 +94,19 @@ func MaxCols(t *Tensor) (*Tensor, []int) {
 	}
 	out := New(n)
 	arg := make([]int, n)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*f : (i+1)*f]
-		best, bj := row[0], 0
-		for j := 1; j < f; j++ {
-			if row[j] > best {
-				best, bj = row[j], j
+	parallel.For(n, parallel.RowGrain(f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*f : (i+1)*f]
+			best, bj := row[0], 0
+			for j := 1; j < f; j++ {
+				if row[j] > best {
+					best, bj = row[j], j
+				}
 			}
+			out.Data[i] = best
+			arg[i] = bj
 		}
-		out.Data[i] = best
-		arg[i] = bj
-	}
+	})
 	return out, arg
 }
 
@@ -116,25 +122,27 @@ func ArgMaxRows(t *Tensor) []int {
 func SoftmaxRows(t *Tensor) *Tensor {
 	n, f := t.Rows(), t.Cols()
 	out := New(t.shape...)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*f : (i+1)*f]
-		dst := out.Data[i*f : (i+1)*f]
-		m := math.Inf(-1)
-		for _, v := range row {
-			if v > m {
-				m = v
+	parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*f : (i+1)*f]
+			dst := out.Data[i*f : (i+1)*f]
+			m := math.Inf(-1)
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			var z float64
+			for j, v := range row {
+				e := math.Exp(v - m)
+				dst[j] = e
+				z += e
+			}
+			for j := range dst {
+				dst[j] /= z
 			}
 		}
-		var z float64
-		for j, v := range row {
-			e := math.Exp(v - m)
-			dst[j] = e
-			z += e
-		}
-		for j := range dst {
-			dst[j] /= z
-		}
-	}
+	})
 	return out
 }
 
@@ -142,24 +150,26 @@ func SoftmaxRows(t *Tensor) *Tensor {
 func LogSoftmaxRows(t *Tensor) *Tensor {
 	n, f := t.Rows(), t.Cols()
 	out := New(t.shape...)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*f : (i+1)*f]
-		dst := out.Data[i*f : (i+1)*f]
-		m := math.Inf(-1)
-		for _, v := range row {
-			if v > m {
-				m = v
+	parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*f : (i+1)*f]
+			dst := out.Data[i*f : (i+1)*f]
+			m := math.Inf(-1)
+			for _, v := range row {
+				if v > m {
+					m = v
+				}
+			}
+			var z float64
+			for _, v := range row {
+				z += math.Exp(v - m)
+			}
+			lz := m + math.Log(z)
+			for j, v := range row {
+				dst[j] = v - lz
 			}
 		}
-		var z float64
-		for _, v := range row {
-			z += math.Exp(v - m)
-		}
-		lz := m + math.Log(z)
-		for j, v := range row {
-			dst[j] = v - lz
-		}
-	}
+	})
 	return out
 }
 
@@ -167,14 +177,16 @@ func LogSoftmaxRows(t *Tensor) *Tensor {
 func L2NormRows(t *Tensor) *Tensor {
 	n, f := t.Rows(), t.Cols()
 	out := New(n)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*f : (i+1)*f]
-		var s float64
-		for _, v := range row {
-			s += v * v
+	parallel.For(n, parallel.RowGrain(2*f), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := t.Data[i*f : (i+1)*f]
+			var s float64
+			for _, v := range row {
+				s += v * v
+			}
+			out.Data[i] = math.Sqrt(s)
 		}
-		out.Data[i] = math.Sqrt(s)
-	}
+	})
 	return out
 }
 

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
 
 // GatherRows returns out[k] = t[idx[k]] for an [N,F] tensor, giving
 // [len(idx), F]. Indices may repeat; they must be in [0, N).
@@ -8,34 +12,54 @@ func GatherRows(t *Tensor, idx []int) *Tensor {
 	assertRank2("GatherRows", t)
 	n, f := t.Rows(), t.Cols()
 	out := New(len(idx), f)
-	for k, i := range idx {
-		if i < 0 || i >= n {
-			panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", i, n))
+	parallel.For(len(idx), parallel.RowGrain(f), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := idx[k]
+			if i < 0 || i >= n {
+				panic(fmt.Sprintf("tensor: GatherRows index %d out of range [0,%d)", i, n))
+			}
+			copy(out.Data[k*f:(k+1)*f], t.Data[i*f:(i+1)*f])
 		}
-		copy(out.Data[k*f:(k+1)*f], t.Data[i*f:(i+1)*f])
-	}
+	})
 	return out
 }
 
 // ScatterAddRows returns an [n,F] tensor with src's rows summed into the rows
 // named by idx: out[idx[k]] += src[k]. src is [len(idx), F].
+//
+// Parallelism uses destination-row ownership: each worker owns a contiguous
+// range of output rows and scans the full index list, accumulating only the
+// sources that land in its range. No atomics are needed, and each destination
+// element still sums its contributions in increasing k — the serial order —
+// so the result is bit-identical for any worker count.
 func ScatterAddRows(src *Tensor, idx []int, n int) *Tensor {
 	assertRank2("ScatterAddRows", src)
 	if src.Rows() != len(idx) {
 		panic(fmt.Sprintf("tensor: ScatterAddRows src has %d rows for %d indices", src.Rows(), len(idx)))
 	}
 	f := src.Cols()
-	out := New(n, f)
-	for k, i := range idx {
+	for _, i := range idx {
 		if i < 0 || i >= n {
 			panic(fmt.Sprintf("tensor: ScatterAddRows index %d out of range [0,%d)", i, n))
 		}
-		srow := src.Data[k*f : (k+1)*f]
-		drow := out.Data[i*f : (i+1)*f]
-		for j := 0; j < f; j++ {
-			drow[j] += srow[j]
-		}
 	}
+	out := New(n, f)
+	avg := 1
+	if n > 0 {
+		avg = (len(idx)*f)/n + 1
+	}
+	parallel.For(n, parallel.RowGrain(avg), func(lo, hi int) {
+		for k, i := range idx {
+			if i < lo || i >= hi {
+				continue
+			}
+			srow := src.Data[k*f : (k+1)*f]
+			drow := out.Data[i*f : (i+1)*f]
+			for j := 0; j < f; j++ {
+				drow[j] += srow[j]
+			}
+		}
+	})
 	return out
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/tensor"
 )
@@ -223,27 +224,51 @@ func paramFootprint(m models.Model) int64 {
 	return n
 }
 
+// batchRanges splits len(idx) items into [lo,hi) mini-batch index ranges.
+func batchRanges(n, batchSize int) [][2]int {
+	var rs [][2]int
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		rs = append(rs, [2]int{lo, hi})
+	}
+	return rs
+}
+
 // EvalGraphAcc computes test accuracy over mini-batches in eval mode.
+//
+// Eval-mode forward is free of side effects on the model (batch norm reads
+// running statistics, dropout is the identity), so the mini-batches fan out
+// across the worker pool; per-batch counts are reduced serially in batch
+// order, which keeps the result identical for any worker count.
 func EvalGraphAcc(m models.Model, d *datasets.Dataset, idx []int, batchSize int, dev *device.Device) float64 {
 	be := m.Backend()
-	correct, total := 0, 0
-	for lo := 0; lo < len(idx); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(idx) {
-			hi = len(idx)
-		}
-		b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
-		g := ag.New(dev)
-		logits := m.Forward(g, b, false, nil)
-		pred := tensor.ArgMaxRows(logits.Value())
-		for i, p := range pred {
-			if p == b.Labels[i] {
-				correct++
+	ranges := batchRanges(len(idx), batchSize)
+	corrects := make([]int, len(ranges))
+	totals := make([]int, len(ranges))
+	parallel.For(len(ranges), 1, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := ranges[bi][0], ranges[bi][1]
+			b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
+			g := ag.New(dev)
+			logits := m.Forward(g, b, false, nil)
+			pred := tensor.ArgMaxRows(logits.Value())
+			for i, p := range pred {
+				if p == b.Labels[i] {
+					corrects[bi]++
+				}
+				totals[bi]++
 			}
-			total++
+			g.Finish()
+			b.Release(dev)
 		}
-		g.Finish()
-		b.Release(dev)
+	})
+	correct, total := 0, 0
+	for bi := range ranges {
+		correct += corrects[bi]
+		total += totals[bi]
 	}
 	if total == 0 {
 		return 0
@@ -253,34 +278,40 @@ func EvalGraphAcc(m models.Model, d *datasets.Dataset, idx []int, batchSize int,
 
 func evalGraphLoss(m models.Model, d *datasets.Dataset, idx []int, batchSize int, dev *device.Device) float64 {
 	be := m.Backend()
+	ranges := batchRanges(len(idx), batchSize)
+	sums := make([]float64, len(ranges))
+	counts := make([]int, len(ranges))
+	parallel.For(len(ranges), 1, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo, hi := ranges[bi][0], ranges[bi][1]
+			b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
+			g := ag.New(dev)
+			logits := m.Forward(g, b, false, nil)
+			probs := logits.Value()
+			for i := 0; i < probs.Rows(); i++ {
+				row := probs.Row(i)
+				mx := row[0]
+				for _, v := range row {
+					if v > mx {
+						mx = v
+					}
+				}
+				var z float64
+				for _, v := range row {
+					z += exp(v - mx)
+				}
+				sums[bi] += -(row[b.Labels[i]] - mx) + ln(z)
+				counts[bi]++
+			}
+			g.Finish()
+			b.Release(dev)
+		}
+	})
 	var total float64
 	count := 0
-	for lo := 0; lo < len(idx); lo += batchSize {
-		hi := lo + batchSize
-		if hi > len(idx) {
-			hi = len(idx)
-		}
-		b := be.Batch(gatherGraphs(d, idx[lo:hi]), dev)
-		g := ag.New(dev)
-		logits := m.Forward(g, b, false, nil)
-		probs := logits.Value()
-		for i := 0; i < probs.Rows(); i++ {
-			row := probs.Row(i)
-			mx := row[0]
-			for _, v := range row {
-				if v > mx {
-					mx = v
-				}
-			}
-			var z float64
-			for _, v := range row {
-				z += exp(v - mx)
-			}
-			total += -(row[b.Labels[i]] - mx) + ln(z)
-			count++
-		}
-		g.Finish()
-		b.Release(dev)
+	for bi := range ranges {
+		total += sums[bi]
+		count += counts[bi]
 	}
 	if count == 0 {
 		return 0
