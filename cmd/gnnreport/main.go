@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -30,60 +31,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gnnreport: %v\n", err)
 		os.Exit(1)
 	}
+	writeReport(os.Stdout, r)
+}
 
+// writeReport renders the Markdown summary. Its output format is pinned by
+// the golden-file test in main_test.go; regenerate with `go test -update`.
+func writeReport(w io.Writer, r bench.Results) {
 	profile := "full"
 	if r.Quick {
 		profile = "quick"
 	}
-	fmt.Printf("# gnnbench results (%s profile, seed %d)\n", profile, r.Seed)
+	fmt.Fprintf(w, "# gnnbench results (%s profile, seed %d)\n", profile, r.Seed)
 
 	if len(r.Table4) > 0 {
-		fmt.Printf("\n## Table IV — node classification\n\n")
-		fmt.Printf("| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
+		fmt.Fprintf(w, "\n## Table IV — node classification\n\n")
+		fmt.Fprintf(w, "| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
 		for _, row := range r.Table4 {
-			fmt.Printf("| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
+			fmt.Fprintf(w, "| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
 				row.Dataset, row.Model, row.Framework, row.EpochSec, row.TotalSec, row.AccMean, row.AccStd)
 		}
 		pygWins, total := frameworkWins(r.Table4)
-		fmt.Printf("\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
+		fmt.Fprintf(w, "\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
 	}
 	if len(r.Table5) > 0 {
-		fmt.Printf("\n## Table V — graph classification\n\n")
-		fmt.Printf("| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
+		fmt.Fprintf(w, "\n## Table V — graph classification\n\n")
+		fmt.Fprintf(w, "| Dataset | Model | FW | Epoch (s) | Total (s) | Acc ± s.d. |\n|---|---|---|---|---|---|\n")
 		for _, row := range r.Table5 {
-			fmt.Printf("| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
+			fmt.Fprintf(w, "| %s | %s | %s | %.4g | %.4g | %.1f ± %.1f |\n",
 				row.Dataset, row.Model, row.Framework, row.EpochSec, row.TotalSec, row.AccMean, row.AccStd)
 		}
 		pygWins, total := frameworkWins(r.Table5)
-		fmt.Printf("\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
+		fmt.Fprintf(w, "\nPyG faster in %d/%d dataset-model pairs (paper: all).\n", pygWins, total)
 		for _, ds := range []string{"ENZYMES", "DD"} {
 			if ratio, ok := gatedRatio(r.Table5, ds); ok {
-				fmt.Printf("GatedGCN DGL/PyG epoch ratio on %s: %.2fx (paper: ~2x).\n", ds, ratio)
+				fmt.Fprintf(w, "GatedGCN DGL/PyG epoch ratio on %s: %.2fx (paper: ~2x).\n", ds, ratio)
 			}
 		}
 	}
-	breakdownSection("Fig 1 (ENZYMES)", r.Fig1)
-	breakdownSection("Fig 2 (DD)", r.Fig2)
+	breakdownSection(w, "Fig 1 (ENZYMES)", r.Fig1)
+	breakdownSection(w, "Fig 2 (DD)", r.Fig2)
 	if len(r.Fig3) > 0 {
-		fmt.Printf("\n## Fig 3 — layer-wise time (batch 128)\n\n")
+		fmt.Fprintf(w, "\n## Fig 3 — layer-wise time (batch 128)\n\n")
 		for _, row := range r.Fig3 {
-			fmt.Printf("- %s/%s:", row.Model, row.Framework)
+			fmt.Fprintf(w, "- %s/%s:", row.Model, row.Framework)
 			names := make([]string, 0, len(row.Layers))
 			for n := range row.Layers {
 				names = append(names, n)
 			}
 			sort.Strings(names)
 			for _, n := range names {
-				fmt.Printf(" %s=%.3gms", n, 1000*row.Layers[n])
+				fmt.Fprintf(w, " %s=%.3gms", n, 1000*row.Layers[n])
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
 	if len(r.Fig6) > 0 {
-		fmt.Printf("\n## Fig 6 — multi-GPU scaling (MNIST)\n\n")
-		fmt.Printf("| Model | FW | Batch | GPUs | Epoch (s) | Load | Compute | Transfer |\n|---|---|---|---|---|---|---|---|\n")
+		fmt.Fprintf(w, "\n## Fig 6 — multi-GPU scaling (MNIST)\n\n")
+		fmt.Fprintf(w, "| Model | FW | Batch | GPUs | Epoch (s) | Load | Compute | Transfer |\n|---|---|---|---|---|---|---|---|\n")
 		for _, row := range r.Fig6 {
-			fmt.Printf("| %s | %s | %d | %d | %.4g | %.4g | %.4g | %.4g |\n",
+			fmt.Fprintf(w, "| %s | %s | %d | %d | %.4g | %.4g | %.4g | %.4g |\n",
 				row.Model, row.Framework, row.BatchSize, row.Devices,
 				row.EpochSec, row.DataLoadSec, row.ComputeSec, row.TransferSec)
 		}
@@ -129,18 +135,18 @@ func gatedRatio(rows []bench.Table5JSON, dataset string) (float64, bool) {
 	return 0, false
 }
 
-func breakdownSection(title string, rows []bench.FigJSON) {
+func breakdownSection(w io.Writer, title string, rows []bench.FigJSON) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Printf("\n## %s — epoch breakdown / memory / utilization\n\n", title)
-	fmt.Printf("| Model | FW | Batch | Epoch (s) | Load share | Peak MB | Util |\n|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(w, "\n## %s — epoch breakdown / memory / utilization\n\n", title)
+	fmt.Fprintf(w, "| Model | FW | Batch | Epoch (s) | Load share | Peak MB | Util |\n|---|---|---|---|---|---|---|\n")
 	for _, r := range rows {
 		share := 0.0
 		if r.EpochSec > 0 {
 			share = r.Phases["data-load"] / r.EpochSec
 		}
-		fmt.Printf("| %s | %s | %d | %.4g | %.0f%% | %.0f | %.0f%% |\n",
+		fmt.Fprintf(w, "| %s | %s | %d | %.4g | %.0f%% | %.0f | %.0f%% |\n",
 			r.Model, r.Framework, r.BatchSize, r.EpochSec, 100*share, r.PeakMB, 100*r.Utilization)
 	}
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// fixtureResults is a deterministic, hand-written bench.Results covering every
+// section writeReport renders: both tables (with a GatedGCN pair so the ratio
+// line fires), Fig 1 breakdown, Fig 3 layer times, and Fig 6 scaling. Numbers
+// are arbitrary but chosen so PyG wins some pairs and loses one, exercising
+// the frameworkWins tally.
+func fixtureResults() bench.Results {
+	return bench.Results{
+		Quick: true,
+		Seed:  42,
+		Table4: []bench.Table4JSON{
+			{Dataset: "Cora", Model: "GCN", Framework: "PyG", EpochSec: 0.0123, TotalSec: 2.46, AccMean: 81.5, AccStd: 0.7},
+			{Dataset: "Cora", Model: "GCN", Framework: "DGL", EpochSec: 0.0345, TotalSec: 6.9, AccMean: 81.2, AccStd: 0.9},
+			{Dataset: "Cora", Model: "GAT", Framework: "PyG", EpochSec: 0.0567, TotalSec: 11.3, AccMean: 82.1, AccStd: 0.5},
+			{Dataset: "Cora", Model: "GAT", Framework: "DGL", EpochSec: 0.0444, TotalSec: 8.88, AccMean: 82.0, AccStd: 0.6},
+		},
+		Table5: []bench.Table5JSON{
+			{Dataset: "ENZYMES", Model: "GatedGCN", Framework: "PyG", EpochSec: 0.5, TotalSec: 50, AccMean: 65.4, AccStd: 4.2},
+			{Dataset: "ENZYMES", Model: "GatedGCN", Framework: "DGL", EpochSec: 1.1, TotalSec: 110, AccMean: 64.8, AccStd: 3.9},
+			{Dataset: "DD", Model: "GIN", Framework: "PyG", EpochSec: 0.9, TotalSec: 90, AccMean: 74.0, AccStd: 2.1},
+			{Dataset: "DD", Model: "GIN", Framework: "DGL", EpochSec: 1.4, TotalSec: 140, AccMean: 73.5, AccStd: 2.4},
+		},
+		Fig1: []bench.FigJSON{
+			{
+				Dataset: "ENZYMES", Model: "GCN", Framework: "PyG", BatchSize: 128,
+				EpochSec: 0.8, Phases: map[string]float64{"data-load": 0.2, "forward": 0.4, "backward": 0.2},
+				PeakMB: 512, Utilization: 0.62,
+			},
+			{
+				Dataset: "ENZYMES", Model: "GCN", Framework: "DGL", BatchSize: 128,
+				EpochSec: 1.6, Phases: map[string]float64{"data-load": 0.8, "forward": 0.5, "backward": 0.3},
+				PeakMB: 640, Utilization: 0.41,
+			},
+		},
+		Fig3: []bench.LayerJSON{
+			{Model: "GCN", Framework: "PyG", Layers: map[string]float64{"gcn-conv": 0.0021, "linear": 0.0008, "relu": 0.0002}},
+			{Model: "GCN", Framework: "DGL", Layers: map[string]float64{"gcn-conv": 0.0044, "linear": 0.0009, "relu": 0.0002}},
+		},
+		Fig6: []bench.Fig6JSON{
+			{Model: "GCN", Framework: "PyG", BatchSize: 256, Devices: 1, EpochSec: 4.2, DataLoadSec: 1.1, ComputeSec: 2.8, TransferSec: 0.3},
+			{Model: "GCN", Framework: "PyG", BatchSize: 256, Devices: 4, EpochSec: 1.5, DataLoadSec: 0.4, ComputeSec: 0.9, TransferSec: 0.2},
+		},
+	}
+}
+
+func TestWriteReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeReport(&buf, fixtureResults())
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report drifted from golden; run `go test -update ./cmd/gnnreport` if intentional\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	writeReport(&buf, bench.Results{Seed: 7})
+	want := "# gnnbench results (full profile, seed 7)\n"
+	if buf.String() != want {
+		t.Errorf("empty results: got %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,162 @@
+// Command gnnserve hosts a batched GNN inference server: single-graph
+// prediction requests are coalesced into mini-batches through the selected
+// framework's real collation path (so PyG-vs-DGL batching costs show up on
+// the request path exactly as the paper shows them on the training path),
+// run forward-only through a pool of model replicas, and answered per
+// request.
+//
+//	gnnserve -model GCN -framework PyG -dataset ENZYMES -addr :8080
+//
+// Endpoints: POST /predict, GET /healthz, GET /metrics. The -collatebench
+// flag instead measures offline collation throughput for capacity planning
+// and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/loader"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "GCN", "architecture: GCN|GAT|GraphSAGE|GIN|MoNet|GatedGCN")
+	framework := flag.String("framework", "PyG", "framework: PyG|DGL")
+	dataset := flag.String("dataset", "ENZYMES", "dataset fixing feature/class widths: ENZYMES|DD|MNIST")
+	scale := flag.Float64("scale", 0.1, "dataset scale for the width probe and collate bench")
+	replicas := flag.Int("replicas", 2, "forward-only model replicas")
+	batch := flag.Int("batch", 32, "max graphs per forward batch")
+	queueDepth := flag.Int("queue", 256, "bounded request-queue depth")
+	window := flag.Duration("window", 2*time.Millisecond, "coalescing window after a batch's first request")
+	timeout := flag.Duration("timeout", time.Second, "default per-request deadline")
+	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
+	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
+	flag.Parse()
+
+	be, err := pickBackend(*framework)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := pickDataset(*dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *collateBench {
+		runCollateBench(be, d, *batch)
+		return
+	}
+
+	m := models.New(*modelName, be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 64, Out: 64,
+		Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
+	})
+	if *checkpoint != "" {
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		err = nn.Load(f, m.Params())
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("load checkpoint: %w", err))
+		}
+	}
+
+	reps := make([]serve.Replica, *replicas)
+	for i := range reps {
+		reps[i] = serve.NewModelReplica(m, device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti()))
+	}
+	srv := serve.New(reps, serve.Options{
+		MaxBatch:    *batch,
+		QueueDepth:  *queueDepth,
+		BatchWindow: *window,
+		Timeout:     *timeout,
+		NumFeatures: d.NumFeatures,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		// Stop the listener first, then drain accepted prediction requests.
+		httpSrv.Shutdown(shutdownCtx)
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %d replicas, batch<=%d, queue %d, window %s\n",
+		*modelName, be.Name(), d.Name, *addr, *replicas, *batch, *queueDepth, *window)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func pickBackend(name string) (fw.Backend, error) {
+	switch name {
+	case "PyG":
+		return pygeo.New(), nil
+	case "DGL":
+		return dglb.New(), nil
+	}
+	return nil, fmt.Errorf("unknown framework %q (want PyG or DGL)", name)
+}
+
+func pickDataset(name string, scale float64) (*datasets.Dataset, error) {
+	opt := datasets.Options{Seed: 1, Scale: scale}
+	switch name {
+	case "ENZYMES":
+		return datasets.Enzymes(opt), nil
+	case "DD":
+		return datasets.DD(opt), nil
+	case "MNIST":
+		return datasets.MNISTSuperpixels(opt), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q (want ENZYMES, DD or MNIST)", name)
+}
+
+// runCollateBench measures the framework's batch-collation path in
+// isolation over one loader epoch — the number the coalescing window and
+// max batch size should be provisioned against.
+func runCollateBench(be fw.Backend, d *datasets.Dataset, batch int) {
+	dev := device.Default()
+	l := loader.New(be, d, nil, loader.Options{BatchSize: batch, Device: dev})
+	start := time.Now()
+	batches, graphs := 0, 0
+	for b := range l.Epoch() {
+		batches++
+		graphs += b.NumGraphs
+		b.Release(dev)
+	}
+	elapsed := time.Since(start)
+	perBatch := time.Duration(0)
+	if batches > 0 {
+		perBatch = elapsed / time.Duration(batches)
+	}
+	fmt.Printf("gnnserve collate bench: %s on %s — %d graphs in %d batches of <=%d in %s (%.1f graphs/s, %s/batch)\n",
+		be.Name(), d.Name, graphs, batches, batch, elapsed.Round(time.Millisecond),
+		float64(graphs)/elapsed.Seconds(), perBatch.Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gnnserve: %v\n", err)
+	os.Exit(1)
+}

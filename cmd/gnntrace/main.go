@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/ag"
@@ -29,19 +30,36 @@ func main() {
 	out := flag.String("o", "trace.json", "output file (Chrome trace-event JSON)")
 	flag.Parse()
 
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	kernels, err := runTrace(*modelName, *framework, *batches, 64, 0.2, f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("traced %d kernels from %d %s/%s iterations -> %s\n",
+		kernels, *batches, *modelName, *framework, *out)
+}
+
+// runTrace trains batches iterations of the model with tracing on and writes
+// the Chrome trace to w, returning how many kernel events were recorded.
+func runTrace(modelName, framework string, batches, batchSize int, scale float64, w io.Writer) (int, error) {
 	var be fw.Backend
-	switch *framework {
+	switch framework {
 	case "PyG":
 		be = pygeo.New()
 	case "DGL":
 		be = dglb.New()
 	default:
-		fmt.Fprintf(os.Stderr, "gnntrace: unknown framework %q\n", *framework)
-		os.Exit(2)
+		return 0, fmt.Errorf("unknown framework %q", framework)
 	}
 
-	d := datasets.Enzymes(datasets.Options{Seed: 1, Scale: 0.2})
-	m := models.New(*modelName, be, models.Config{
+	d := datasets.Enzymes(datasets.Options{Seed: 1, Scale: scale})
+	m := models.New(modelName, be, models.Config{
 		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 32, Out: 32,
 		Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
 	})
@@ -50,9 +68,9 @@ func main() {
 	adam.SetDevice(dev)
 
 	dev.EnableTrace(0)
-	for i := 0; i < *batches; i++ {
-		lo := (i * 64) % len(d.Graphs)
-		hi := lo + 64
+	for i := 0; i < batches; i++ {
+		lo := (i * batchSize) % len(d.Graphs)
+		hi := lo + batchSize
 		if hi > len(d.Graphs) {
 			hi = len(d.Graphs)
 		}
@@ -67,16 +85,8 @@ func main() {
 	}
 	dev.DisableTrace()
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
-		os.Exit(1)
+	if err := dev.WriteChromeTrace(w); err != nil {
+		return 0, err
 	}
-	defer f.Close()
-	if err := dev.WriteChromeTrace(f); err != nil {
-		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("traced %d kernels from %d %s/%s iterations -> %s\n",
-		len(dev.Trace()), *batches, *modelName, *framework, *out)
+	return len(dev.Trace()), nil
 }

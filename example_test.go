@@ -1,7 +1,11 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"repro"
 )
@@ -64,6 +68,58 @@ func ExampleNewDGL() {
 	// DGL updates edge features: true
 	// PyG GCN normalizes both sides: false
 	// DGL GCN normalizes both sides: true
+}
+
+// Serving a graph classifier: requests are coalesced into mini-batches and
+// answered by a pool of replicas running forward-only passes.
+func ExampleNewServer() {
+	enzymes := repro.LoadEnzymes(repro.DataOptions{Seed: 1, Scale: 0.05})
+	model := repro.NewModel("GCN", repro.NewPyG(), repro.ModelConfig{
+		Task:    repro.GraphClassification,
+		In:      enzymes.NumFeatures,
+		Hidden:  16,
+		Out:     16,
+		Classes: enzymes.NumClasses,
+		Layers:  2,
+		Seed:    1,
+	})
+	srv := repro.NewServer(model, 2, repro.ServeOptions{MaxBatch: 8, NumFeatures: enzymes.NumFeatures})
+	defer srv.Shutdown(context.Background())
+
+	pred, err := srv.Predict(context.Background(), enzymes.Graphs[0])
+	if err != nil {
+		fmt.Println("predict:", err)
+		return
+	}
+	fmt.Println("logits per class:", len(pred.Logits))
+	fmt.Println("class in range:", pred.Class >= 0 && pred.Class < enzymes.NumClasses)
+	// Output:
+	// logits per class: 6
+	// class in range: true
+}
+
+// The server's HTTP handler exposes /predict, /healthz and /metrics.
+func ExampleServer_Handler() {
+	model := repro.NewModel("GCN", repro.NewPyG(), repro.ModelConfig{
+		Task: repro.GraphClassification, In: 2, Hidden: 8, Out: 8, Classes: 3, Layers: 2, Seed: 1,
+	})
+	srv := repro.NewServer(model, 1, repro.ServeOptions{NumFeatures: 2})
+	defer srv.Shutdown(context.Background())
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	health, _ := http.Get(ts.URL + "/healthz")
+	health.Body.Close()
+	fmt.Println("healthz:", health.StatusCode)
+
+	body := `{"num_nodes":3,"src":[0,1,2],"dst":[1,2,0],"x":[[1,0],[0,1],[1,1]]}`
+	resp, _ := http.Post(ts.URL+"/predict", "application/json", strings.NewReader(body))
+	resp.Body.Close()
+	fmt.Println("predict:", resp.StatusCode)
+	// Output:
+	// healthz: 200
+	// predict: 200
 }
 
 // A simulated GPU cluster for the multi-GPU experiments.

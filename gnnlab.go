@@ -30,6 +30,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/profile"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/train"
 )
@@ -254,3 +256,49 @@ func RunFig5(s ExperimentSettings) []BreakdownRow { return bench.Fig5(s) }
 
 // RunFig6 regenerates Fig 6 (multi-GPU scaling).
 func RunFig6(s ExperimentSettings) []Fig6Row { return bench.Fig6(s) }
+
+// Serving (batched inference).
+type (
+	// Server coalesces single-graph prediction requests into mini-batches
+	// and fans them out to a pool of model replicas.
+	Server = serve.Server
+	// ServeOptions tunes batching, queueing and deadlines.
+	ServeOptions = serve.Options
+	// ServeReplica is one forward-only model instance behind a Server.
+	ServeReplica = serve.Replica
+	// ServeStats is a snapshot of the server's counters and latency split.
+	ServeStats = serve.Stats
+	// Prediction is the per-request inference result.
+	Prediction = serve.Prediction
+)
+
+// Serving errors, re-exported for errors.Is checks at call sites.
+var (
+	ErrServeQueueFull = serve.ErrQueueFull
+	ErrServeClosed    = serve.ErrClosed
+	ErrServeInvalid   = serve.ErrInvalid
+)
+
+// NewGraphFromEdgeList validates an edge list plus per-node features from an
+// untrusted source (e.g. a serving request) and builds a Graph.
+func NewGraphFromEdgeList(numNodes int, src, dst []int, x [][]float64) (*Graph, error) {
+	return graph.FromEdgeList(numNodes, src, dst, x)
+}
+
+// NewServeReplica wraps a graph-classification model and a device as one
+// serving replica. Eval-mode forwards are side-effect-free, so several
+// replicas may share the same model.
+func NewServeReplica(m Model, dev *Device) ServeReplica { return serve.NewModelReplica(m, dev) }
+
+// NewServer starts a batched-inference server with n replicas of m, each on
+// its own simulated device. Shut it down with (*Server).Shutdown.
+func NewServer(m Model, replicas int, opt ServeOptions) *Server {
+	if replicas < 1 {
+		replicas = 1
+	}
+	reps := make([]ServeReplica, replicas)
+	for i := range reps {
+		reps[i] = serve.NewModelReplica(m, device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti()))
+	}
+	return serve.New(reps, opt)
+}

@@ -81,7 +81,13 @@ type chromeEvent struct {
 // trace-event JSON array with two tracks: the host execution timeline
 // (tid 0) and the modeled device timeline laid out end to end (tid 1).
 func (d *Device) WriteChromeTrace(w io.Writer) error {
-	events := d.Trace()
+	return WriteChromeTraceEvents(w, d.Trace())
+}
+
+// WriteChromeTraceEvents writes the given kernel events in Chrome's
+// trace-event JSON format. Split out from WriteChromeTrace so the exact
+// output can be tested against a fixed event list (see cmd/gnntrace).
+func WriteChromeTraceEvents(w io.Writer, events []KernelEvent) error {
 	out := make([]chromeEvent, 0, 2*len(events))
 	var simCursor time.Duration
 	for i, e := range events {

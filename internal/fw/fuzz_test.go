@@ -1,0 +1,117 @@
+package fw_test
+
+import (
+	"testing"
+
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// byteFeed deals deterministic bytes out of the fuzz input, recycling from
+// the start (with an offset so cycles differ) once exhausted.
+type byteFeed struct {
+	data []byte
+	i    int
+}
+
+func (f *byteFeed) next() int {
+	if len(f.data) == 0 {
+		return 0
+	}
+	b := f.data[f.i%len(f.data)]
+	bump := f.i / len(f.data) // differentiate recycled passes
+	f.i++
+	return int(b) + bump
+}
+
+// decodeBatchInput turns fuzz bytes into a set of small valid graphs — the
+// preconditions both backends' Batch methods document (validated input) —
+// while varying graph count, sizes, self-loops and duplicate arcs freely.
+func decodeBatchInput(data []byte) []*graph.Graph {
+	f := &byteFeed{data: data}
+	const width = 3
+	numGraphs := 1 + f.next()%4
+	graphs := make([]*graph.Graph, 0, numGraphs)
+	for gi := 0; gi < numGraphs; gi++ {
+		nodes := 1 + f.next()%12
+		edges := f.next() % 25
+		src := make([]int, edges)
+		dst := make([]int, edges)
+		for e := 0; e < edges; e++ {
+			src[e] = f.next() % nodes
+			dst[e] = f.next() % nodes
+		}
+		x := tensor.New(nodes, width)
+		for i := range x.Data {
+			x.Data[i] = float64(f.next()%9) / 8
+		}
+		graphs = append(graphs, &graph.Graph{
+			NumNodes: nodes, Src: src, Dst: dst, X: x, Label: f.next() % 3,
+		})
+	}
+	return graphs
+}
+
+// FuzzBatchCollate drives both framework backends' collation paths over
+// arbitrary graph sets and checks the collated-batch invariants (node/edge
+// counts sum, offsets monotonic, CSR complete — see Batch.Invariants) plus
+// cross-backend agreement: the two deliberately different batching
+// strategies must produce the same merged graph.
+func FuzzBatchCollate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 3, 4, 0, 1, 1, 2, 2, 0, 9})
+	f.Add([]byte{3, 1, 2, 0, 0, 0, 0, 5, 5, 5, 5, 7, 200, 31})
+	f.Add([]byte{0, 12, 24, 11, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		graphs := decodeBatchInput(data)
+		var totalNodes, totalEdges int
+		for _, g := range graphs {
+			totalNodes += g.NumNodes
+			totalEdges += g.NumEdges()
+		}
+
+		batches := make(map[string]*fw.Batch, 2)
+		for _, be := range []fw.Backend{pygeo.New(), dglb.New()} {
+			b := be.Batch(graphs, nil)
+			if err := b.Invariants(); err != nil {
+				t.Fatalf("%s: %v", be.Name(), err)
+			}
+			if b.NumNodes != totalNodes {
+				t.Fatalf("%s: %d batch nodes, inputs sum to %d", be.Name(), b.NumNodes, totalNodes)
+			}
+			if b.NumEdges() != totalEdges {
+				t.Fatalf("%s: %d batch arcs, inputs sum to %d", be.Name(), b.NumEdges(), totalEdges)
+			}
+			if b.NumGraphs != len(graphs) {
+				t.Fatalf("%s: %d batch graphs, want %d", be.Name(), b.NumGraphs, len(graphs))
+			}
+			batches[be.Name()] = b
+		}
+
+		// The two batching strategies must agree on the merged graph.
+		pyg, dgl := batches["PyG"], batches["DGL"]
+		for i := range pyg.NodeOffsets {
+			if pyg.NodeOffsets[i] != dgl.NodeOffsets[i] {
+				t.Fatalf("offset %d disagrees: PyG %d vs DGL %d", i, pyg.NodeOffsets[i], dgl.NodeOffsets[i])
+			}
+		}
+		for k := range pyg.Src {
+			if pyg.Src[k] != dgl.Src[k] || pyg.Dst[k] != dgl.Dst[k] {
+				t.Fatalf("arc %d disagrees: PyG %d->%d vs DGL %d->%d",
+					k, pyg.Src[k], pyg.Dst[k], dgl.Src[k], dgl.Dst[k])
+			}
+		}
+		if pyg.X != nil && dgl.X != nil && !tensor.AllClose(pyg.X, dgl.X, 0, 0) {
+			t.Fatal("collated features disagree between backends")
+		}
+		for i := range pyg.Labels {
+			if pyg.Labels[i] != dgl.Labels[i] {
+				t.Fatalf("label %d disagrees", i)
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@
 package fw
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -107,6 +108,104 @@ func (b *Batch) Release(dev *device.Device) {
 		dev.Free(int64(b.pseudo.Size()) * 8)
 		b.pseudo = nil
 	}
+}
+
+// Invariants checks the structural invariants every collated batch must
+// satisfy regardless of which backend produced it: monotonic node offsets
+// covering [0, NumNodes], GraphID consistent with the offsets, arcs in
+// range, per-graph labels and in-degrees sized and summing correctly, and —
+// when the backend materialized CSR — a CSR that indexes every arc exactly
+// once. It returns a descriptive error for the first violation. The fuzz
+// harness drives both backends' collation paths through this check.
+func (b *Batch) Invariants() error {
+	if b.NumGraphs <= 0 {
+		return fmt.Errorf("fw: batch has %d graphs", b.NumGraphs)
+	}
+	if len(b.NodeOffsets) != b.NumGraphs+1 {
+		return fmt.Errorf("fw: %d node offsets for %d graphs", len(b.NodeOffsets), b.NumGraphs)
+	}
+	if b.NodeOffsets[0] != 0 {
+		return fmt.Errorf("fw: node offsets start at %d", b.NodeOffsets[0])
+	}
+	for i := 1; i < len(b.NodeOffsets); i++ {
+		if b.NodeOffsets[i] < b.NodeOffsets[i-1] {
+			return fmt.Errorf("fw: node offsets not monotonic at %d: %d < %d", i, b.NodeOffsets[i], b.NodeOffsets[i-1])
+		}
+	}
+	if last := b.NodeOffsets[b.NumGraphs]; last != b.NumNodes {
+		return fmt.Errorf("fw: node offsets end at %d, batch has %d nodes", last, b.NumNodes)
+	}
+	if len(b.Src) != len(b.Dst) {
+		return fmt.Errorf("fw: src/dst length mismatch %d vs %d", len(b.Src), len(b.Dst))
+	}
+	for k := range b.Src {
+		if b.Src[k] < 0 || b.Src[k] >= b.NumNodes || b.Dst[k] < 0 || b.Dst[k] >= b.NumNodes {
+			return fmt.Errorf("fw: arc %d (%d->%d) out of range [0,%d)", k, b.Src[k], b.Dst[k], b.NumNodes)
+		}
+	}
+	if len(b.GraphID) != b.NumNodes {
+		return fmt.Errorf("fw: %d graph ids for %d nodes", len(b.GraphID), b.NumNodes)
+	}
+	for v, gid := range b.GraphID {
+		if gid < 0 || gid >= b.NumGraphs {
+			return fmt.Errorf("fw: node %d assigned to graph %d of %d", v, gid, b.NumGraphs)
+		}
+		if v < b.NodeOffsets[gid] || v >= b.NodeOffsets[gid+1] {
+			return fmt.Errorf("fw: node %d graph id %d outside its offset range [%d,%d)", v, gid, b.NodeOffsets[gid], b.NodeOffsets[gid+1])
+		}
+	}
+	if len(b.Labels) != b.NumGraphs {
+		return fmt.Errorf("fw: %d labels for %d graphs", len(b.Labels), b.NumGraphs)
+	}
+	if b.NodeLabels != nil && len(b.NodeLabels) != b.NumNodes {
+		return fmt.Errorf("fw: %d node labels for %d nodes", len(b.NodeLabels), b.NumNodes)
+	}
+	if len(b.InDeg) != b.NumNodes {
+		return fmt.Errorf("fw: %d in-degrees for %d nodes", len(b.InDeg), b.NumNodes)
+	}
+	var degSum float64
+	for _, d := range b.InDeg {
+		if d < 0 {
+			return fmt.Errorf("fw: negative in-degree %v", d)
+		}
+		degSum += d
+	}
+	if int(degSum) != b.NumEdges() {
+		return fmt.Errorf("fw: in-degrees sum to %v, batch has %d arcs", degSum, b.NumEdges())
+	}
+	if b.X != nil && b.X.Rows() != b.NumNodes {
+		return fmt.Errorf("fw: feature rows %d != nodes %d", b.X.Rows(), b.NumNodes)
+	}
+	if b.EdgeAttr != nil && b.EdgeAttr.Rows() != b.NumEdges() {
+		return fmt.Errorf("fw: edge-attr rows %d != arcs %d", b.EdgeAttr.Rows(), b.NumEdges())
+	}
+	if b.CSR != nil {
+		if len(b.CSR.RowPtr) != b.NumNodes+1 {
+			return fmt.Errorf("fw: CSR row-ptr length %d for %d nodes", len(b.CSR.RowPtr), b.NumNodes)
+		}
+		for i := 1; i < len(b.CSR.RowPtr); i++ {
+			if b.CSR.RowPtr[i] < b.CSR.RowPtr[i-1] {
+				return fmt.Errorf("fw: CSR row-ptr not monotonic at %d", i)
+			}
+		}
+		if b.CSR.RowPtr[b.NumNodes] != b.NumEdges() {
+			return fmt.Errorf("fw: CSR indexes %d arcs, batch has %d", b.CSR.RowPtr[b.NumNodes], b.NumEdges())
+		}
+		if len(b.CSR.Col) != b.NumEdges() || len(b.CSR.EID) != b.NumEdges() {
+			return fmt.Errorf("fw: CSR col/eid lengths %d/%d for %d arcs", len(b.CSR.Col), len(b.CSR.EID), b.NumEdges())
+		}
+		seen := make([]bool, b.NumEdges())
+		for i, e := range b.CSR.EID {
+			if e < 0 || e >= b.NumEdges() || seen[e] {
+				return fmt.Errorf("fw: CSR eid[%d]=%d invalid or duplicated", i, e)
+			}
+			seen[e] = true
+			if b.CSR.Col[i] != b.Src[e] {
+				return fmt.Errorf("fw: CSR col[%d]=%d disagrees with src[%d]=%d", i, b.CSR.Col[i], e, b.Src[e])
+			}
+		}
+	}
+	return nil
 }
 
 // Backend is the framework interface the models call. All methods build onto

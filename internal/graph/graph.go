@@ -71,6 +71,43 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// FromEdgeList constructs a validated graph from a raw directed edge list
+// and optional per-node feature rows. Unlike building a Graph literal and
+// assuming validated input, it returns a descriptive error for malformed
+// input (negative node counts, mismatched src/dst lengths, out-of-range
+// endpoints, ragged feature rows) instead of letting a later kernel panic.
+// Self-loops and duplicate arcs are legal and preserved. This is the entry
+// point untrusted input (e.g. serving requests) comes through.
+func FromEdgeList(numNodes int, src, dst []int, x [][]float64) (*Graph, error) {
+	g := &Graph{
+		NumNodes: numNodes,
+		Src:      append([]int(nil), src...),
+		Dst:      append([]int(nil), dst...),
+	}
+	if x != nil {
+		if len(x) != numNodes {
+			return nil, fmt.Errorf("graph: %d feature rows != %d nodes", len(x), numNodes)
+		}
+		if numNodes > 0 {
+			width := len(x[0])
+			if width == 0 {
+				return nil, fmt.Errorf("graph: node features must be non-empty")
+			}
+			g.X = tensor.New(numNodes, width)
+			for i, row := range x {
+				if len(row) != width {
+					return nil, fmt.Errorf("graph: feature row %d has %d values, want %d", i, len(row), width)
+				}
+				copy(g.X.Row(i), row)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // InDegrees returns the number of incoming arcs per node.
 func (g *Graph) InDegrees() []float64 {
 	deg := make([]float64, g.NumNodes)

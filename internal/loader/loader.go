@@ -189,11 +189,19 @@ func (l *Loader) Stop() {
 }
 
 func (l *Loader) collate(idx []int) *fw.Batch {
+	return Collate(l.be, l.d, idx, l.opt.Device)
+}
+
+// Collate merges the indexed graphs of d into one batch through be's
+// collation path, accounting the transfer to dev — the loader's collation
+// step exposed as a one-shot helper for callers (capacity probes, serving
+// warmup) that want a single batch without epoch machinery.
+func Collate(be fw.Backend, d *datasets.Dataset, idx []int, dev *device.Device) *fw.Batch {
 	gs := make([]*graph.Graph, len(idx))
 	for i, j := range idx {
-		gs[i] = l.d.Graphs[j]
+		gs[i] = d.Graphs[j]
 	}
-	return l.be.Batch(gs, l.opt.Device)
+	return be.Batch(gs, dev)
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,87 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram counts observations into fixed upper-bound buckets, the
+// instrument behind the serving subsystem's batch-size and latency
+// distributions. Bucket i counts observations v <= bound[i]; one implicit
+// overflow bucket catches everything above the last bound (rendered as
+// "+Inf" in exported metrics). A Histogram is not safe for concurrent use;
+// callers that share one across goroutines must synchronize.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last entry is the overflow bucket
+	n      int64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram returns a histogram over the given strictly ascending upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("profile: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("profile: histogram bounds not ascending: %v", bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("profile: duplicate histogram bound %v", bounds[i]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Max returns the largest observation (0 before any Observe).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Count returns bucket i's count; i == len(Bounds()) is the overflow bucket.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Cumulative returns the number of observations <= bound[i] (Prometheus "le"
+// semantics); i == len(Bounds()) returns N().
+func (h *Histogram) Cumulative(i int) int64 {
+	var c int64
+	for j := 0; j <= i; j++ {
+		c += h.counts[j]
+	}
+	return c
+}
+
+// Clone returns an independent copy, used to snapshot live metrics.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), h.bounds...),
+		counts: append([]int64(nil), h.counts...),
+		n:      h.n,
+		sum:    h.sum,
+		max:    h.max,
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+// maxRequestBytes bounds a /predict request body; graphs the size of the
+// paper's largest (DD, ~5748 nodes) fit with two orders of magnitude to
+// spare.
+const maxRequestBytes = 16 << 20
+
+// PredictRequest is the JSON body of POST /predict: one graph as a directed
+// edge list with dense per-node feature rows.
+type PredictRequest struct {
+	NumNodes int         `json:"num_nodes"`
+	Src      []int       `json:"src"`
+	Dst      []int       `json:"dst"`
+	X        [][]float64 `json:"x"`
+}
+
+// PredictResponse is the JSON answer to POST /predict.
+type PredictResponse struct {
+	Class  int       `json:"class"`
+	Logits []float64 `json:"logits"`
+}
+
+// Handler returns the server's HTTP interface:
+//
+//	POST /predict  one-graph prediction (PredictRequest -> PredictResponse)
+//	GET  /healthz  200 while serving, 503 once draining
+//	GET  /metrics  Prometheus-style text exposition of the serving counters
+//
+// Backpressure surfaces as 429, a passed deadline as 504, shutdown as 503,
+// malformed input as 400.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		http.Error(w, "serve: oversized or unreadable body", http.StatusBadRequest)
+		return
+	}
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	g, err := graph.FromEdgeList(req.NumNodes, req.Src, req.Dst, req.X)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pred, err := s.Predict(r.Context(), g)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(PredictResponse{Class: pred.Class, Logits: pred.Logits}); err != nil {
+		// The response line is already out; nothing more to do.
+		return
+	}
+}
+
+// statusFor maps Predict errors onto HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; 499 is the de-facto convention for this.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Closed() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.WriteMetrics(w)
+}
+
+// WriteMetrics renders the serving counters in Prometheus text exposition
+// format: queue depth, request outcomes, the batch-size histogram, and the
+// per-phase latency totals (collate / forward / other) from the profile
+// breakdown.
+func (s *Server) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	fmt.Fprintf(w, "# TYPE gnnserve_queue_depth gauge\n")
+	fmt.Fprintf(w, "gnnserve_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# TYPE gnnserve_requests_total counter\n")
+	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"accepted\"} %d\n", st.Accepted)
+	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"rejected\"} %d\n", st.Rejected)
+	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"expired\"} %d\n", st.Expired)
+	fmt.Fprintf(w, "# TYPE gnnserve_responses_total counter\n")
+	fmt.Fprintf(w, "gnnserve_responses_total %d\n", st.Responded)
+	fmt.Fprintf(w, "# TYPE gnnserve_batches_total counter\n")
+	fmt.Fprintf(w, "gnnserve_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "# TYPE gnnserve_batch_size histogram\n")
+	bounds := st.BatchSizes.Bounds()
+	for i, b := range bounds {
+		fmt.Fprintf(w, "gnnserve_batch_size_bucket{le=\"%g\"} %d\n", b, st.BatchSizes.Cumulative(i))
+	}
+	fmt.Fprintf(w, "gnnserve_batch_size_bucket{le=\"+Inf\"} %d\n", st.BatchSizes.N())
+	fmt.Fprintf(w, "gnnserve_batch_size_sum %g\n", st.BatchSizes.Sum())
+	fmt.Fprintf(w, "gnnserve_batch_size_count %d\n", st.BatchSizes.N())
+	fmt.Fprintf(w, "# TYPE gnnserve_phase_seconds counter\n")
+	for _, p := range []struct {
+		phase profile.Phase
+		name  string
+	}{
+		{profile.PhaseDataLoad, "collate"},
+		{profile.PhaseForward, "forward"},
+		{profile.PhaseOther, "other"},
+	} {
+		fmt.Fprintf(w, "gnnserve_phase_seconds{phase=%q} %g\n", p.name, st.Phases.Get(p.phase).Seconds())
+	}
+}

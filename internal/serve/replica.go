@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Replica is one forward-only model instance the server dispatches batches
+// to. Implementations must be safe for the single worker goroutine the
+// server binds each replica to; the production implementation wraps a
+// models.Model, and tests substitute instrumented fakes.
+type Replica interface {
+	// Backend returns the framework whose collation path feeds this replica.
+	Backend() fw.Backend
+	// Forward computes class logits (one row per graph) for a batch produced
+	// by Backend's collation.
+	Forward(b *fw.Batch) *tensor.Tensor
+	// Device returns the accelerator the replica's kernels and batches are
+	// accounted to (may be nil for unaccounted execution).
+	Device() *device.Device
+}
+
+// modelReplica adapts a models.Model to the Replica interface.
+type modelReplica struct {
+	m   models.Model
+	dev *device.Device
+}
+
+// NewModelReplica wraps m as a serving replica accounted to dev. Eval-mode
+// forward passes are side-effect-free, so several replicas may share one
+// model (shared parameters, independent devices) — the cheap way to scale
+// serving throughput without duplicating weights.
+func NewModelReplica(m models.Model, dev *device.Device) Replica {
+	return &modelReplica{m: m, dev: dev}
+}
+
+func (r *modelReplica) Backend() fw.Backend { return r.m.Backend() }
+
+func (r *modelReplica) Forward(b *fw.Batch) *tensor.Tensor {
+	return models.Infer(r.m, b, r.dev)
+}
+
+func (r *modelReplica) Device() *device.Device { return r.dev }

@@ -1,0 +1,416 @@
+// Package serve implements batched inference serving: the paper's central
+// observation — that mini-batch assembly is a first-order cost and that the
+// two frameworks pay wildly different prices for it (PyG's zero-overhead
+// concatenation vs DGL's heterograph bookkeeping, Figs 1-2) — applies on the
+// request path of an online prediction service just as it does in training.
+//
+// The server is a request coalescer in front of a replica pool:
+//
+//	Predict ──▶ bounded queue ──▶ coalescer ──▶ jobs ──▶ replica workers
+//	  ▲                                                        │
+//	  └────────────────── per-request response ◀───────────────┘
+//
+// Single-graph prediction requests enter a bounded queue (overflow is
+// rejected immediately — the caller's backpressure signal, HTTP 429 through
+// the handler). The coalescer gathers up to MaxBatch requests, lingering at
+// most BatchWindow after the first, and hands the group to one of the
+// replica workers. The worker collates the group's graphs into one batch
+// through the framework backend's real batching path (so both frameworks'
+// batching costs are measurable end to end), runs one forward-only pass, and
+// answers every request in the group. Per-request deadlines are honored via
+// context; shutdown stops intake and drains every accepted request.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fw"
+	"repro/internal/graph"
+	"repro/internal/profile"
+	"repro/internal/tensor"
+)
+
+// Sentinel errors the server reports; the HTTP handler maps them to status
+// codes (429, 503, 400).
+var (
+	// ErrQueueFull reports that the bounded request queue is at capacity.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed reports that the server has stopped accepting requests.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrInvalid wraps request-validation failures.
+	ErrInvalid = errors.New("serve: invalid request")
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBatch is the largest number of graphs collated into one forward
+	// batch (default 32).
+	MaxBatch int
+	// QueueDepth bounds the number of queued-but-undispatched requests;
+	// arrivals beyond it fail with ErrQueueFull (default 256).
+	QueueDepth int
+	// BatchWindow is how long the coalescer lingers after a batch's first
+	// request waiting for more (default 2ms). Zero or negative means no
+	// lingering: a batch is whatever is already queued, capped at MaxBatch.
+	BatchWindow time.Duration
+	// Timeout is the per-request deadline applied when the caller's context
+	// carries none (default 1s).
+	Timeout time.Duration
+	// NumFeatures, when positive, is the node-feature width requests must
+	// carry; mismatches fail with ErrInvalid before queuing.
+	NumFeatures int
+}
+
+func (o *Options) defaults() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = time.Second
+	}
+}
+
+// Prediction is one request's answer.
+type Prediction struct {
+	// Class is the argmax class index.
+	Class int
+	// Logits are the per-class scores.
+	Logits []float64
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+type request struct {
+	ctx  context.Context
+	g    *graph.Graph
+	done chan result // buffered(1); written exactly once via respond
+	// answered is touched only by the worker goroutine that owns the
+	// request's dispatch group; it makes respond idempotent so the panic
+	// recovery path cannot double-send.
+	answered bool
+}
+
+func (r *request) respond(res result) {
+	if r.answered {
+		return
+	}
+	r.answered = true
+	r.done <- res
+}
+
+// Stats is a snapshot of the server's counters.
+type Stats struct {
+	// QueueDepth is the number of requests queued but not yet dispatched.
+	QueueDepth int
+	// Accepted counts requests admitted to the queue.
+	Accepted int64
+	// Rejected counts requests refused with ErrQueueFull.
+	Rejected int64
+	// Responded counts requests answered (predictions and errors alike).
+	Responded int64
+	// Expired counts accepted requests whose deadline passed before their
+	// batch ran; they are answered with the context error.
+	Expired int64
+	// Batches counts forward batches executed.
+	Batches int64
+	// BatchSizes is the distribution of live graphs per forward batch.
+	BatchSizes *profile.Histogram
+	// Phases accumulates per-phase serving time: collation under
+	// PhaseDataLoad, model forward under PhaseForward, response delivery and
+	// bookkeeping under PhaseOther.
+	Phases profile.Breakdown
+}
+
+// Server coalesces single-graph prediction requests into batched
+// forward-only passes over a replica pool. Create one with New; it is safe
+// for concurrent use.
+type Server struct {
+	replicas []Replica
+	be       fw.Backend
+	opt      Options
+
+	queue chan *request
+	jobs  chan []*request
+
+	mu     sync.RWMutex // guards closed against queue sends
+	closed bool
+
+	workers sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// New starts a server dispatching to the given replicas, whose backends must
+// agree (the coalescer collates through that shared backend). It panics on an
+// empty replica set, mirroring the constructor conventions of this codebase.
+func New(replicas []Replica, opt Options) *Server {
+	if len(replicas) == 0 {
+		panic("serve: need at least one replica")
+	}
+	be := replicas[0].Backend()
+	for _, r := range replicas[1:] {
+		if r.Backend().Name() != be.Name() {
+			panic(fmt.Sprintf("serve: replica backends disagree: %s vs %s", be.Name(), r.Backend().Name()))
+		}
+	}
+	opt.defaults()
+	s := &Server{
+		replicas: replicas,
+		be:       be,
+		opt:      opt,
+		queue:    make(chan *request, opt.QueueDepth),
+		jobs:     make(chan []*request),
+	}
+	s.stats.BatchSizes = batchHistogram(opt.MaxBatch)
+	go s.coalesce()
+	s.workers.Add(len(replicas))
+	for _, r := range replicas {
+		go s.worker(r)
+	}
+	return s
+}
+
+// batchHistogram builds power-of-two batch-size buckets up to maxBatch.
+func batchHistogram(maxBatch int) *profile.Histogram {
+	var bounds []float64
+	for b := 1; b < maxBatch; b *= 2 {
+		bounds = append(bounds, float64(b))
+	}
+	bounds = append(bounds, float64(maxBatch))
+	return profile.NewHistogram(bounds...)
+}
+
+// Options returns the server's effective (defaulted) options.
+func (s *Server) Options() Options { return s.opt }
+
+// Backend returns the framework backend requests are collated through.
+func (s *Server) Backend() fw.Backend { return s.be }
+
+// Predict submits one graph for classification and blocks until its batch
+// has been served or ctx expires. The error is ErrQueueFull when the bounded
+// queue is at capacity, ErrClosed after Shutdown, an ErrInvalid-wrapped
+// validation error for malformed graphs, or the context error when the
+// deadline passes first.
+func (s *Server) Predict(ctx context.Context, g *graph.Graph) (Prediction, error) {
+	if g == nil {
+		return Prediction{}, fmt.Errorf("%w: nil graph", ErrInvalid)
+	}
+	if err := g.Validate(); err != nil {
+		return Prediction{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if g.NumNodes == 0 {
+		return Prediction{}, fmt.Errorf("%w: empty graph", ErrInvalid)
+	}
+	if g.X == nil {
+		return Prediction{}, fmt.Errorf("%w: graph carries no node features", ErrInvalid)
+	}
+	if s.opt.NumFeatures > 0 && g.NumFeatures() != s.opt.NumFeatures {
+		return Prediction{}, fmt.Errorf("%w: graph has %d features, server expects %d", ErrInvalid, g.NumFeatures(), s.opt.NumFeatures)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
+		defer cancel()
+	}
+	req := &request{ctx: ctx, g: g, done: make(chan result, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.statsMu.Lock()
+		s.stats.Rejected++
+		s.statsMu.Unlock()
+		return Prediction{}, ErrQueueFull
+	}
+	s.statsMu.Lock()
+	s.stats.Accepted++
+	s.statsMu.Unlock()
+
+	select {
+	case res := <-req.done:
+		return res.pred, res.err
+	case <-ctx.Done():
+		// The batch still answers the buffered done channel; nothing leaks.
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// coalesce gathers queued requests into dispatch groups of at most MaxBatch,
+// lingering at most BatchWindow after a group's first request.
+func (s *Server) coalesce() {
+	defer close(s.jobs)
+	for first := range s.queue {
+		group := make([]*request, 1, s.opt.MaxBatch)
+		group[0] = first
+		if s.opt.BatchWindow > 0 {
+			timer := time.NewTimer(s.opt.BatchWindow)
+		fill:
+			for len(group) < s.opt.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break fill
+					}
+					group = append(group, r)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(group) < s.opt.MaxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					group = append(group, r)
+				default:
+					break drain
+				}
+			}
+		}
+		s.jobs <- group
+	}
+}
+
+// worker serves dispatch groups on one replica until the job stream closes.
+func (s *Server) worker(rep Replica) {
+	defer s.workers.Done()
+	for group := range s.jobs {
+		s.runBatch(rep, group)
+	}
+}
+
+// runBatch answers one dispatch group: expired requests get their context
+// error, the rest are collated through the backend, run through the replica,
+// and answered row by row. A panicking replica answers its whole group with
+// an error instead of killing the worker — one poisonous batch must not take
+// the server down.
+func (s *Server) runBatch(rep Replica, group []*request) {
+	var expired int64
+	live := make([]*request, 0, len(group))
+	for _, r := range group {
+		if err := r.ctx.Err(); err != nil {
+			r.respond(result{err: err})
+			expired++
+		} else {
+			live = append(live, r)
+		}
+	}
+	var bd profile.Breakdown
+	if len(live) > 0 {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err := fmt.Errorf("serve: replica failure: %v", p)
+					for _, r := range live {
+						r.respond(result{err: err})
+					}
+				}
+			}()
+			dev := rep.Device()
+			graphs := make([]*graph.Graph, len(live))
+			for i, r := range live {
+				graphs[i] = r.g
+			}
+			var b *fw.Batch
+			bd.Time(profile.PhaseDataLoad, func() { b = s.be.Batch(graphs, dev) })
+			var logits *tensor.Tensor
+			bd.Time(profile.PhaseForward, func() { logits = rep.Forward(b) })
+			bd.Time(profile.PhaseOther, func() {
+				if logits == nil || logits.Rows() != b.NumGraphs {
+					rows := -1
+					if logits != nil {
+						rows = logits.Rows()
+					}
+					err := fmt.Errorf("serve: replica produced %d logit rows for %d graphs (server requires a graph-classification model)", rows, b.NumGraphs)
+					for _, r := range live {
+						r.respond(result{err: err})
+					}
+				} else {
+					classes := tensor.ArgMaxRows(logits)
+					for i, r := range live {
+						r.respond(result{pred: Prediction{
+							Class:  classes[i],
+							Logits: append([]float64(nil), logits.Row(i)...),
+						}})
+					}
+				}
+				b.Release(dev)
+			})
+		}()
+	}
+	s.statsMu.Lock()
+	s.stats.Expired += expired
+	s.stats.Responded += int64(len(group))
+	if len(live) > 0 {
+		s.stats.Batches++
+		s.stats.BatchSizes.Observe(float64(len(live)))
+		bd.AddInto(&s.stats.Phases)
+	}
+	s.statsMu.Unlock()
+}
+
+// Shutdown stops intake (subsequent Predicts fail with ErrClosed) and waits
+// until every accepted request has been answered or ctx expires; the drain
+// continues in the background in the latter case. Safe to call more than
+// once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Closed reports whether the server has stopped accepting requests.
+func (s *Server) Closed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	snap := s.stats
+	snap.BatchSizes = s.stats.BatchSizes.Clone()
+	snap.QueueDepth = len(s.queue)
+	return snap
+}
