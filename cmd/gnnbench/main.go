@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,9 +25,15 @@ func main() {
 	quick := flag.Bool("quick", false, "minute-scale profile (smaller datasets, fewer epochs)")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	jsonPath := flag.String("json", "", "also write structured results to this file")
+	metrics := flag.Bool("metrics", false, "dump the telemetry registry (Prometheus text format) after the run")
 	flag.Parse()
 
 	s := bench.Settings{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	if *metrics {
+		s.Metrics = obs.Default()
+		obs.RegisterRuntimeMetrics(s.Metrics)
+		obs.RegisterPoolMetrics(s.Metrics)
+	}
 	run := func(name string) bool { return *exp == name || *exp == "all" }
 	results := &bench.Results{Quick: *quick, Seed: *seed}
 
@@ -82,5 +89,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+	if *metrics {
+		fmt.Println("\n# telemetry registry")
+		if err := s.Metrics.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

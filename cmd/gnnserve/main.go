@@ -7,9 +7,10 @@
 //
 //	gnnserve -model GCN -framework PyG -dataset ENZYMES -addr :8080
 //
-// Endpoints: POST /predict, GET /healthz, GET /metrics. The -collatebench
-// flag instead measures offline collation throughput for capacity planning
-// and exits.
+// Endpoints: POST /predict, GET /healthz, GET /metrics (serving, Go runtime,
+// worker pool and per-replica device metrics from one registry), GET
+// /debug/vars, GET /debug/pprof. The -collatebench flag instead measures
+// offline collation throughput for capacity planning and exits.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"repro/internal/loader"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -79,16 +81,26 @@ func main() {
 		}
 	}
 
+	// One process-wide registry: serving counters, Go runtime stats, worker
+	// pool occupancy and per-replica device counters all land on the same
+	// GET /metrics scrape.
+	reg := obs.Default()
+	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterPoolMetrics(reg)
 	reps := make([]serve.Replica, *replicas)
+	devs := make([]*device.Device, *replicas)
 	for i := range reps {
-		reps[i] = serve.NewModelReplica(m, device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti()))
+		devs[i] = device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti())
+		reps[i] = serve.NewModelReplica(m, devs[i])
 	}
+	obs.RegisterDeviceMetrics(reg, devs...)
 	srv := serve.New(reps, serve.Options{
 		MaxBatch:    *batch,
 		QueueDepth:  *queueDepth,
 		BatchWindow: *window,
 		Timeout:     *timeout,
 		NumFeatures: d.NumFeatures,
+		Registry:    reg,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

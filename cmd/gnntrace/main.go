@@ -2,7 +2,9 @@
 // and writes it in Chrome's trace-event format — the reproduction's analogue
 // of capturing an nvprof timeline. Open the output in chrome://tracing or
 // https://ui.perfetto.dev; track 0 is the host execution, track 1 the
-// modeled-accelerator timeline.
+// modeled-accelerator timeline, and tracks 2+ carry the training spans
+// (iteration → data-load/forward/backward/update) above the kernels they
+// dispatched.
 //
 //	gnntrace -model GAT -framework DGL -o trace.json
 package main
@@ -20,6 +22,7 @@ import (
 	"repro/internal/fw/dglb"
 	"repro/internal/fw/pygeo"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/optim"
 )
 
@@ -36,18 +39,19 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	kernels, err := runTrace(*modelName, *framework, *batches, 64, 0.2, f)
+	kernels, spans, err := runTrace(*modelName, *framework, *batches, 64, 0.2, f)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("traced %d kernels from %d %s/%s iterations -> %s\n",
-		kernels, *batches, *modelName, *framework, *out)
+	fmt.Printf("traced %d kernels and %d spans from %d %s/%s iterations -> %s\n",
+		kernels, spans, *batches, *modelName, *framework, *out)
 }
 
-// runTrace trains batches iterations of the model with tracing on and writes
-// the Chrome trace to w, returning how many kernel events were recorded.
-func runTrace(modelName, framework string, batches, batchSize int, scale float64, w io.Writer) (int, error) {
+// runTrace trains batches iterations of the model with kernel tracing and
+// span tracing on, writes the combined Chrome trace to w and returns how many
+// kernel events and spans were recorded.
+func runTrace(modelName, framework string, batches, batchSize int, scale float64, w io.Writer) (int, int, error) {
 	var be fw.Backend
 	switch framework {
 	case "PyG":
@@ -55,7 +59,7 @@ func runTrace(modelName, framework string, batches, batchSize int, scale float64
 	case "DGL":
 		be = dglb.New()
 	default:
-		return 0, fmt.Errorf("unknown framework %q", framework)
+		return 0, 0, fmt.Errorf("unknown framework %q", framework)
 	}
 
 	d := datasets.Enzymes(datasets.Options{Seed: 1, Scale: scale})
@@ -67,6 +71,7 @@ func runTrace(modelName, framework string, batches, batchSize int, scale float64
 	adam := optim.NewAdam(m.Params(), 1e-3)
 	adam.SetDevice(dev)
 
+	tr := obs.NewTracer(0)
 	dev.EnableTrace(0)
 	for i := 0; i < batches; i++ {
 		lo := (i * batchSize) % len(d.Graphs)
@@ -74,19 +79,29 @@ func runTrace(modelName, framework string, batches, batchSize int, scale float64
 		if hi > len(d.Graphs) {
 			hi = len(d.Graphs)
 		}
+		iter := tr.Start("iteration", obs.Int("iteration", i), obs.Int("graphs", hi-lo))
+		sp := iter.Child("data-load")
 		b := be.Batch(d.Graphs[lo:hi], dev)
+		sp.End()
 		g := ag.New(dev)
+		sp = iter.Child("forward")
 		loss := g.CrossEntropy(m.Forward(g, b, true, nil), b.Labels, nil)
+		sp.End()
 		adam.ZeroGrad()
+		sp = iter.Child("backward")
 		g.Backward(loss)
+		sp.End()
+		sp = iter.Child("update")
 		adam.Step()
+		sp.End()
 		g.Finish()
 		b.Release(dev)
+		iter.End()
 	}
 	dev.DisableTrace()
 
-	if err := dev.WriteChromeTrace(w); err != nil {
-		return 0, err
+	if err := tr.WriteChromeTrace(w, dev.Trace()); err != nil {
+		return 0, 0, err
 	}
-	return len(dev.Trace()), nil
+	return len(dev.Trace()), len(tr.Spans()), nil
 }

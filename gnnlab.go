@@ -44,6 +44,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/serve"
@@ -301,4 +302,47 @@ func NewServer(m Model, replicas int, opt ServeOptions) *Server {
 		reps[i] = serve.NewModelReplica(m, device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti()))
 	}
 	return serve.New(reps, opt)
+}
+
+// Observability (metrics registry and span tracer).
+type (
+	// MetricsRegistry holds labeled counters, gauges and histograms and
+	// renders them as deterministic Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// Tracer records nested spans into a bounded ring buffer and exports
+	// them, merged with kernel events, as Chrome-trace JSON for Perfetto.
+	Tracer = obs.Tracer
+	// Span is a live span handle returned by Tracer.Start.
+	Span = obs.Span
+	// SpanAttr is one key/value annotation on a span.
+	SpanAttr = obs.Attr
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-wide metrics registry.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// NewTracer returns a span tracer keeping at most limit completed spans
+// (limit <= 0 means the default of 4096).
+func NewTracer(limit int) *Tracer { return obs.NewTracer(limit) }
+
+// Span attribute constructors.
+func SpanString(key, value string) SpanAttr    { return obs.String(key, value) }
+func SpanInt(key string, v int) SpanAttr       { return obs.Int(key, v) }
+func SpanFloat(key string, v float64) SpanAttr { return obs.Float(key, v) }
+
+// RegisterRuntimeMetrics adds Go runtime gauges and counters (goroutines,
+// heap, GC) to r.
+func RegisterRuntimeMetrics(r *MetricsRegistry) { obs.RegisterRuntimeMetrics(r) }
+
+// RegisterPoolMetrics adds the shared compute worker pool's occupancy and
+// dispatch counters to r.
+func RegisterPoolMetrics(r *MetricsRegistry) { obs.RegisterPoolMetrics(r) }
+
+// RegisterDeviceMetrics adds per-device kernel/flop/byte/memory series for
+// the given simulated devices to r.
+func RegisterDeviceMetrics(r *MetricsRegistry, devs ...*Device) {
+	obs.RegisterDeviceMetrics(r, devs...)
 }

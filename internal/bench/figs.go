@@ -49,6 +49,7 @@ func measureBreakdowns(s Settings, d *datasets.Dataset, collectLayers bool) []Br
 					MaxEpochs: s.figEpochs(), Patience: 1 << 30, // measurement run: no decay
 					Device: dev, Seed: s.Seed,
 					CollectLayerTimes: collectLayers && bs == 128,
+					Metrics:           s.Metrics,
 				})
 				row := BreakdownRow{
 					Dataset: d.Name, Model: model, Framework: be.Name(), BatchSize: bs,

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fw"
 	"repro/internal/fw/dglb"
 	"repro/internal/fw/pygeo"
+	"repro/internal/obs"
 )
 
 // Settings selects the experiment profile.
@@ -35,6 +36,10 @@ type Settings struct {
 	Seed uint64
 	// Out receives the formatted tables (nil discards).
 	Out io.Writer
+	// Metrics, when non-nil, receives every training run's telemetry
+	// (gnnlab_train_* counters, gauges and histograms) — `gnnbench -metrics`
+	// dumps it after the experiments finish.
+	Metrics *obs.Registry
 }
 
 func (s Settings) out() io.Writer {

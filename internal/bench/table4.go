@@ -43,6 +43,7 @@ func Table4(s Settings) []Table4Row {
 					return buildModel(model, be, s.nodeConfig(model, d, seed))
 				}, d, train.NodeOptions{
 					Epochs: s.nodeEpochs(), LR: nodeLR(model), Device: dev,
+					Metrics: s.Metrics,
 				}, s.nodeSeeds())
 				row := Table4Row{
 					Dataset: d.Name, Model: model, Framework: be.Name(),

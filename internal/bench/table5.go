@@ -46,6 +46,7 @@ func Table5(s Settings) []Table5Row {
 				}, d, splits, train.GraphOptions{
 					BatchSize: 128, InitLR: graphLR(model),
 					MaxEpochs: s.graphMaxEpochs(), Device: dev, Seed: s.Seed,
+					Metrics: s.Metrics,
 				})
 				row := Table5Row{
 					Dataset: d.Name, Model: model, Framework: be.Name(),

@@ -84,11 +84,34 @@ func (d *Device) WriteChromeTrace(w io.Writer) error {
 	return WriteChromeTraceEvents(w, d.Trace())
 }
 
+// SpanEvent is one higher-level timeline slice merged into the kernel
+// trace: the obs package's span tracer exports its epoch/batch/phase spans
+// through this type so framework-level phases and the kernel stream land in
+// one Chrome-trace JSON (tids 0 and 1 are the kernel tracks; spans supply
+// their own tid, conventionally 2 and up).
+type SpanEvent struct {
+	Name string
+	// Start is the offset from trace start.
+	Start time.Duration
+	Dur   time.Duration
+	Tid   int
+	Args  map[string]string
+}
+
 // WriteChromeTraceEvents writes the given kernel events in Chrome's
 // trace-event JSON format. Split out from WriteChromeTrace so the exact
 // output can be tested against a fixed event list (see cmd/gnntrace).
 func WriteChromeTraceEvents(w io.Writer, events []KernelEvent) error {
-	out := make([]chromeEvent, 0, 2*len(events))
+	return WriteChromeTraceSpans(w, events, nil)
+}
+
+// WriteChromeTraceSpans writes kernel events and span events as one Chrome
+// trace-event JSON array. Kernel events appear exactly as
+// WriteChromeTraceEvents renders them (host timeline on tid 0, modeled
+// device timeline on tid 1); span events follow on their own tids. With no
+// spans the output is byte-identical to WriteChromeTraceEvents.
+func WriteChromeTraceSpans(w io.Writer, events []KernelEvent, spans []SpanEvent) error {
+	out := make([]chromeEvent, 0, 2*len(events)+len(spans))
 	var simCursor time.Duration
 	for i, e := range events {
 		args := map[string]string{
@@ -106,6 +129,13 @@ func WriteChromeTraceEvents(w io.Writer, events []KernelEvent) error {
 			Pid: 1, Tid: 1, Args: args,
 		})
 		simCursor += e.SimDur
+	}
+	for _, s := range spans {
+		out = append(out, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts: s.Start.Seconds() * 1e6, Dur: s.Dur.Seconds() * 1e6,
+			Pid: 1, Tid: s.Tid, Args: s.Args,
+		})
 	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(out); err != nil {

@@ -9,11 +9,13 @@ package loader
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -32,6 +34,11 @@ type Options struct {
 	Seed    uint64
 	// Device receives the batches' device-memory accounting.
 	Device *device.Device
+	// Metrics receives collation counters, the collate-latency histogram and
+	// the prefetch queue-depth gauge; nil disables.
+	Metrics *obs.Registry
+	// Tracer records one span per collated batch; nil disables.
+	Tracer *obs.Tracer
 }
 
 // Loader yields batches over a fixed index set, reshuffling between epochs.
@@ -42,11 +49,32 @@ type Loader struct {
 	idx []int
 	opt Options
 	rng *tensor.RNG
+	met loaderMetrics
 
 	ch    chan *fw.Batch
 	stop  chan struct{}
 	slots []chan *fw.Batch
 	wg    sync.WaitGroup
+}
+
+// loaderMetrics holds the loader's registry instruments; the zero value is
+// the disabled set (nil instruments no-op).
+type loaderMetrics struct {
+	batches        *obs.Counter
+	collateSeconds *obs.Histogram
+	queueDepth     *obs.Gauge
+}
+
+func newLoaderMetrics(r *obs.Registry) loaderMetrics {
+	if r == nil {
+		return loaderMetrics{}
+	}
+	return loaderMetrics{
+		batches: r.Counter("gnnlab_loader_batches_total", "Mini-batches collated by the loader."),
+		collateSeconds: r.Histogram("gnnlab_loader_collate_seconds", "Wall time per batch collation.",
+			1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1),
+		queueDepth: r.Gauge("gnnlab_loader_queue_depth", "Collated batches buffered ahead of the consumer."),
+	}
 }
 
 // New returns a loader over the given graph indices (nil means all graphs).
@@ -66,6 +94,7 @@ func New(be fw.Backend, d *datasets.Dataset, idx []int, opt Options) *Loader {
 	return &Loader{
 		be: be, d: d, idx: append([]int(nil), idx...), opt: opt,
 		rng: tensor.NewRNG(opt.Seed),
+		met: newLoaderMetrics(opt.Metrics),
 	}
 }
 
@@ -108,10 +137,11 @@ func (l *Loader) Epoch() <-chan *fw.Batch {
 		go func(ch chan<- *fw.Batch, stop <-chan struct{}) {
 			defer l.wg.Done()
 			defer close(ch)
-			for _, bidx := range batches {
-				b := l.collate(bidx)
+			for i, bidx := range batches {
+				b := l.collate(i, bidx)
 				select {
 				case ch <- b:
+					l.met.queueDepth.Set(float64(len(ch)))
 				case <-stop:
 					b.Release(l.opt.Device)
 					return
@@ -139,7 +169,7 @@ func (l *Loader) Epoch() <-chan *fw.Batch {
 					return
 				default:
 				}
-				l.slots[i] <- l.collate(batches[i])
+				l.slots[i] <- l.collate(i, batches[i])
 			}
 		}(w, l.stop)
 	}
@@ -152,6 +182,7 @@ func (l *Loader) Epoch() <-chan *fw.Batch {
 			case b := <-l.slots[i]:
 				select {
 				case ch <- b:
+					l.met.queueDepth.Set(float64(len(ch)))
 				case <-stop:
 					b.Release(l.opt.Device)
 					return
@@ -188,8 +219,14 @@ func (l *Loader) Stop() {
 	}
 }
 
-func (l *Loader) collate(idx []int) *fw.Batch {
-	return Collate(l.be, l.d, idx, l.opt.Device)
+func (l *Loader) collate(i int, idx []int) *fw.Batch {
+	span := l.opt.Tracer.Start("collate", obs.Int("batch", i), obs.Int("graphs", len(idx)))
+	t0 := time.Now()
+	b := Collate(l.be, l.d, idx, l.opt.Device)
+	l.met.collateSeconds.Observe(time.Since(t0).Seconds())
+	l.met.batches.Inc()
+	span.End()
+	return b
 }
 
 // Collate merges the indexed graphs of d into one batch through be's

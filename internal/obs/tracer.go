@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+)
+
+// The tracer is the high-level half of the timeline the paper captures with
+// nvprof: where the device records individual kernels, the tracer records
+// named, nested spans (epoch → batch → data-load/forward/backward/update on
+// the training path; request → collate/forward on the serving path). Both
+// export into one Chrome-trace JSON so Perfetto shows framework-level phases
+// directly above the kernel stream they produce.
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: strconv.Itoa(v)} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%g", v)} }
+
+// SpanRecord is one completed span as stored in the tracer's ring buffer.
+type SpanRecord struct {
+	// ID is the span's unique id (1-based, in start order).
+	ID uint64
+	// ParentID is the enclosing span's id; 0 for root spans.
+	ParentID uint64
+	Name     string
+	// Lane is the span's display track: concurrent root spans get distinct
+	// lanes so overlapping work (loader workers, serving replicas) renders on
+	// separate timeline rows.
+	Lane int
+	// Start is the offset from the tracer's epoch.
+	Start time.Duration
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Tracer records nested spans into a bounded ring buffer. All methods are
+// safe for concurrent use, and a nil *Tracer is a valid disabled tracer:
+// Start returns a nil span whose methods all no-op, so instrumented code
+// paths trace unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	limit   int
+	buf     []SpanRecord
+	w       int // ring write cursor, meaningful once len(buf) == limit
+	dropped int64
+	nextID  uint64
+	lanes   []bool // lane i in use by a live root span
+}
+
+// DefaultSpanLimit bounds the ring buffer when NewTracer is given no limit.
+const DefaultSpanLimit = 4096
+
+// NewTracer returns a tracer keeping at most limit completed spans (the most
+// recent ones win; limit <= 0 means DefaultSpanLimit). The tracer's epoch —
+// the zero point of every span's Start offset — is the moment of creation.
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultSpanLimit
+	}
+	return &Tracer{epoch: time.Now(), limit: limit}
+}
+
+// Span is a live (un-ended) span handle. It is not safe for concurrent use;
+// hand children to other goroutines, not the span itself.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	lane   int
+	begin  time.Time
+	attrs  []Attr
+	root   bool
+	ended  bool
+}
+
+// Start begins a root span, assigning it the lowest free display lane.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	lane := -1
+	for i, used := range t.lanes {
+		if !used {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		lane = len(t.lanes)
+		t.lanes = append(t.lanes, false)
+	}
+	t.lanes[lane] = true
+	t.mu.Unlock()
+	return &Span{t: t, id: id, name: name, lane: lane, begin: time.Now(), attrs: attrs, root: true}
+}
+
+// Child begins a nested span on the same lane as its parent.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{t: t, id: id, parent: s.id, name: name, lane: s.lane, begin: time.Now(), attrs: attrs}
+}
+
+// Annotate appends attributes to the span before it ends.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span, committing it to the ring buffer. Ending twice is
+// a no-op; root spans release their lane.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.begin)
+	t := s.t
+	t.mu.Lock()
+	t.record(SpanRecord{
+		ID: s.id, ParentID: s.parent, Name: s.name, Lane: s.lane,
+		Start: s.begin.Sub(t.epoch), Dur: dur, Attrs: s.attrs,
+	})
+	if s.root {
+		t.lanes[s.lane] = false
+	}
+	t.mu.Unlock()
+}
+
+// record appends under t.mu, overwriting the oldest span once full.
+func (t *Tracer) record(rec SpanRecord) {
+	if len(t.buf) < t.limit {
+		t.buf = append(t.buf, rec)
+		return
+	}
+	t.buf[t.w] = rec
+	t.w = (t.w + 1) % t.limit
+	t.dropped++
+}
+
+// Spans returns the buffered spans oldest-first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.buf))
+	out = append(out, t.buf[t.w:]...)
+	out = append(out, t.buf[:t.w]...)
+	return out
+}
+
+// Dropped returns how many completed spans the ring buffer has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards buffered spans and restarts the epoch at time.Now(); live
+// spans keep their old epoch-relative offsets, so Reset between traces, not
+// mid-span.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.w = 0
+	t.dropped = 0
+	t.epoch = time.Now()
+	t.mu.Unlock()
+}
+
+// spanTidBase is the first Chrome-trace tid used for span lanes; tids 0 and
+// 1 belong to the device's host and modeled kernel tracks.
+const spanTidBase = 2
+
+// SpanEvents converts the buffered spans into the device package's generic
+// trace events: each span becomes a complete ("X") event on tid 2+lane, with
+// its id, parent id and attributes as args.
+func (t *Tracer) SpanEvents() []device.SpanEvent {
+	spans := t.Spans()
+	evs := make([]device.SpanEvent, len(spans))
+	for i, s := range spans {
+		args := map[string]string{"span": strconv.FormatUint(s.ID, 10)}
+		if s.ParentID != 0 {
+			args["parent"] = strconv.FormatUint(s.ParentID, 10)
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		evs[i] = device.SpanEvent{
+			Name: s.Name, Start: s.Start, Dur: s.Dur,
+			Tid: spanTidBase + s.Lane, Args: args,
+		}
+	}
+	return evs
+}
+
+// WriteChromeTrace writes one Chrome-trace JSON array holding both the given
+// kernel events (tids 0 and 1, exactly as device.WriteChromeTraceEvents
+// emits them) and this tracer's spans (tids 2+). Open the result in
+// chrome://tracing or Perfetto to see framework phases above the kernels
+// they dispatched.
+func (t *Tracer) WriteChromeTrace(w io.Writer, kernels []device.KernelEvent) error {
+	var spans []device.SpanEvent
+	if t != nil {
+		spans = t.SpanEvents()
+	}
+	return device.WriteChromeTraceSpans(w, kernels, spans)
+}

@@ -51,6 +51,13 @@ var (
 	mu      sync.Mutex  // guards spawned
 	spawned int         // pool goroutines started so far
 	work    chan func() // unbuffered dispatch channel
+
+	// Occupancy telemetry, read by obs.RegisterPoolMetrics. Only the
+	// parallel (multi-chunk) path accounts here; the serial fast path stays
+	// untouched so tiny kernels pay nothing for the bookkeeping.
+	busy             atomic.Int64 // chunks executing right now
+	chunksDispatched atomic.Int64 // chunks handed to pool goroutines
+	chunksInline     atomic.Int64 // chunks run on the submitting goroutine
 )
 
 func init() {
@@ -66,6 +73,19 @@ func init() {
 
 // Workers returns the worker count For partitions against.
 func Workers() int { return int(configured.Load()) }
+
+// Busy returns the number of For chunks executing at this instant — the
+// pool-occupancy gauge of the telemetry layer.
+func Busy() int64 { return busy.Load() }
+
+// ChunksDispatched returns the cumulative number of chunks handed to pool
+// goroutines.
+func ChunksDispatched() int64 { return chunksDispatched.Load() }
+
+// ChunksInline returns the cumulative number of chunks executed inline on
+// the submitting goroutine (the caller's own chunk, plus saturation and
+// nested-parallelism fallbacks).
+func ChunksInline() int64 { return chunksInline.Load() }
 
 // SetWorkers overrides the worker count (minimum 1) and returns the previous
 // value. Raising it grows the persistent pool; lowering it only narrows
@@ -126,7 +146,9 @@ func For(n, grain int, fn func(lo, hi int)) {
 	panics := make([]any, chunks)
 	base, rem := n/chunks, n%chunks
 	run := func(c, lo, hi int) {
+		busy.Add(1)
 		defer func() {
+			busy.Add(-1)
 			if r := recover(); r != nil {
 				panics[c] = r
 			}
@@ -149,13 +171,16 @@ func For(n, grain int, fn func(lo, hi int)) {
 			task := func() { run(c, lo, hi) }
 			select {
 			case work <- task:
+				chunksDispatched.Add(1)
 			default:
 				// Pool saturated (or nested For): execute inline.
+				chunksInline.Add(1)
 				task()
 			}
 		}
 		lo = hi
 	}
+	chunksInline.Add(1)
 	run(0, lo0, hi0)
 	wg.Wait()
 	for _, p := range panics {

@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/graph"
-	"repro/internal/profile"
 )
 
 // maxRequestBytes bounds a /predict request body; graphs the size of the
@@ -34,9 +34,11 @@ type PredictResponse struct {
 
 // Handler returns the server's HTTP interface:
 //
-//	POST /predict  one-graph prediction (PredictRequest -> PredictResponse)
-//	GET  /healthz  200 while serving, 503 once draining
-//	GET  /metrics  Prometheus-style text exposition of the serving counters
+//	POST /predict      one-graph prediction (PredictRequest -> PredictResponse)
+//	GET  /healthz      200 while serving, 503 once draining
+//	GET  /metrics      Prometheus text exposition of the server's registry
+//	GET  /debug/vars   plain-text "name{labels} value" registry snapshot
+//	GET  /debug/pprof  Go runtime profiles (heap, goroutine, cpu, ...)
 //
 // Backpressure surfaces as 429, a passed deadline as 504, shutdown as 503,
 // malformed input as 400.
@@ -45,6 +47,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -109,39 +117,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.WriteMetrics(w)
 }
 
-// WriteMetrics renders the serving counters in Prometheus text exposition
-// format: queue depth, request outcomes, the batch-size histogram, and the
-// per-phase latency totals (collate / forward / other) from the profile
-// breakdown.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.reg.WriteSnapshot(w)
+}
+
+// WriteMetrics renders the server's metrics registry in Prometheus text
+// exposition format. The serving series keep the names and types of the old
+// hand-formatted exposition (gnnserve_queue_depth, gnnserve_requests_total,
+// gnnserve_responses_total, gnnserve_batches_total, gnnserve_batch_size,
+// gnnserve_phase_seconds); whatever else the caller registered — runtime,
+// device, pool collectors — renders alongside them.
 func (s *Server) WriteMetrics(w io.Writer) {
-	st := s.Stats()
-	fmt.Fprintf(w, "# TYPE gnnserve_queue_depth gauge\n")
-	fmt.Fprintf(w, "gnnserve_queue_depth %d\n", st.QueueDepth)
-	fmt.Fprintf(w, "# TYPE gnnserve_requests_total counter\n")
-	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"accepted\"} %d\n", st.Accepted)
-	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"rejected\"} %d\n", st.Rejected)
-	fmt.Fprintf(w, "gnnserve_requests_total{outcome=\"expired\"} %d\n", st.Expired)
-	fmt.Fprintf(w, "# TYPE gnnserve_responses_total counter\n")
-	fmt.Fprintf(w, "gnnserve_responses_total %d\n", st.Responded)
-	fmt.Fprintf(w, "# TYPE gnnserve_batches_total counter\n")
-	fmt.Fprintf(w, "gnnserve_batches_total %d\n", st.Batches)
-	fmt.Fprintf(w, "# TYPE gnnserve_batch_size histogram\n")
-	bounds := st.BatchSizes.Bounds()
-	for i, b := range bounds {
-		fmt.Fprintf(w, "gnnserve_batch_size_bucket{le=\"%g\"} %d\n", b, st.BatchSizes.Cumulative(i))
-	}
-	fmt.Fprintf(w, "gnnserve_batch_size_bucket{le=\"+Inf\"} %d\n", st.BatchSizes.N())
-	fmt.Fprintf(w, "gnnserve_batch_size_sum %g\n", st.BatchSizes.Sum())
-	fmt.Fprintf(w, "gnnserve_batch_size_count %d\n", st.BatchSizes.N())
-	fmt.Fprintf(w, "# TYPE gnnserve_phase_seconds counter\n")
-	for _, p := range []struct {
-		phase profile.Phase
-		name  string
-	}{
-		{profile.PhaseDataLoad, "collate"},
-		{profile.PhaseForward, "forward"},
-		{profile.PhaseOther, "other"},
-	} {
-		fmt.Fprintf(w, "gnnserve_phase_seconds{phase=%q} %g\n", p.name, st.Phases.Get(p.phase).Seconds())
-	}
+	s.reg.WritePrometheus(w)
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/fw"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tensor"
 )
@@ -63,6 +64,14 @@ type Options struct {
 	// NumFeatures, when positive, is the node-feature width requests must
 	// carry; mismatches fail with ErrInvalid before queuing.
 	NumFeatures int
+	// Registry receives the server's metrics (and is what GET /metrics and
+	// /debug/vars render, so callers can add runtime/device collectors to it
+	// for one combined scrape). Nil creates a private registry. One registry
+	// backs at most one server: the gnnserve_* names would collide.
+	Registry *obs.Registry
+	// Tracer, when non-nil, records one span per forward batch (with
+	// collate/forward children) onto the shared trace timeline.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) defaults() {
@@ -134,6 +143,24 @@ type Stats struct {
 	Phases profile.Breakdown
 }
 
+// serveMetrics holds the server's registry instruments. Every counter the
+// old hand-rolled Stats struct tracked now lives in the registry, which is
+// the single source of truth: Stats() reads back from these instruments.
+type serveMetrics struct {
+	accepted  *obs.Counter
+	rejected  *obs.Counter
+	expired   *obs.Counter
+	responded *obs.Counter
+	batches   *obs.Counter
+	batchSize *obs.Histogram
+	// phaseSeconds accumulates serving time by phase: collate (collation
+	// through the backend), forward (replica forward pass), other (response
+	// delivery and bookkeeping).
+	phaseCollate *obs.Counter
+	phaseForward *obs.Counter
+	phaseOther   *obs.Counter
+}
+
 // Server coalesces single-graph prediction requests into batched
 // forward-only passes over a replica pool. Create one with New; it is safe
 // for concurrent use.
@@ -141,6 +168,8 @@ type Server struct {
 	replicas []Replica
 	be       fw.Backend
 	opt      Options
+	reg      *obs.Registry
+	met      serveMetrics
 
 	queue chan *request
 	jobs  chan []*request
@@ -149,9 +178,6 @@ type Server struct {
 	closed bool
 
 	workers sync.WaitGroup
-
-	statsMu sync.Mutex
-	stats   Stats
 }
 
 // New starts a server dispatching to the given replicas, whose backends must
@@ -168,14 +194,33 @@ func New(replicas []Replica, opt Options) *Server {
 		}
 	}
 	opt.defaults()
+	reg := opt.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		replicas: replicas,
 		be:       be,
 		opt:      opt,
+		reg:      reg,
 		queue:    make(chan *request, opt.QueueDepth),
 		jobs:     make(chan []*request),
 	}
-	s.stats.BatchSizes = batchHistogram(opt.MaxBatch)
+	requests := reg.CounterVec("gnnserve_requests_total", "Prediction requests by admission outcome.", "outcome")
+	s.met = serveMetrics{
+		accepted:  requests.With("accepted"),
+		rejected:  requests.With("rejected"),
+		expired:   requests.With("expired"),
+		responded: reg.Counter("gnnserve_responses_total", "Requests answered (predictions and errors alike)."),
+		batches:   reg.Counter("gnnserve_batches_total", "Forward batches executed."),
+		batchSize: reg.Histogram("gnnserve_batch_size", "Live graphs per forward batch.", batchBounds(opt.MaxBatch)...),
+	}
+	phases := reg.CounterVec("gnnserve_phase_seconds", "Serving time by phase (collate/forward/other).", "phase")
+	s.met.phaseCollate = phases.With("collate")
+	s.met.phaseForward = phases.With("forward")
+	s.met.phaseOther = phases.With("other")
+	reg.GaugeFunc("gnnserve_queue_depth", "Requests queued but not yet dispatched.",
+		func() float64 { return float64(len(s.queue)) })
 	go s.coalesce()
 	s.workers.Add(len(replicas))
 	for _, r := range replicas {
@@ -184,14 +229,13 @@ func New(replicas []Replica, opt Options) *Server {
 	return s
 }
 
-// batchHistogram builds power-of-two batch-size buckets up to maxBatch.
-func batchHistogram(maxBatch int) *profile.Histogram {
+// batchBounds builds power-of-two batch-size bucket bounds up to maxBatch.
+func batchBounds(maxBatch int) []float64 {
 	var bounds []float64
 	for b := 1; b < maxBatch; b *= 2 {
 		bounds = append(bounds, float64(b))
 	}
-	bounds = append(bounds, float64(maxBatch))
-	return profile.NewHistogram(bounds...)
+	return append(bounds, float64(maxBatch))
 }
 
 // Options returns the server's effective (defaulted) options.
@@ -238,14 +282,10 @@ func (s *Server) Predict(ctx context.Context, g *graph.Graph) (Prediction, error
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.statsMu.Lock()
-		s.stats.Rejected++
-		s.statsMu.Unlock()
+		s.met.rejected.Inc()
 		return Prediction{}, ErrQueueFull
 	}
-	s.statsMu.Lock()
-	s.stats.Accepted++
-	s.statsMu.Unlock()
+	s.met.accepted.Inc()
 
 	select {
 	case res := <-req.done:
@@ -322,6 +362,7 @@ func (s *Server) runBatch(rep Replica, group []*request) {
 	}
 	var bd profile.Breakdown
 	if len(live) > 0 {
+		span := s.opt.Tracer.Start("serve-batch", obs.Int("graphs", len(live)))
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -337,9 +378,13 @@ func (s *Server) runBatch(rep Replica, group []*request) {
 				graphs[i] = r.g
 			}
 			var b *fw.Batch
+			sp := span.Child("collate")
 			bd.Time(profile.PhaseDataLoad, func() { b = s.be.Batch(graphs, dev) })
+			sp.End()
 			var logits *tensor.Tensor
+			sp = span.Child("forward")
 			bd.Time(profile.PhaseForward, func() { logits = rep.Forward(b) })
+			sp.End()
 			bd.Time(profile.PhaseOther, func() {
 				if logits == nil || logits.Rows() != b.NumGraphs {
 					rows := -1
@@ -362,16 +407,17 @@ func (s *Server) runBatch(rep Replica, group []*request) {
 				b.Release(dev)
 			})
 		}()
+		span.End()
 	}
-	s.statsMu.Lock()
-	s.stats.Expired += expired
-	s.stats.Responded += int64(len(group))
+	s.met.expired.Add(float64(expired))
+	s.met.responded.Add(float64(len(group)))
 	if len(live) > 0 {
-		s.stats.Batches++
-		s.stats.BatchSizes.Observe(float64(len(live)))
-		bd.AddInto(&s.stats.Phases)
+		s.met.batches.Inc()
+		s.met.batchSize.Observe(float64(len(live)))
+		s.met.phaseCollate.Add(bd.Get(profile.PhaseDataLoad).Seconds())
+		s.met.phaseForward.Add(bd.Get(profile.PhaseForward).Seconds())
+		s.met.phaseOther.Add(bd.Get(profile.PhaseOther).Seconds())
 	}
-	s.statsMu.Unlock()
 }
 
 // Shutdown stops intake (subsequent Predicts fail with ErrClosed) and waits
@@ -405,12 +451,28 @@ func (s *Server) Closed() bool {
 	return s.closed
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters, read back from the
+// metrics registry (each counter is individually consistent; the snapshot
+// as a whole is not a single atomic cut).
 func (s *Server) Stats() Stats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	snap := s.stats
-	snap.BatchSizes = s.stats.BatchSizes.Clone()
+	var snap Stats
 	snap.QueueDepth = len(s.queue)
+	snap.Accepted = int64(s.met.accepted.Value())
+	snap.Rejected = int64(s.met.rejected.Value())
+	snap.Expired = int64(s.met.expired.Value())
+	snap.Responded = int64(s.met.responded.Value())
+	snap.Batches = int64(s.met.batches.Value())
+	snap.BatchSizes = s.met.batchSize.Snapshot()
+	snap.Phases.Add(profile.PhaseDataLoad, secondsToDuration(s.met.phaseCollate.Value()))
+	snap.Phases.Add(profile.PhaseForward, secondsToDuration(s.met.phaseForward.Value()))
+	snap.Phases.Add(profile.PhaseOther, secondsToDuration(s.met.phaseOther.Value()))
 	return snap
 }
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// Registry returns the registry holding the server's metrics — callers add
+// runtime/device collectors here so one /metrics scrape covers everything.
+func (s *Server) Registry() *obs.Registry { return s.reg }

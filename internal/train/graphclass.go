@@ -9,6 +9,7 @@ import (
 	"repro/internal/fw"
 	"repro/internal/graph"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/profile"
@@ -30,6 +31,14 @@ type GraphOptions struct {
 	// CollectLayerTimes turns on per-layer timing (Fig 3) aggregated over
 	// the run.
 	CollectLayerTimes bool
+
+	// Metrics receives the training loop's counters and gauges (epochs,
+	// batches, per-phase seconds, losses, accuracy, peak memory,
+	// utilization); nil disables metric recording.
+	Metrics *obs.Registry
+	// Tracer records fold → epoch → batch → phase spans; nil disables
+	// tracing.
+	Tracer *obs.Tracer
 }
 
 func (o *GraphOptions) defaults() {
@@ -140,6 +149,10 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 	if opt.CollectLayerTimes {
 		res.LayerTimes = profile.NewLayerTimes()
 	}
+	tm := newTrainMetrics(opt.Metrics)
+	foldSpan := opt.Tracer.Start("fold",
+		obs.String("model", m.Name()), obs.String("framework", be.Name()), obs.String("dataset", d.Name))
+	defer foldSpan.End()
 	// The device carries the framework's runtime baseline (what nvidia-smi
 	// reports before any batch) plus the model's parameter state.
 	residentBytes := paramFootprint(m) + be.BaselineBytes()
@@ -148,6 +161,7 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 
 	order := append([]int(nil), split.Train...)
 	for epoch := 0; epoch < opt.MaxEpochs; epoch++ {
+		epochSpan := foldSpan.Child("epoch", obs.Int("epoch", epoch))
 		dev.ResetTime()
 		dev.ResetPeak()
 		var bd profile.Breakdown
@@ -161,35 +175,48 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 			if hi > len(order) {
 				hi = len(order)
 			}
+			batchSpan := epochSpan.Child("batch", obs.Int("batch", batches), obs.Int("graphs", hi-lo))
 			var b *fw.Batch
+			sp := batchSpan.Child("data-load")
 			clock.timeCollate(func() {
 				b = be.Batch(gatherGraphs(d, order[lo:hi]), dev)
 			})
 			// The batch crosses the host-device link before kernels can run.
 			bd.Add(profile.PhaseDataLoad, hostToDevice.TransferTime(b.Bytes()))
+			sp.End()
 			g := ag.New(dev)
 			var loss *ag.Node
+			sp = batchSpan.Child("forward")
 			clock.time(profile.PhaseForward, func() {
 				logits := m.Forward(g, b, true, res.LayerTimes)
 				loss = g.CrossEntropy(logits, b.Labels, nil)
 			})
+			sp.End()
+			sp = batchSpan.Child("backward")
 			clock.time(profile.PhaseBackward, func() {
 				adam.ZeroGrad()
 				g.Backward(loss)
 			})
+			sp.End()
+			sp = batchSpan.Child("update")
 			clock.time(profile.PhaseUpdate, func() {
 				adam.Step()
 			})
+			sp.End()
 			lossSum += loss.Value().Data[0]
 			batches++
+			tm.batches.Inc()
 			g.Finish()
 			b.Release(dev)
+			batchSpan.End()
 		}
 
 		var valLoss float64
+		sp := epochSpan.Child("validate")
 		clock.time(profile.PhaseOther, func() {
 			valLoss = evalGraphLoss(m, d, split.Val, opt.BatchSize, dev)
 		})
+		sp.End()
 		elapsed := bd.Total()
 		stats := EpochStats{
 			Duration:    elapsed,
@@ -200,11 +227,16 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 			ValLoss:     valLoss,
 		}
 		res.Epochs = append(res.Epochs, stats)
+		tm.observeEpoch(stats)
+		epochSpan.End()
 		if !sch.Step(valLoss) {
 			break
 		}
 	}
+	sp := foldSpan.Child("evaluate")
 	res.TestAcc = EvalGraphAcc(m, d, split.Test, opt.BatchSize, dev)
+	sp.End()
+	tm.testAcc.Set(res.TestAcc)
 	return res
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fw"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/profile"
 )
@@ -28,6 +29,10 @@ type NodeOptions struct {
 	// Patience for early stopping on validation loss; 0 disables (the paper
 	// trains with an early-stopping criterion alongside the epoch cap).
 	Patience int
+	// Metrics receives epoch counters and loss gauges; nil disables.
+	Metrics *obs.Registry
+	// Tracer records run → epoch spans; nil disables.
+	Tracer *obs.Tracer
 }
 
 // NodeResult is one training run's outcome.
@@ -59,8 +64,14 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 	opt2.SetDevice(dev)
 	stopper := &optim.EarlyStopping{Patience: opt.Patience}
 
+	tm := newTrainMetrics(opt.Metrics)
+	runSpan := opt.Tracer.Start("node-train",
+		obs.String("model", m.Name()), obs.String("framework", be.Name()), obs.String("dataset", d.Name))
+	defer runSpan.End()
+
 	var res NodeResult
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		epochSpan := runSpan.Child("epoch", obs.Int("epoch", epoch))
 		// Epoch times are reported on the modeled timeline: host work at
 		// wall time, kernels at device cost-model time (see profile.
 		// ModeledDuration) — the clock a GPU-backed run would show.
@@ -80,12 +91,21 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 		epochTime += time.Duration(s1.Kernels-s0.Kernels) * be.DispatchOverhead()
 		res.EpochTimes = append(res.EpochTimes, epochTime)
 		res.Epochs = epoch + 1
+		tm.epochs.Inc()
+		tm.epochSeconds.Observe(epochTime.Seconds())
+		tm.trainLoss.Set(res.FinalLoss)
 
+		stop := false
 		if opt.Patience > 0 {
+			sp := epochSpan.Child("validate")
 			valLoss := evalNodeLoss(m, b, d.ValIdx, dev)
-			if !stopper.Step(valLoss) {
-				break
-			}
+			sp.End()
+			tm.valLoss.Set(valLoss)
+			stop = !stopper.Step(valLoss)
+		}
+		epochSpan.End()
+		if stop {
+			break
 		}
 	}
 	var sum time.Duration
@@ -95,8 +115,11 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 	res.EpochMean = sum / time.Duration(len(res.EpochTimes))
 	res.Total = sum
 
+	sp := runSpan.Child("evaluate")
 	res.ValAcc = evalNodeAcc(m, b, d.ValIdx, dev)
 	res.TestAcc = evalNodeAcc(m, b, d.TestIdx, dev)
+	sp.End()
+	tm.testAcc.Set(res.TestAcc)
 	return res
 }
 

@@ -1,0 +1,59 @@
+package train
+
+import (
+	"repro/internal/obs"
+	"repro/internal/profile"
+)
+
+// trainMetrics bundles the training loop's registry instruments. The zero
+// value (all nil) is a valid disabled set — every obs instrument method
+// no-ops on a nil receiver — so the loops instrument unconditionally and a
+// run without a Metrics registry pays nothing but nil checks.
+type trainMetrics struct {
+	epochs       *obs.Counter
+	batches      *obs.Counter
+	epochSeconds *obs.Histogram
+	phases       [int(profile.PhaseOther) + 1]*obs.Counter
+	trainLoss    *obs.Gauge
+	valLoss      *obs.Gauge
+	testAcc      *obs.Gauge
+	peakBytes    *obs.Gauge
+	utilization  *obs.Gauge
+}
+
+// newTrainMetrics registers (or retrieves) the training instruments on r;
+// a nil registry yields the disabled set.
+func newTrainMetrics(r *obs.Registry) trainMetrics {
+	if r == nil {
+		return trainMetrics{}
+	}
+	var tm trainMetrics
+	tm.epochs = r.Counter("gnnlab_train_epochs_total", "Training epochs completed.")
+	tm.batches = r.Counter("gnnlab_train_batches_total", "Training mini-batches executed.")
+	tm.epochSeconds = r.Histogram("gnnlab_train_epoch_seconds", "Modeled epoch duration.",
+		0.001, 0.01, 0.1, 1, 10, 60, 600)
+	pv := r.CounterVec("gnnlab_train_phase_seconds_total",
+		"Modeled training time by phase (the paper's Figs 1-2 breakdown).", "phase")
+	for p := profile.PhaseDataLoad; p <= profile.PhaseOther; p++ {
+		tm.phases[p] = pv.With(p.String())
+	}
+	tm.trainLoss = r.Gauge("gnnlab_train_loss", "Mean training loss of the most recent epoch.")
+	tm.valLoss = r.Gauge("gnnlab_train_val_loss", "Validation loss of the most recent epoch.")
+	tm.testAcc = r.Gauge("gnnlab_train_test_accuracy", "Test accuracy of the most recent run (Tables IV-V analogue).")
+	tm.peakBytes = r.Gauge("gnnlab_train_peak_bytes", "Device memory high-water mark of the most recent epoch (Fig 4 analogue).")
+	tm.utilization = r.Gauge("gnnlab_train_utilization", "Device utilization of the most recent epoch, Eq. 5 (Fig 5 analogue).")
+	return tm
+}
+
+// observeEpoch records one epoch's measurements.
+func (tm *trainMetrics) observeEpoch(st EpochStats) {
+	tm.epochs.Inc()
+	tm.epochSeconds.Observe(st.Duration.Seconds())
+	for p := profile.PhaseDataLoad; p <= profile.PhaseOther; p++ {
+		tm.phases[p].Add(st.Breakdown.Get(p).Seconds())
+	}
+	tm.trainLoss.Set(st.TrainLoss)
+	tm.valLoss.Set(st.ValLoss)
+	tm.peakBytes.Set(float64(st.PeakBytes))
+	tm.utilization.Set(st.Utilization)
+}
