@@ -26,9 +26,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	jsonPath := flag.String("json", "", "also write structured results to this file")
 	metrics := flag.Bool("metrics", false, "dump the telemetry registry (Prometheus text format) after the run")
+	checkpointDir := flag.String("checkpoint-dir", "", "snapshot every training run's resumable state under this directory")
+	resume := flag.Bool("resume", false, "resume interrupted training runs from their newest checkpoints (needs -checkpoint-dir)")
 	flag.Parse()
+	if *resume && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "gnnbench: -resume needs -checkpoint-dir")
+		os.Exit(2)
+	}
 
-	s := bench.Settings{Quick: *quick, Seed: *seed, Out: os.Stdout}
+	s := bench.Settings{Quick: *quick, Seed: *seed, Out: os.Stdout,
+		CheckpointDir: *checkpointDir, Resume: *resume}
 	if *metrics {
 		s.Metrics = obs.Default()
 		obs.RegisterRuntimeMetrics(s.Metrics)
@@ -83,9 +90,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gnnbench: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := results.WriteJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "gnnbench: %v\n", err)
+		werr := results.WriteJSON(f)
+		// Close is checked explicitly (not deferred): os.Exit skips defers,
+		// and a failed close means buffered results never reached the disk —
+		// that must fail the run, not vanish.
+		cerr := f.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "gnnbench: write %s: %v\n", *jsonPath, werr)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)

@@ -9,8 +9,10 @@
 //
 // Endpoints: POST /predict, GET /healthz, GET /metrics (serving, Go runtime,
 // worker pool and per-replica device metrics from one registry), GET
-// /debug/vars, GET /debug/pprof. The -collatebench flag instead measures
-// offline collation throughput for capacity planning and exits.
+// /debug/vars, GET /debug/pprof, POST /admin/reload (zero-downtime weight
+// reload from the checkpoint source; SIGHUP triggers the same). The
+// -collatebench flag instead measures offline collation throughput for
+// capacity planning and exits.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
@@ -48,8 +51,12 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "coalescing window after a batch's first request")
 	timeout := flag.Duration("timeout", time.Second, "default per-request deadline")
 	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
+	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable GNNCKPT2 file supplies the weights, and /admin/reload or SIGHUP re-reads it")
 	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
 	flag.Parse()
+	if *checkpoint != "" && *checkpointDir != "" {
+		fatal(errors.New("-checkpoint and -checkpoint-dir are mutually exclusive"))
+	}
 
 	be, err := pickBackend(*framework)
 	if err != nil {
@@ -65,20 +72,44 @@ func main() {
 		return
 	}
 
-	m := models.New(*modelName, be, models.Config{
-		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 64, Out: 64,
-		Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
-	})
-	if *checkpoint != "" {
-		f, err := os.Open(*checkpoint)
-		if err != nil {
-			fatal(err)
+	newModel := func() models.Model {
+		return models.New(*modelName, be, models.Config{
+			Task: models.GraphClassification, In: d.NumFeatures, Hidden: 64, Out: 64,
+			Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
+		})
+	}
+	// loadWeights fills m from the configured checkpoint source. On a
+	// mismatch, nn.Load and ckpt.Read both name the offending parameter and
+	// its expected-vs-found shape; the source path is added here so the
+	// operator can tell which file disagreed with the -model flag.
+	loadWeights := func(m models.Model) error {
+		switch {
+		case *checkpointDir != "":
+			dir, err := ckpt.Open(*checkpointDir, 0)
+			if err != nil {
+				return err
+			}
+			path, err := dir.Load(&ckpt.State{Params: m.Params()})
+			if err != nil {
+				return fmt.Errorf("load checkpoint directory %s: %w", *checkpointDir, err)
+			}
+			fmt.Printf("gnnserve: loaded weights from %s\n", path)
+		case *checkpoint != "":
+			f, err := os.Open(*checkpoint)
+			if err != nil {
+				return err
+			}
+			err = nn.Load(f, m.Params())
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("load checkpoint %s: %w", *checkpoint, err)
+			}
 		}
-		err = nn.Load(f, m.Params())
-		f.Close()
-		if err != nil {
-			fatal(fmt.Errorf("load checkpoint: %w", err))
-		}
+		return nil
+	}
+	m := newModel()
+	if err := loadWeights(m); err != nil {
+		fatal(err)
 	}
 
 	// One process-wide registry: serving counters, Go runtime stats, worker
@@ -103,7 +134,39 @@ func main() {
 		Registry:    reg,
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// reload builds a fresh model, fills it from the checkpoint source, and
+	// swaps it behind every replica — zero downtime: in-flight batches finish
+	// on the old weights, later batches see the new ones.
+	reload := func() error {
+		fresh := newModel()
+		if err := loadWeights(fresh); err != nil {
+			return err
+		}
+		return srv.SwapModel(fresh)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /admin/reload", func(w http.ResponseWriter, r *http.Request) {
+		if err := reload(); err != nil {
+			http.Error(w, fmt.Sprintf("reload failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "reloaded")
+	})
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "gnnserve: SIGHUP reload failed: %v\n", err)
+			} else {
+				fmt.Println("gnnserve: SIGHUP reload complete")
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {

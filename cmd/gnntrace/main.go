@@ -38,8 +38,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	kernels, spans, err := runTrace(*modelName, *framework, *batches, 64, 0.2, f)
+	// Close is checked explicitly (not deferred): os.Exit skips defers, and
+	// a failed close means the trace never fully reached the disk.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gnntrace: %v\n", err)
 		os.Exit(1)

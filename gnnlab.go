@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/ag"
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
@@ -220,6 +221,39 @@ func SaveModel(w io.Writer, m Model) error { return nn.Save(w, m.Params()) }
 // LoadModel restores a model's parameters from r; the model must have been
 // built with the identical architecture and configuration.
 func LoadModel(r io.Reader, m Model) error { return nn.Load(r, m.Params()) }
+
+// Crash-safe training checkpoints (GNNCKPT2 training-state format).
+type (
+	// Checkpointing configures crash-safe snapshots and resume for the
+	// training recipes; embed it (zero value = disabled) via the
+	// CheckpointDir/CheckpointEvery/CheckpointKeep/Resume fields on
+	// NodeOptions, GraphOptions and DPOptions.
+	Checkpointing = train.Checkpointing
+	// CheckpointDir manages one directory of training-state checkpoints:
+	// atomic saves, keep-last-K retention and a corruption-tolerant
+	// recovery scan.
+	CheckpointDir = ckpt.Dir
+	// CheckpointState is a training run's full resumable state.
+	CheckpointState = ckpt.State
+)
+
+// ErrNoCheckpoint reports that a recovery scan found nothing recoverable.
+var ErrNoCheckpoint = ckpt.ErrNoCheckpoint
+
+// OpenCheckpointDir creates (if needed) and wraps a checkpoint directory
+// with keep-last-K retention (keep < 1 keeps everything).
+func OpenCheckpointDir(path string, keep int) (*CheckpointDir, error) { return ckpt.Open(path, keep) }
+
+// LoadModelFromCheckpointDir fills m's parameters from the newest
+// recoverable training checkpoint in dir — how a serving process pulls
+// weights out of a training run's snapshots. Returns the loaded file path.
+func LoadModelFromCheckpointDir(dir string, m Model) (string, error) {
+	d, err := ckpt.Open(dir, 0)
+	if err != nil {
+		return "", err
+	}
+	return d.Load(&ckpt.State{Params: m.Params()})
+}
 
 // Experiments (the paper's tables and figures).
 type (

@@ -40,6 +40,9 @@ func Fig6(s Settings) []Fig6Row {
 					m := buildModel(model, be, s.graphConfig(model, d, s.Seed))
 					stats, mean := train.RunDataParallel(m, d, train.DPOptions{
 						BatchSize: bs, LR: 1e-3, Epochs: 1, Cluster: cluster, Seed: s.Seed,
+						Metrics: s.Metrics,
+						Checkpointing: s.checkpointing("fig6", model, be.Name(),
+							fmt.Sprintf("bs%d-n%d", bs, n)),
 					})
 					last := stats[len(stats)-1]
 					row := Fig6Row{

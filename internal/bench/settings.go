@@ -13,12 +13,14 @@ package bench
 
 import (
 	"io"
+	"path/filepath"
 
 	"repro/internal/datasets"
 	"repro/internal/fw"
 	"repro/internal/fw/dglb"
 	"repro/internal/fw/pygeo"
 	"repro/internal/obs"
+	"repro/internal/train"
 )
 
 // Settings selects the experiment profile.
@@ -40,6 +42,25 @@ type Settings struct {
 	// (gnnlab_train_* counters, gauges and histograms) — `gnnbench -metrics`
 	// dumps it after the experiments finish.
 	Metrics *obs.Registry
+	// CheckpointDir, when set, makes every training run in Table IV/V and
+	// Fig 6 snapshot its resumable state under a per-run subdirectory of
+	// this path (`gnnbench -checkpoint-dir`); Resume makes interrupted runs
+	// pick up from their newest snapshot (`-resume`).
+	CheckpointDir string
+	Resume        bool
+}
+
+// checkpointing builds a run's checkpoint configuration, keyed so every
+// (experiment, dataset, model, framework, ...) combination gets its own
+// lineage; the zero Settings disables checkpointing.
+func (s Settings) checkpointing(parts ...string) train.Checkpointing {
+	if s.CheckpointDir == "" {
+		return train.Checkpointing{}
+	}
+	return train.Checkpointing{
+		CheckpointDir: filepath.Join(append([]string{s.CheckpointDir}, parts...)...),
+		Resume:        s.Resume,
+	}
 }
 
 func (s Settings) out() io.Writer {

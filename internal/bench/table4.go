@@ -43,7 +43,8 @@ func Table4(s Settings) []Table4Row {
 					return buildModel(model, be, s.nodeConfig(model, d, seed))
 				}, d, train.NodeOptions{
 					Epochs: s.nodeEpochs(), LR: nodeLR(model), Device: dev,
-					Metrics: s.Metrics,
+					Metrics:       s.Metrics,
+					Checkpointing: s.checkpointing("table4", d.Name, model, be.Name()),
 				}, s.nodeSeeds())
 				row := Table4Row{
 					Dataset: d.Name, Model: model, Framework: be.Name(),

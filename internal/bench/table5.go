@@ -46,7 +46,8 @@ func Table5(s Settings) []Table5Row {
 				}, d, splits, train.GraphOptions{
 					BatchSize: 128, InitLR: graphLR(model),
 					MaxEpochs: s.graphMaxEpochs(), Device: dev, Seed: s.Seed,
-					Metrics: s.Metrics,
+					Metrics:       s.Metrics,
+					Checkpointing: s.checkpointing("table5", d.Name, model, be.Name()),
 				})
 				row := Table5Row{
 					Dataset: d.Name, Model: model, Framework: be.Name(),

@@ -1,0 +1,629 @@
+// Package ckpt implements crash-safe training-state checkpoints: the
+// versioned GNNCKPT2 format carrying everything a training run needs to
+// resume bit-identically — parameters, Adam step and moments, scheduler
+// progress, random-stream positions, non-parameter buffers (BatchNorm
+// running statistics), the mini-batch permutation, and the epoch/fold/batch
+// cursors — plus atomic on-disk persistence (temp file + fsync + rename,
+// keep-last-K retention) and a recovery scan that falls back past a corrupt
+// newest file.
+//
+// nn.Save's GNNCKPT1 remains the parameter-only interchange format;
+// GNNCKPT2 is its superset for whole-training-run state. The invariant the
+// format exists for: a run interrupted after any snapshot and resumed from
+// it must produce the same final parameters and the same loss trajectory as
+// a run that was never interrupted.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/ag"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Magic identifies a GNNCKPT2 training-state checkpoint.
+var Magic = [8]byte{'G', 'N', 'N', 'C', 'K', 'P', 'T', '2'}
+
+// Decode limits, mirroring nn's: every length field is bounded before it
+// drives an allocation, because nothing in the stream is trusted until the
+// trailing CRC has been verified (which requires reading everything first).
+const (
+	maxRNGStreams = 1 << 8
+	maxRNGBytes   = 1 << 8
+	maxOrderLen   = 1 << 26
+	maxBuffers    = 1 << 16
+)
+
+// SchedKind says which (if any) stopping rule's progress a checkpoint
+// carries.
+type SchedKind uint8
+
+const (
+	// SchedNone marks a run without scheduler state (DataParallel epochs).
+	SchedNone SchedKind = iota
+	// SchedPlateau marks optim.ReduceLROnPlateau progress (graph recipe).
+	SchedPlateau
+	// SchedEarlyStop marks optim.EarlyStopping progress (node recipe).
+	SchedEarlyStop
+)
+
+// Sched is a stopping rule's progress: the best monitored value, epochs
+// without improvement, and whether any value has been fed yet.
+type Sched struct {
+	Kind    SchedKind
+	Best    float64
+	Bad     int
+	Started bool
+}
+
+// State is one training run's full resumable state. Params, Adam, RNGs and
+// Buffers are restored in place on Read — the caller wires them to the live
+// model and optimizer, and Read fills their values from the stream after
+// validating names and shapes against them.
+type State struct {
+	// Params are the model parameters, in the model's stable order.
+	Params []*ag.Parameter
+	// Adam, when non-nil, contributes/absorbs the optimizer's step count,
+	// learning rate and both moment accumulators. A file carrying Adam state
+	// read into a State without one has that section skipped — this is how
+	// a serving process pulls just the weights out of a training checkpoint.
+	Adam *optim.Adam
+	// Sched is the stopping rule's progress.
+	Sched Sched
+	// RNGs are the run's random streams (model dropout streams first, then
+	// the training loop's shuffle stream), restored position-exactly.
+	RNGs []*tensor.RNG
+	// Buffers are non-parameter state tensors, matched by name on Read.
+	Buffers []nn.Buffer
+	// Epoch, Fold and Batch are the resume cursors: counts of fully
+	// completed units, so a resumed loop starts at index Epoch.
+	Epoch, Fold, Batch int
+	// Seed is the run's base seed, recorded so a resume can detect it is
+	// being pointed at a different experiment.
+	Seed uint64
+	// Order is the training loop's persistent mini-batch permutation (the
+	// graph recipe shuffles one slice in place across epochs, so the
+	// permutation at epoch k is history-dependent and must be persisted).
+	Order []int
+}
+
+// ForModel assembles the model-owned portion of a State: parameters always,
+// buffers and random streams when the model carries them (all models in
+// this repo do — see models/state.go).
+func ForModel(m interface{ Params() []*ag.Parameter }) *State {
+	s := &State{Params: m.Params()}
+	if bc, ok := m.(nn.BufferCarrier); ok {
+		s.Buffers = bc.Buffers()
+	}
+	if rc, ok := m.(nn.RNGCarrier); ok {
+		s.RNGs = append(s.RNGs, rc.RNGStreams()...)
+	}
+	return s
+}
+
+// Write serializes s. The layout (all integers little-endian):
+//
+//	magic "GNNCKPT2"
+//	params:  u32 count | per param: u32 nameLen | name | u32 rank | u32 dims... | f64 values...
+//	adam:    u8 present | if present: u64 step | f64 lr | per-param m values | per-param v values
+//	sched:   u8 kind | f64 best | u32 bad | u8 started
+//	rngs:    u32 count | per stream: u32 len | bytes
+//	buffers: u32 count | per buffer: u32 nameLen | name | u32 rank | u32 dims... | f64 values...
+//	cursors: u64 epoch | u64 fold | u64 batch | u64 seed
+//	order:   u32 len | u32 values...
+//	u32 CRC-32 (IEEE) of everything before it
+func Write(w io.Writer, s *State) error {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write(Magic[:]); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := writeU32(cw, uint32(len(s.Params))); err != nil {
+		return err
+	}
+	for _, p := range s.Params {
+		if err := writeTensor(cw, p.Name, p.Value); err != nil {
+			return err
+		}
+	}
+	if s.Adam != nil {
+		if err := writeU8(cw, 1); err != nil {
+			return err
+		}
+		if err := writeU64(cw, uint64(s.Adam.StepCount())); err != nil {
+			return err
+		}
+		if err := writeF64(cw, s.Adam.LR()); err != nil {
+			return err
+		}
+		m, v := s.Adam.Moments()
+		if len(m) != len(s.Params) || len(v) != len(s.Params) {
+			return fmt.Errorf("ckpt: optimizer tracks %d parameters, state has %d", len(m), len(s.Params))
+		}
+		for _, moments := range [2][]*tensor.Tensor{m, v} {
+			for i, t := range moments {
+				if t.Size() != s.Params[i].Value.Size() {
+					return fmt.Errorf("ckpt: moment %d size %d does not match parameter %s size %d",
+						i, t.Size(), s.Params[i].Name, s.Params[i].Value.Size())
+				}
+				if err := writeF64s(cw, t.Data); err != nil {
+					return err
+				}
+			}
+		}
+	} else if err := writeU8(cw, 0); err != nil {
+		return err
+	}
+	if err := writeU8(cw, uint8(s.Sched.Kind)); err != nil {
+		return err
+	}
+	if err := writeF64(cw, s.Sched.Best); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(s.Sched.Bad)); err != nil {
+		return err
+	}
+	started := uint8(0)
+	if s.Sched.Started {
+		started = 1
+	}
+	if err := writeU8(cw, started); err != nil {
+		return err
+	}
+	if err := writeU32(cw, uint32(len(s.RNGs))); err != nil {
+		return err
+	}
+	for i, g := range s.RNGs {
+		b, err := g.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("ckpt: marshal RNG %d: %w", i, err)
+		}
+		if err := writeU32(cw, uint32(len(b))); err != nil {
+			return err
+		}
+		if _, err := cw.Write(b); err != nil {
+			return fmt.Errorf("ckpt: write: %w", err)
+		}
+	}
+	if err := writeU32(cw, uint32(len(s.Buffers))); err != nil {
+		return err
+	}
+	for _, b := range s.Buffers {
+		if err := writeTensor(cw, b.Name, b.T); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint64{uint64(s.Epoch), uint64(s.Fold), uint64(s.Batch), s.Seed} {
+		if err := writeU64(cw, v); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(cw, uint32(len(s.Order))); err != nil {
+		return err
+	}
+	for _, v := range s.Order {
+		if err := writeU32(cw, uint32(v)); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := w.Write(tail[:]); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+// Read restores a GNNCKPT2 stream into s: parameter values, optimizer
+// moments, scheduler progress, RNG positions, buffer values (matched by
+// name) in place, and the cursor/seed/order fields by assignment. Sections
+// the caller did not wire up (nil Adam, empty RNGs, empty Buffers) are
+// validated and skipped, so a parameter-only consumer can read a full
+// training checkpoint. Any mismatch against the supplied model state —
+// names, shapes, counts — fails with a descriptive error; every length
+// field is bounded before it drives an allocation.
+func Read(r io.Reader, s *State) error {
+	cr := &crcReader{r: r}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return fmt.Errorf("ckpt: read: %w", err)
+	}
+	if magic != Magic {
+		return fmt.Errorf("ckpt: not a training-state checkpoint (bad magic %q)", magic)
+	}
+	count, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	if count > nn.MaxParams {
+		return fmt.Errorf("ckpt: checkpoint claims %d parameters (limit %d) — corrupt", count, nn.MaxParams)
+	}
+	if int(count) != len(s.Params) {
+		return fmt.Errorf("ckpt: checkpoint has %d parameters, model has %d (wrong architecture or stale file)", count, len(s.Params))
+	}
+	for _, p := range s.Params {
+		if err := readTensorInto(cr, p.Name, p.Value); err != nil {
+			return err
+		}
+	}
+	adamPresent, err := readU8(cr)
+	if err != nil {
+		return err
+	}
+	if adamPresent > 1 {
+		return fmt.Errorf("ckpt: corrupt optimizer flag %d", adamPresent)
+	}
+	if adamPresent == 1 {
+		step, err := readU64(cr)
+		if err != nil {
+			return err
+		}
+		lr, err := readF64(cr)
+		if err != nil {
+			return err
+		}
+		if s.Adam != nil {
+			if step > math.MaxInt32 {
+				return fmt.Errorf("ckpt: implausible optimizer step count %d", step)
+			}
+			s.Adam.SetStepCount(int(step))
+			s.Adam.SetLR(lr)
+			m, v := s.Adam.Moments()
+			if len(m) != len(s.Params) || len(v) != len(s.Params) {
+				return fmt.Errorf("ckpt: optimizer tracks %d parameters, model has %d", len(m), len(s.Params))
+			}
+			for _, moments := range [2][]*tensor.Tensor{m, v} {
+				for i, t := range moments {
+					if t.Size() != s.Params[i].Value.Size() {
+						return fmt.Errorf("ckpt: moment %d size %d does not match parameter %s size %d",
+							i, t.Size(), s.Params[i].Name, s.Params[i].Value.Size())
+					}
+					if err := readF64sInto(cr, t.Data); err != nil {
+						return err
+					}
+				}
+			}
+		} else {
+			// Consume the moment payload so the rest of the stream (and the
+			// CRC) still lines up; nothing is allocated proportional to it.
+			var total int64
+			for _, p := range s.Params {
+				total += int64(p.Value.Size())
+			}
+			if _, err := io.CopyN(io.Discard, cr, 2*8*total); err != nil {
+				return fmt.Errorf("ckpt: read: %w", err)
+			}
+		}
+	}
+	kind, err := readU8(cr)
+	if err != nil {
+		return err
+	}
+	if kind > uint8(SchedEarlyStop) {
+		return fmt.Errorf("ckpt: unknown scheduler kind %d", kind)
+	}
+	best, err := readF64(cr)
+	if err != nil {
+		return err
+	}
+	bad, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	startedByte, err := readU8(cr)
+	if err != nil {
+		return err
+	}
+	if startedByte > 1 {
+		return fmt.Errorf("ckpt: corrupt scheduler flag %d", startedByte)
+	}
+	s.Sched = Sched{Kind: SchedKind(kind), Best: best, Bad: int(bad), Started: startedByte == 1}
+	nRNG, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	if nRNG > maxRNGStreams {
+		return fmt.Errorf("ckpt: checkpoint claims %d RNG streams (limit %d) — corrupt", nRNG, maxRNGStreams)
+	}
+	if len(s.RNGs) > 0 && int(nRNG) != len(s.RNGs) {
+		return fmt.Errorf("ckpt: checkpoint has %d RNG streams, run has %d", nRNG, len(s.RNGs))
+	}
+	for i := 0; i < int(nRNG); i++ {
+		n, err := readU32(cr)
+		if err != nil {
+			return err
+		}
+		if n > maxRNGBytes {
+			return fmt.Errorf("ckpt: RNG stream %d claims %d bytes (limit %d) — corrupt", i, n, maxRNGBytes)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(cr, b); err != nil {
+			return fmt.Errorf("ckpt: read: %w", err)
+		}
+		if len(s.RNGs) > 0 {
+			if err := s.RNGs[i].UnmarshalBinary(b); err != nil {
+				return fmt.Errorf("ckpt: restore RNG %d: %w", i, err)
+			}
+		}
+	}
+	nBuf, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	if nBuf > maxBuffers {
+		return fmt.Errorf("ckpt: checkpoint claims %d buffers (limit %d) — corrupt", nBuf, maxBuffers)
+	}
+	if len(s.Buffers) > 0 && int(nBuf) != len(s.Buffers) {
+		return fmt.Errorf("ckpt: checkpoint has %d buffers, model has %d", nBuf, len(s.Buffers))
+	}
+	byName := make(map[string]*tensor.Tensor, len(s.Buffers))
+	for _, b := range s.Buffers {
+		byName[b.Name] = b.T
+	}
+	for i := 0; i < int(nBuf); i++ {
+		name, err := readName(cr)
+		if err != nil {
+			return err
+		}
+		t := byName[name]
+		if len(s.Buffers) > 0 && t == nil {
+			return fmt.Errorf("ckpt: checkpoint buffer %q unknown to model", name)
+		}
+		if t != nil {
+			if err := readShapeAndValues(cr, name, t); err != nil {
+				return err
+			}
+		} else if err := discardShapeAndValues(cr, name); err != nil {
+			return err
+		}
+	}
+	cursors := make([]uint64, 4)
+	for i := range cursors {
+		if cursors[i], err = readU64(cr); err != nil {
+			return err
+		}
+	}
+	for i, v := range cursors[:3] {
+		if v > math.MaxInt32 {
+			return fmt.Errorf("ckpt: implausible cursor %d value %d", i, v)
+		}
+	}
+	s.Epoch, s.Fold, s.Batch, s.Seed = int(cursors[0]), int(cursors[1]), int(cursors[2]), cursors[3]
+	nOrder, err := readU32(cr)
+	if err != nil {
+		return err
+	}
+	if nOrder > maxOrderLen {
+		return fmt.Errorf("ckpt: checkpoint claims a %d-entry permutation (limit %d) — corrupt", nOrder, maxOrderLen)
+	}
+	order := make([]int, nOrder)
+	for i := range order {
+		v, err := readU32(cr)
+		if err != nil {
+			return err
+		}
+		order[i] = int(v)
+	}
+	s.Order = order
+	want := cr.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return fmt.Errorf("ckpt: read: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != want {
+		return fmt.Errorf("ckpt: checkpoint corrupted (crc %08x, want %08x)", got, want)
+	}
+	return nil
+}
+
+// VerifyCRC reports whether data ends with a CRC-32 trailer matching its
+// body — the cheap whole-file integrity precheck the recovery scan runs
+// before attempting a decode, so a torn or bit-flipped file is skipped
+// without mutating any live state.
+func VerifyCRC(data []byte) bool {
+	if len(data) < len(Magic)+4 {
+		return false
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	return crc32.ChecksumIEEE(body) == binary.LittleEndian.Uint32(tail)
+}
+
+func writeTensor(w io.Writer, name string, t *tensor.Tensor) error {
+	b := []byte(name)
+	if err := writeU32(w, uint32(len(b))); err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	shape := t.Shape()
+	if err := writeU32(w, uint32(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := writeU32(w, uint32(d)); err != nil {
+			return err
+		}
+	}
+	return writeF64s(w, t.Data)
+}
+
+// readTensorInto reads one name/shape/values record, requiring the name and
+// shape to match the target exactly.
+func readTensorInto(r io.Reader, wantName string, t *tensor.Tensor) error {
+	name, err := readName(r)
+	if err != nil {
+		return err
+	}
+	if name != wantName {
+		return fmt.Errorf("ckpt: checkpoint parameter %q does not match model parameter %q (shape %v)", name, wantName, t.Shape())
+	}
+	return readShapeAndValues(r, name, t)
+}
+
+func readName(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > nn.MaxNameLen {
+		return "", fmt.Errorf("ckpt: checkpoint claims a %d-byte name (limit %d) — corrupt", n, nn.MaxNameLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("ckpt: read: %w", err)
+	}
+	return string(b), nil
+}
+
+func readShapeAndValues(r io.Reader, name string, t *tensor.Tensor) error {
+	rank, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	shape := t.Shape()
+	if rank > nn.MaxRank {
+		return fmt.Errorf("ckpt: checkpoint claims rank %d for %s (limit %d) — corrupt", rank, name, nn.MaxRank)
+	}
+	if int(rank) != len(shape) {
+		return fmt.Errorf("ckpt: %s has rank %d in checkpoint, model expects shape %v", name, rank, shape)
+	}
+	for i := 0; i < int(rank); i++ {
+		d, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if int(d) != shape[i] {
+			return fmt.Errorf("ckpt: %s dim %d is %d in checkpoint, model expects shape %v", name, i, d, shape)
+		}
+	}
+	return readF64sInto(r, t.Data)
+}
+
+// discardShapeAndValues consumes one shape+values payload without
+// allocating for it (the skip path for buffers the caller did not wire up).
+func discardShapeAndValues(r io.Reader, name string) error {
+	rank, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	if rank > nn.MaxRank {
+		return fmt.Errorf("ckpt: checkpoint claims rank %d for %s (limit %d) — corrupt", rank, name, nn.MaxRank)
+	}
+	size := int64(1)
+	for i := 0; i < int(rank); i++ {
+		d, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		size *= int64(d)
+	}
+	if _, err := io.CopyN(io.Discard, r, 8*size); err != nil {
+		return fmt.Errorf("ckpt: read: %w", err)
+	}
+	return nil
+}
+
+func writeF64s(w io.Writer, data []float64) error {
+	buf := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+func readF64sInto(r io.Reader, data []float64) error {
+	buf := make([]byte, 8*len(data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("ckpt: read: %w", err)
+	}
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return nil
+}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU8(w io.Writer, v uint8) error {
+	if _, err := w.Write([]byte{v}); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+func readU8(r io.Reader) (uint8, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("ckpt: read: %w", err)
+	}
+	return b[0], nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("ckpt: read: %w", err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func writeU64(w io.Writer, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	return nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("ckpt: read: %w", err)
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func writeF64(w io.Writer, v float64) error { return writeU64(w, math.Float64bits(v)) }
+
+func readF64(r io.Reader) (float64, error) {
+	v, err := readU64(r)
+	return math.Float64frombits(v), err
+}

@@ -1,0 +1,314 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// trainedState builds a small MLP mid-training: a few Adam steps applied,
+// RNG streams advanced, a buffer mutated — realistic state for round-trips.
+func trainedState(t *testing.T, seed uint64) (*State, *nn.MLP, *optim.Adam, *tensor.RNG, *tensor.Tensor) {
+	t.Helper()
+	m := nn.NewMLP(tensor.NewRNG(seed), "mlp", 4, 6, 3)
+	adam := optim.NewAdam(m.Params(), 1e-3)
+	for step := 0; step < 3; step++ {
+		for _, p := range m.Params() {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = float64(i%5) * 0.1
+			}
+		}
+		adam.Step()
+	}
+	loop := tensor.NewRNG(seed ^ 0x77)
+	for i := 0; i < 13; i++ {
+		loop.Float64() // advance the stream off its seed position
+	}
+	buf := tensor.New(6)
+	for i := range buf.Data {
+		buf.Data[i] = float64(i) * 0.25
+	}
+	s := &State{
+		Params:  m.Params(),
+		Adam:    adam,
+		Sched:   Sched{Kind: SchedPlateau, Best: 0.321, Bad: 4, Started: true},
+		RNGs:    []*tensor.RNG{loop},
+		Buffers: []nn.Buffer{{Name: "bn.run_mean", T: buf}},
+		Epoch:   17, Fold: 2, Batch: 5, Seed: seed,
+		Order: []int{3, 1, 4, 1, 5, 9, 2, 6},
+	}
+	return s, m, adam, loop, buf
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	src, _, srcAdam, srcLoop, srcBuf := trainedState(t, 1)
+	var w bytes.Buffer
+	if err := Write(&w, src); err != nil {
+		t.Fatal(err)
+	}
+
+	// A freshly built destination with different values everywhere.
+	dst, dstM, dstAdam, dstLoop, dstBuf := trainedState(t, 99)
+	dst.Epoch, dst.Fold, dst.Batch, dst.Seed, dst.Order = 0, 0, 0, 0, nil
+	dst.Sched = Sched{}
+	if err := Read(bytes.NewReader(w.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, p := range src.Params {
+		if !tensor.AllClose(p.Value, dstM.Params()[i].Value, 0, 0) {
+			t.Fatalf("parameter %s not restored", p.Name)
+		}
+	}
+	if dstAdam.StepCount() != srcAdam.StepCount() || dstAdam.LR() != srcAdam.LR() {
+		t.Fatalf("adam step/lr: got %d/%v want %d/%v",
+			dstAdam.StepCount(), dstAdam.LR(), srcAdam.StepCount(), srcAdam.LR())
+	}
+	sm, sv := srcAdam.Moments()
+	dm, dv := dstAdam.Moments()
+	for i := range sm {
+		if !tensor.AllClose(sm[i], dm[i], 0, 0) || !tensor.AllClose(sv[i], dv[i], 0, 0) {
+			t.Fatalf("moment %d not restored", i)
+		}
+	}
+	if dst.Sched != src.Sched {
+		t.Fatalf("sched: got %+v want %+v", dst.Sched, src.Sched)
+	}
+	if !tensor.AllClose(srcBuf, dstBuf, 0, 0) {
+		t.Fatal("buffer not restored")
+	}
+	if dst.Epoch != 17 || dst.Fold != 2 || dst.Batch != 5 || dst.Seed != 1 {
+		t.Fatalf("cursors: %d/%d/%d/%d", dst.Epoch, dst.Fold, dst.Batch, dst.Seed)
+	}
+	if len(dst.Order) != len(src.Order) {
+		t.Fatalf("order length %d, want %d", len(dst.Order), len(src.Order))
+	}
+	for i := range src.Order {
+		if dst.Order[i] != src.Order[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, dst.Order[i], src.Order[i])
+		}
+	}
+	// The restored stream must continue with exactly the draws the source
+	// stream produces next — the bit-identical-resume invariant.
+	for i := 0; i < 20; i++ {
+		if a, b := srcLoop.Float64(), dstLoop.Float64(); a != b {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestReadParamsOnlyConsumer(t *testing.T) {
+	src, _, _, _, _ := trainedState(t, 2)
+	var w bytes.Buffer
+	if err := Write(&w, src); err != nil {
+		t.Fatal(err)
+	}
+	// A serving process: wires only the parameters, no optimizer, no
+	// streams, no buffers. The rest of the stream must be skipped cleanly.
+	m2 := nn.NewMLP(tensor.NewRNG(50), "mlp", 4, 6, 3)
+	dst := &State{Params: m2.Params()}
+	if err := Read(bytes.NewReader(w.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params {
+		if !tensor.AllClose(p.Value, m2.Params()[i].Value, 0, 0) {
+			t.Fatalf("parameter %s not restored", p.Name)
+		}
+	}
+	if dst.Epoch != src.Epoch || dst.Seed != src.Seed {
+		t.Fatalf("cursors not restored: %d/%d", dst.Epoch, dst.Seed)
+	}
+}
+
+func TestReadRejectsMismatch(t *testing.T) {
+	src, _, _, _, _ := trainedState(t, 3)
+	var w bytes.Buffer
+	if err := Write(&w, src); err != nil {
+		t.Fatal(err)
+	}
+	wrong := nn.NewMLP(tensor.NewRNG(3), "mlp", 4, 8, 3) // different widths
+	if err := Read(bytes.NewReader(w.Bytes()), &State{Params: wrong.Params()}); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+	renamed := nn.NewMLP(tensor.NewRNG(3), "other", 4, 6, 3)
+	err := Read(bytes.NewReader(w.Bytes()), &State{Params: renamed.Params()})
+	if err == nil || !strings.Contains(err.Error(), "does not match model parameter") {
+		t.Fatalf("name mismatch must fail descriptively, got %v", err)
+	}
+}
+
+func TestReadRejectsCorruptionAndGarbage(t *testing.T) {
+	src, _, _, _, _ := trainedState(t, 4)
+	var w bytes.Buffer
+	if err := Write(&w, src); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), w.Bytes()...)
+	data[len(data)-9] ^= 0x40
+	dst, _, _, _, _ := trainedState(t, 4)
+	if err := Read(bytes.NewReader(data), dst); err == nil {
+		t.Fatal("bit flip must be detected")
+	}
+	if VerifyCRC(data) {
+		t.Fatal("VerifyCRC accepted a flipped payload")
+	}
+	if !VerifyCRC(w.Bytes()) {
+		t.Fatal("VerifyCRC rejected a valid checkpoint")
+	}
+	if VerifyCRC(w.Bytes()[:len(w.Bytes())/2]) {
+		t.Fatal("VerifyCRC accepted a truncation")
+	}
+	if err := Read(bytes.NewReader([]byte("GNNCKPT2 but then garbage")), dst); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestDirSaveLoadRetention(t *testing.T) {
+	dir, err := Open(filepath.Join(t.TempDir(), "ckpts"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _, _, _ := trainedState(t, 5)
+	for epoch := 1; epoch <= 6; epoch++ {
+		s.Epoch = epoch
+		s.Params[0].Value.Data[0] = float64(epoch)
+		if _, err := dir.Save(s); err != nil {
+			t.Fatalf("save epoch %d: %v", epoch, err)
+		}
+	}
+	names := dir.List()
+	if len(names) != 3 {
+		t.Fatalf("retention kept %d files (%v), want 3", len(names), names)
+	}
+	dst, dstM, _, _, _ := trainedState(t, 55)
+	path, err := dir.Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, fileName(6)) {
+		t.Fatalf("loaded %s, want newest", path)
+	}
+	if dst.Epoch != 6 || dstM.Params()[0].Value.Data[0] != 6 {
+		t.Fatalf("loaded epoch %d value %v, want 6/6", dst.Epoch, dstM.Params()[0].Value.Data[0])
+	}
+}
+
+func TestDirLoadFallsBackPastCorruptNewest(t *testing.T) {
+	dir, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _, _, _ := trainedState(t, 6)
+	for epoch := 1; epoch <= 3; epoch++ {
+		s.Epoch = epoch
+		if _, err := dir.Save(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flip a byte in the newest committed file.
+	newest := filepath.Join(dir.Path(), fileName(3))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst, _, _, _, _ := trainedState(t, 66)
+	path, err := dir.Load(dst)
+	if err != nil {
+		t.Fatalf("scan must fall back past the corrupt newest: %v", err)
+	}
+	if !strings.HasSuffix(path, fileName(2)) || dst.Epoch != 2 {
+		t.Fatalf("loaded %s (epoch %d), want the epoch-2 fallback", path, dst.Epoch)
+	}
+
+	// Corrupt everything: the scan reports ErrNoCheckpoint with details.
+	for _, name := range dir.List() {
+		p := filepath.Join(dir.Path(), name)
+		d, _ := os.ReadFile(p)
+		d[0] ^= 0xff
+		os.WriteFile(p, d, 0o644)
+	}
+	if _, err := dir.Load(dst); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestDirSaveFailpointLeavesPreviousValid(t *testing.T) {
+	defer faults.Reset()
+	dir, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	dir.SetMetrics(NewMetrics(reg))
+	s, _, _, _, _ := trainedState(t, 7)
+	s.Epoch = 1
+	s.Params[0].Value.Data[0] = 1
+	if _, err := dir.Save(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the next save partway through the byte stream — a torn write.
+	faults.Enable(WriteFailpoint, 64)
+	s.Epoch = 2
+	s.Params[0].Value.Data[0] = 2
+	if _, err := dir.Save(s); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	faults.Disable(WriteFailpoint)
+
+	dst, dstM, _, _, _ := trainedState(t, 77)
+	path, err := dir.Load(dst)
+	if err != nil {
+		t.Fatalf("previous checkpoint must stay recoverable: %v", err)
+	}
+	if !strings.HasSuffix(path, fileName(1)) || dstM.Params()[0].Value.Data[0] != 1 {
+		t.Fatalf("recovered %s value %v, want the epoch-1 file", path, dstM.Params()[0].Value.Data[0])
+	}
+
+	// The failed attempt's temp file must not survive the next save.
+	if _, err := dir.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir.Path())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("stale temp file %s not swept", e.Name())
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`ckpt_saves_total{outcome="ok"} 2`,
+		`ckpt_saves_total{outcome="error"} 1`,
+		"ckpt_saved_bytes_total",
+		"ckpt_save_seconds_total",
+		"ckpt_last_save_age_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestOpenRejectsEmptyPath(t *testing.T) {
+	if _, err := Open("", 3); err == nil {
+		t.Fatal("empty path must fail")
+	}
+}

@@ -1,0 +1,193 @@
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// FileSuffix is the extension of committed checkpoint files.
+const FileSuffix = ".gnnckpt"
+
+// tmpPrefix marks in-flight writes; the recovery scan ignores them and Save
+// sweeps leftovers from crashed predecessors.
+const tmpPrefix = ".tmp-"
+
+// WriteFailpoint is the faults name armed to fail a checkpoint write at
+// byte k — the tests' stand-in for a full disk or a crash mid-write.
+const WriteFailpoint = "ckpt.write"
+
+// ErrNoCheckpoint reports that the recovery scan found no decodable
+// checkpoint (an empty directory, or every candidate corrupt).
+var ErrNoCheckpoint = errors.New("ckpt: no valid checkpoint found")
+
+// Dir manages one directory of checkpoints for one training run: atomic
+// saves (temp file in the same directory + fsync + rename + directory
+// fsync), keep-last-K retention, and a newest-first recovery scan that
+// falls back past files whose CRC no longer verifies. File names embed the
+// epoch cursor zero-padded so lexicographic order is recency order.
+type Dir struct {
+	path string
+	keep int
+	met  *Metrics
+}
+
+// Open creates (if needed) and wraps a checkpoint directory. keep is the
+// retention count; values < 1 keep every checkpoint.
+func Open(path string, keep int) (*Dir, error) {
+	if path == "" {
+		return nil, errors.New("ckpt: empty checkpoint directory path")
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: create directory: %w", err)
+	}
+	return &Dir{path: path, keep: keep}, nil
+}
+
+// Path returns the managed directory.
+func (d *Dir) Path() string { return d.path }
+
+// SetMetrics wires save instrumentation; nil disables (the default).
+func (d *Dir) SetMetrics(m *Metrics) { d.met = m }
+
+// fileName renders the committed name for a state's epoch cursor.
+func fileName(epoch int) string { return fmt.Sprintf("ckpt-%08d%s", epoch, FileSuffix) }
+
+// Save atomically persists s as the checkpoint for its Epoch cursor and
+// prunes past the retention limit. A failure at any point — including an
+// armed WriteFailpoint — leaves previously committed checkpoints untouched:
+// the temp file is created in the same directory and renamed over the final
+// name only after a successful flush, fsync and close.
+func (d *Dir) Save(s *State) (string, error) {
+	start := time.Now()
+	path, n, err := d.save(s)
+	d.met.observeSave(n, time.Since(start), err)
+	return path, err
+}
+
+func (d *Dir) save(s *State) (string, int64, error) {
+	final := filepath.Join(d.path, fileName(s.Epoch))
+	tmp := filepath.Join(d.path, tmpPrefix+fileName(s.Epoch))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", 0, fmt.Errorf("ckpt: create temp file: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	n := int64(buf.Len())
+	// The encoded bytes stream to disk through the write failpoint so tests
+	// can prove a torn write never shadows the previous valid checkpoint.
+	bw := bufio.NewWriter(faults.Writer(WriteFailpoint, f))
+	_, werr := bw.Write(buf.Bytes())
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", n, fmt.Errorf("ckpt: write %s: %w", tmp, werr)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", n, fmt.Errorf("ckpt: fsync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", n, fmt.Errorf("ckpt: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", n, fmt.Errorf("ckpt: commit %s: %w", final, err)
+	}
+	// Persist the rename itself. Directory fsync is advisory on some
+	// filesystems; a failure here does not invalidate the committed file.
+	if df, err := os.Open(d.path); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	d.prune()
+	return final, n, nil
+}
+
+// List returns the committed checkpoint names, oldest first.
+func (d *Dir) List() []string {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), FileSuffix) && !strings.HasPrefix(e.Name(), tmpPrefix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// prune removes committed checkpoints beyond the retention limit (oldest
+// first) and sweeps temp files left by crashed writers.
+func (d *Dir) prune() {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(d.path, e.Name()))
+		}
+	}
+	if d.keep < 1 {
+		return
+	}
+	names := d.List()
+	for len(names) > d.keep {
+		os.Remove(filepath.Join(d.path, names[0]))
+		names = names[1:]
+	}
+}
+
+// Load restores the newest recoverable checkpoint into s: candidates are
+// tried newest first, each prechecked with VerifyCRC over the whole file
+// before any decode touches live state, so a corrupt or torn newest file
+// falls back to the previous one. Returns the loaded file's path, or
+// ErrNoCheckpoint when nothing in the directory is recoverable (each
+// candidate's failure is collected into the error).
+func (d *Dir) Load(s *State) (string, error) {
+	names := d.List()
+	var failures []string
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(d.path, names[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", names[i], err))
+			continue
+		}
+		if !VerifyCRC(data) {
+			failures = append(failures, fmt.Sprintf("%s: CRC mismatch", names[i]))
+			continue
+		}
+		if err := Read(bytes.NewReader(data), s); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", names[i], err))
+			continue
+		}
+		return path, nil
+	}
+	if len(failures) == 0 {
+		return "", fmt.Errorf("%w in %s", ErrNoCheckpoint, d.path)
+	}
+	return "", fmt.Errorf("%w in %s (%s)", ErrNoCheckpoint, d.path, strings.Join(failures, "; "))
+}

@@ -1,0 +1,65 @@
+package ckpt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics instruments checkpoint persistence on an obs registry:
+//
+//	ckpt_saves_total{outcome}     saves by outcome (ok|error)
+//	ckpt_saved_bytes_total        encoded bytes committed by successful saves
+//	ckpt_save_seconds_total       time spent encoding + persisting
+//	ckpt_last_save_age_seconds    seconds since the last successful save
+//
+// The age gauge is the operator's staleness alarm: on a healthy run it saws
+// between 0 and the snapshot interval; a climb past the interval means
+// saves are failing or training has stalled, and its current value bounds
+// the work a crash right now would lose. The zero/nil Metrics disables
+// recording, mirroring the repo's other instrument bundles.
+type Metrics struct {
+	ok       *obs.Counter
+	errs     *obs.Counter
+	bytes    *obs.Counter
+	seconds  *obs.Counter
+	lastSave atomic.Int64 // unix nanos of the last successful save; 0 = never
+}
+
+// NewMetrics registers (or retrieves) the checkpoint instruments on r; a
+// nil registry yields the disabled set.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{}
+	saves := r.CounterVec("ckpt_saves_total", "Training-state checkpoint saves by outcome.", "outcome")
+	m.ok = saves.With("ok")
+	m.errs = saves.With("error")
+	m.bytes = r.Counter("ckpt_saved_bytes_total", "Encoded bytes committed by successful checkpoint saves.")
+	m.seconds = r.Counter("ckpt_save_seconds_total", "Time spent encoding and persisting checkpoints.")
+	r.GaugeFunc("ckpt_last_save_age_seconds", "Seconds since the last successful checkpoint save (0 before the first).",
+		func() float64 {
+			at := m.lastSave.Load()
+			if at == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, at)).Seconds()
+		})
+	return m
+}
+
+func (m *Metrics) observeSave(bytes int64, dur time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	m.seconds.Add(dur.Seconds())
+	if err != nil {
+		m.errs.Inc()
+		return
+	}
+	m.ok.Inc()
+	m.bytes.Add(float64(bytes))
+	m.lastSave.Store(time.Now().UnixNano())
+}

@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriterFailsAtByte(t *testing.T) {
+	defer Reset()
+	Enable("w", 5)
+	var buf bytes.Buffer
+	w := Writer("w", &buf)
+	if n, err := w.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := w.Write([]byte("defgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 2 || buf.String() != "abcde" {
+		t.Fatalf("partial write wrong: n=%d buf=%q", n, buf.String())
+	}
+	if Hits("w") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("w"))
+	}
+}
+
+func TestWriterUnarmedPassthrough(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	w := Writer("unused", &buf)
+	if _, err := w.Write([]byte(strings.Repeat("x", 1024))); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 1024 {
+		t.Fatalf("wrote %d bytes, want 1024", buf.Len())
+	}
+}
+
+func TestAt(t *testing.T) {
+	defer Reset()
+	Enable("crash", 3)
+	for i := int64(0); i < 6; i++ {
+		want := i == 3
+		if got := At("crash", i); got != want {
+			t.Fatalf("At(crash, %d) = %v, want %v", i, got, want)
+		}
+	}
+	Disable("crash")
+	if At("crash", 3) {
+		t.Fatal("disabled failpoint fired")
+	}
+}
+
+func TestRearmResetsHits(t *testing.T) {
+	defer Reset()
+	Enable("p", 1)
+	At("p", 1)
+	Enable("p", 2)
+	if Hits("p") != 0 {
+		t.Fatalf("re-arm must reset hits, got %d", Hits("p"))
+	}
+	if n, ok := Armed("p"); !ok || n != 2 {
+		t.Fatalf("Armed = %d,%v want 2,true", n, ok)
+	}
+}

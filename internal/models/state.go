@@ -1,0 +1,59 @@
+package models
+
+import (
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file makes every model a checkpointable state carrier. A training-
+// state checkpoint that captured only Params() would not resume
+// bit-identically: BatchNorm running statistics mutate during training
+// without ever passing through the optimizer, and dropout draws masks from
+// a private stream whose position advances every training forward. Both are
+// exposed through nn's optional carrier interfaces so the checkpoint layer
+// can persist them generically, without knowing one architecture from
+// another.
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *GCN) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *GAT) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *GraphSAGE) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *GIN) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *MoNet) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *GatedGCN) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// RNGStreams implements nn.RNGCarrier.
+func (m *MLPBaseline) RNGStreams() []*tensor.RNG { return m.drop.RNGStreams() }
+
+// Buffers implements nn.BufferCarrier: GIN's per-layer BatchNorm running
+// statistics.
+func (m *GIN) Buffers() []nn.Buffer {
+	var bs []nn.Buffer
+	for _, bn := range m.bns {
+		bs = append(bs, bn.Buffers()...)
+	}
+	return bs
+}
+
+// Buffers implements nn.BufferCarrier: GatedGCN's per-layer node (and, with
+// edge state, edge) BatchNorm running statistics.
+func (m *GatedGCN) Buffers() []nn.Buffer {
+	var bs []nn.Buffer
+	for _, l := range m.layers {
+		bs = append(bs, l.bnH.Buffers()...)
+		if l.bnE != nil {
+			bs = append(bs, l.bnE.Buffers()...)
+		}
+	}
+	return bs
+}

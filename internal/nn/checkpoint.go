@@ -22,6 +22,21 @@ import (
 
 var ckptMagic = [8]byte{'G', 'N', 'N', 'C', 'K', 'P', 'T', '1'}
 
+// Decode limits. The stream's length fields are attacker-controlled until
+// the trailing CRC is verified, which happens only after everything has been
+// read — so every count is bounded against these sanity caps (and against
+// the model's own expectations) before a single byte-sized allocation
+// happens. A corrupt or adversarial checkpoint fails with a descriptive
+// error instead of demanding gigabytes.
+const (
+	// MaxParams bounds the per-checkpoint parameter count.
+	MaxParams = 1 << 16
+	// MaxNameLen bounds one parameter name's byte length.
+	MaxNameLen = 1 << 10
+	// MaxRank bounds one parameter's tensor rank.
+	MaxRank = 8
+)
+
 // Save serializes the parameters to w.
 func Save(w io.Writer, params []*ag.Parameter) error {
 	cw := &crcWriter{w: w}
@@ -80,28 +95,37 @@ func Load(r io.Reader, params []*ag.Parameter) error {
 	if err != nil {
 		return err
 	}
+	if count > MaxParams {
+		return fmt.Errorf("nn: checkpoint claims %d parameters (limit %d) — corrupt or not a checkpoint", count, MaxParams)
+	}
 	if int(count) != len(params) {
-		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d (wrong architecture or stale file)", count, len(params))
 	}
 	for _, p := range params {
 		nameLen, err := readU32(cr)
 		if err != nil {
 			return err
 		}
+		if nameLen > MaxNameLen {
+			return fmt.Errorf("nn: checkpoint claims a %d-byte parameter name (limit %d) where model expects %q — corrupt or not a checkpoint", nameLen, MaxNameLen, p.Name)
+		}
 		name := make([]byte, nameLen)
 		if _, err := io.ReadFull(cr, name); err != nil {
 			return fmt.Errorf("nn: checkpoint read: %w", err)
 		}
 		if string(name) != p.Name {
-			return fmt.Errorf("nn: checkpoint parameter %q does not match model parameter %q", name, p.Name)
+			return fmt.Errorf("nn: checkpoint parameter %q does not match model parameter %q (shape %v)", name, p.Name, p.Value.Shape())
 		}
 		rank, err := readU32(cr)
 		if err != nil {
 			return err
 		}
 		shape := p.Value.Shape()
+		if rank > MaxRank {
+			return fmt.Errorf("nn: checkpoint claims rank %d for %s (limit %d) — corrupt or not a checkpoint", rank, p.Name, MaxRank)
+		}
 		if int(rank) != len(shape) {
-			return fmt.Errorf("nn: %s rank %d in checkpoint, %d in model", p.Name, rank, len(shape))
+			return fmt.Errorf("nn: %s has rank %d in checkpoint, model expects shape %v", p.Name, rank, shape)
 		}
 		for i := 0; i < int(rank); i++ {
 			d, err := readU32(cr)
@@ -109,7 +133,7 @@ func Load(r io.Reader, params []*ag.Parameter) error {
 				return err
 			}
 			if int(d) != shape[i] {
-				return fmt.Errorf("nn: %s dim %d is %d in checkpoint, %d in model", p.Name, i, d, shape[i])
+				return fmt.Errorf("nn: %s dim %d is %d in checkpoint, model expects shape %v", p.Name, i, d, shape)
 			}
 		}
 		buf := make([]byte, 8*len(p.Value.Data))

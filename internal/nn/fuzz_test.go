@@ -1,0 +1,77 @@
+package nn_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// fuzzModel is the small fixed architecture every fuzz iteration decodes
+// into; fresh per call so a partially applied corrupt load cannot leak state
+// between iterations.
+func fuzzModel() *nn.MLP { return nn.NewMLP(tensor.NewRNG(1), "mlp", 3, 4, 2) }
+
+// FuzzCheckpointLoad drives both checkpoint decoders — nn.Load (GNNCKPT1,
+// parameter-only) and ckpt.Read (GNNCKPT2, full training state) — with
+// arbitrary bytes. Seeds cover both valid formats plus truncations and bit
+// flips of each. The contract: never panic, never allocate from an
+// attacker-sized length field, and reject anything whose CRC or structure
+// does not check out with an error.
+func FuzzCheckpointLoad(f *testing.F) {
+	m := fuzzModel()
+	var v1 bytes.Buffer
+	if err := nn.Save(&v1, m.Params()); err != nil {
+		f.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	st := ckpt.ForModel(m)
+	st.Adam = optim.NewAdam(m.Params(), 1e-3)
+	st.Sched = ckpt.Sched{Kind: ckpt.SchedPlateau, Best: 0.5, Bad: 1, Started: true}
+	st.RNGs = []*tensor.RNG{tensor.NewRNG(2)}
+	st.Epoch, st.Seed, st.Order = 3, 9, []int{2, 0, 1}
+	if err := ckpt.Write(&v2, st); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte{})
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	for _, valid := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		f.Add(valid[:len(valid)/3]) // truncation
+		f.Add(valid[:len(valid)-1]) // lost last byte (CRC torn)
+		for _, at := range []int{0, 9, len(valid) / 2, len(valid) - 2} {
+			flipped := append([]byte(nil), valid...)
+			flipped[at] ^= 0x10
+			f.Add(flipped)
+		}
+		grown := append(append([]byte(nil), valid...), 0xff, 0xff, 0xff, 0xff)
+		f.Add(grown) // trailing garbage
+	}
+	// Huge claimed parameter count right after a valid magic: the bounded
+	// decode path must reject, not allocate.
+	f.Add(append([]byte("GNNCKPT1"), 0xff, 0xff, 0xff, 0xff))
+	f.Add(append([]byte("GNNCKPT2"), 0xff, 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1 := fuzzModel()
+		if err := nn.Load(bytes.NewReader(data), m1.Params()); err == nil {
+			// Accepted: must be byte-identical under re-save, i.e. a real
+			// GNNCKPT1 checkpoint for this architecture.
+			var out bytes.Buffer
+			if err := nn.Save(&out, m1.Params()); err != nil {
+				t.Fatalf("re-save after accepted load: %v", err)
+			}
+		}
+
+		m2 := fuzzModel()
+		s := ckpt.ForModel(m2)
+		s.Adam = optim.NewAdam(m2.Params(), 1e-3)
+		_ = ckpt.Read(bytes.NewReader(data), s)
+
+		_ = ckpt.VerifyCRC(data)
+	})
+}

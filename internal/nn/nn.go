@@ -17,6 +17,31 @@ type Module interface {
 	Params() []*ag.Parameter
 }
 
+// Buffer is a named non-parameter state tensor: state the optimizer never
+// touches but a training-state checkpoint must persist (BatchNorm running
+// statistics). The tensor is shared, not copied — a checkpoint decoder
+// restores values in place.
+type Buffer struct {
+	Name string
+	T    *tensor.Tensor
+}
+
+// BufferCarrier is the optional interface of modules and models that own
+// non-parameter state tensors; checkpointing captures what it returns.
+type BufferCarrier interface {
+	// Buffers returns the carrier's state tensors in a stable order.
+	Buffers() []Buffer
+}
+
+// RNGCarrier is the optional interface of modules and models that own
+// internal random streams (dropout masks); crash-safe resume restores their
+// exact positions so a resumed run draws the same masks an uninterrupted
+// one would.
+type RNGCarrier interface {
+	// RNGStreams returns the carrier's random streams in a stable order.
+	RNGStreams() []*tensor.RNG
+}
+
 // ParamsOf concatenates the parameters of several modules.
 func ParamsOf(ms ...Module) []*ag.Parameter {
 	var ps []*ag.Parameter
@@ -126,6 +151,15 @@ func (b *BatchNorm1d) Apply(g *ag.Graph, x *ag.Node, training bool) *ag.Node {
 // Params implements Module.
 func (b *BatchNorm1d) Params() []*ag.Parameter { return []*ag.Parameter{b.Gamma, b.Beta} }
 
+// Buffers implements BufferCarrier: the running statistics evaluation mode
+// reads are training state, not parameters, so checkpoints carry them.
+func (b *BatchNorm1d) Buffers() []Buffer {
+	return []Buffer{
+		{Name: b.Gamma.Name + ".run_mean", T: b.RunMean},
+		{Name: b.Gamma.Name + ".run_var", T: b.RunVar},
+	}
+}
+
 // Dropout zeroes activations with probability P during training.
 type Dropout struct {
 	P   float64
@@ -144,6 +178,10 @@ func (d *Dropout) Apply(g *ag.Graph, x *ag.Node, training bool) *ag.Node {
 
 // Params implements Module (dropout has none).
 func (d *Dropout) Params() []*ag.Parameter { return nil }
+
+// RNGStreams implements RNGCarrier: the mask stream's position is training
+// state a bit-identical resume must restore.
+func (d *Dropout) RNGStreams() []*tensor.RNG { return []*tensor.RNG{d.rng} }
 
 // MLP is a stack of Linear+ReLU layers with a linear output, used as the
 // graph-classifier readout head in the paper's Sec. IV-B setup.

@@ -32,7 +32,9 @@ func TestProjectMetricsLint(t *testing.T) {
 		Task: models.NodeClassification, In: d.NumFeatures, Hidden: 8,
 		Classes: d.NumClasses, Layers: 2, Seed: 1,
 	})
-	train.TrainNode(m, d, train.NodeOptions{Epochs: 2, LR: 0.01, Metrics: reg})
+	// Checkpointing enabled so the ckpt_* instruments join the surface.
+	train.TrainNode(m, d, train.NodeOptions{Epochs: 2, LR: 0.01, Metrics: reg,
+		Checkpointing: train.Checkpointing{CheckpointDir: t.TempDir()}})
 
 	enz := datasets.Enzymes(datasets.Options{Seed: 1, Scale: 0.05})
 	l := loader.New(pygeo.New(), enz, nil, loader.Options{BatchSize: 8, Metrics: reg})
@@ -56,6 +58,27 @@ func TestProjectMetricsLint(t *testing.T) {
 			t.Errorf("%s registry lint: %v", name, err)
 		}
 		checkExposition(t, name, r)
+	}
+
+	// The checkpoint and reload families introduced by the crash-safe
+	// training subsystem must be part of the linted surface.
+	requireFamilies(t, "process", reg,
+		"ckpt_saves_total", "ckpt_saved_bytes_total", "ckpt_save_seconds_total", "ckpt_last_save_age_seconds")
+	requireFamilies(t, "serve", sreg, "gnnserve_reloads_total")
+}
+
+// requireFamilies asserts each named metric family renders in r's exposition.
+func requireFamilies(t *testing.T, label string, r *obs.Registry, names ...string) {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("%s: WritePrometheus: %v", label, err)
+	}
+	out := sb.String()
+	for _, name := range names {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("%s: metric family %s missing from exposition", label, name)
+		}
 	}
 }
 

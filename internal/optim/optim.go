@@ -91,6 +91,19 @@ func (a *Adam) ZeroGrad() {
 	}
 }
 
+// StepCount returns how many updates have been applied — the bias-correction
+// clock checkpoints must persist: restoring moments without it would re-warm
+// the corrections and diverge from an uninterrupted run.
+func (a *Adam) StepCount() int { return a.step }
+
+// SetStepCount restores a checkpointed update count.
+func (a *Adam) SetStepCount(n int) { a.step = n }
+
+// Moments returns the first and second moment accumulators, index-aligned
+// with Params. Callers (the checkpoint encoder/decoder) read and write the
+// tensors in place.
+func (a *Adam) Moments() (m, v []*tensor.Tensor) { return a.m, a.v }
+
 // LR implements Optimizer.
 func (a *Adam) LR() float64 { return a.lr }
 
@@ -167,6 +180,17 @@ func NewPlateau(opt Optimizer) *ReduceLROnPlateau {
 	return &ReduceLROnPlateau{Opt: opt, Factor: 0.5, Patience: 25, MinLR: 1e-6}
 }
 
+// State returns the plateau tracker's progress (best value seen, epochs
+// without improvement, whether any value has been fed) for checkpointing.
+func (r *ReduceLROnPlateau) State() (best float64, bad int, started bool) {
+	return r.best, r.bad, r.started
+}
+
+// SetState restores progress captured by State.
+func (r *ReduceLROnPlateau) SetState(best float64, bad int, started bool) {
+	r.best, r.bad, r.started = best, bad, started
+}
+
 // Step feeds one epoch's validation loss. It returns true while training
 // should continue and false once the learning rate has decayed below MinLR.
 func (r *ReduceLROnPlateau) Step(valLoss float64) bool {
@@ -193,6 +217,16 @@ type EarlyStopping struct {
 	best    float64
 	bad     int
 	started bool
+}
+
+// State returns the stopper's progress for checkpointing.
+func (e *EarlyStopping) State() (best float64, bad int, started bool) {
+	return e.best, e.bad, e.started
+}
+
+// SetState restores progress captured by State.
+func (e *EarlyStopping) SetState(best float64, bad int, started bool) {
+	e.best, e.bad, e.started = best, bad, started
 }
 
 // Step feeds one epoch's monitored loss; it returns false once patience is

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync/atomic"
+
 	"repro/internal/device"
 	"repro/internal/fw"
 	"repro/internal/models"
@@ -22,24 +24,48 @@ type Replica interface {
 	Device() *device.Device
 }
 
-// modelReplica adapts a models.Model to the Replica interface.
+// Swappable is a Replica whose model can be replaced while the server keeps
+// running — the mechanism behind zero-downtime reload. Swap must be safe to
+// call concurrently with Forward; an in-flight batch finishes on the model
+// it started with.
+type Swappable interface {
+	Replica
+	// Swap replaces the replica's model with m (copy-on-swap: m is a fully
+	// constructed model, typically freshly loaded from a checkpoint, and the
+	// previous model stays valid for batches already in flight).
+	Swap(m models.Model)
+}
+
+// modelReplica adapts a models.Model to the Replica interface. The model is
+// held behind an atomic pointer so Swap never blocks the worker: Forward
+// loads the pointer once per batch, which pins that batch to one model from
+// collation through response.
 type modelReplica struct {
-	m   models.Model
+	m   atomic.Pointer[modelBox]
 	dev *device.Device
 }
+
+// modelBox exists because atomic.Pointer needs a concrete pointee and
+// models.Model is an interface.
+type modelBox struct{ m models.Model }
 
 // NewModelReplica wraps m as a serving replica accounted to dev. Eval-mode
 // forward passes are side-effect-free, so several replicas may share one
 // model (shared parameters, independent devices) — the cheap way to scale
 // serving throughput without duplicating weights.
 func NewModelReplica(m models.Model, dev *device.Device) Replica {
-	return &modelReplica{m: m, dev: dev}
+	r := &modelReplica{dev: dev}
+	r.m.Store(&modelBox{m: m})
+	return r
 }
 
-func (r *modelReplica) Backend() fw.Backend { return r.m.Backend() }
+func (r *modelReplica) Backend() fw.Backend { return r.m.Load().m.Backend() }
 
 func (r *modelReplica) Forward(b *fw.Batch) *tensor.Tensor {
-	return models.Infer(r.m, b, r.dev)
+	return models.Infer(r.m.Load().m, b, r.dev)
 }
 
 func (r *modelReplica) Device() *device.Device { return r.dev }
+
+// Swap implements Swappable.
+func (r *modelReplica) Swap(m models.Model) { r.m.Store(&modelBox{m: m}) }

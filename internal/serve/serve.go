@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/fw"
 	"repro/internal/graph"
+	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tensor"
@@ -159,6 +160,9 @@ type serveMetrics struct {
 	phaseCollate *obs.Counter
 	phaseForward *obs.Counter
 	phaseOther   *obs.Counter
+	// reload counters track zero-downtime model swaps by outcome.
+	reloadOK  *obs.Counter
+	reloadErr *obs.Counter
 }
 
 // Server coalesces single-graph prediction requests into batched
@@ -219,6 +223,9 @@ func New(replicas []Replica, opt Options) *Server {
 	s.met.phaseCollate = phases.With("collate")
 	s.met.phaseForward = phases.With("forward")
 	s.met.phaseOther = phases.With("other")
+	reloads := reg.CounterVec("gnnserve_reloads_total", "Zero-downtime model reloads by outcome.", "outcome")
+	s.met.reloadOK = reloads.With("ok")
+	s.met.reloadErr = reloads.With("error")
 	reg.GaugeFunc("gnnserve_queue_depth", "Requests queued but not yet dispatched.",
 		func() float64 { return float64(len(s.queue)) })
 	go s.coalesce()
@@ -418,6 +425,45 @@ func (s *Server) runBatch(rep Replica, group []*request) {
 		s.met.phaseForward.Add(bd.Get(profile.PhaseForward).Seconds())
 		s.met.phaseOther.Add(bd.Get(profile.PhaseOther).Seconds())
 	}
+}
+
+// SwapModel atomically replaces the model behind every swappable replica
+// with m — a zero-downtime reload. In-flight batches finish on the weights
+// they started with (each replica loads its model pointer once per batch),
+// queued and future requests see the new model, and no request is dropped.
+// The swap is all-or-nothing: it fails without touching any replica when
+// m's backend disagrees with the server's collation backend or when any
+// replica cannot be swapped (a custom Replica not implementing Swappable).
+func (s *Server) SwapModel(m models.Model) error {
+	err := s.swapModel(m)
+	if err != nil {
+		s.met.reloadErr.Inc()
+		return err
+	}
+	s.met.reloadOK.Inc()
+	return nil
+}
+
+func (s *Server) swapModel(m models.Model) error {
+	if m == nil {
+		return errors.New("serve: reload with nil model")
+	}
+	if m.Backend().Name() != s.be.Name() {
+		return fmt.Errorf("serve: reload model uses backend %s, server collates for %s",
+			m.Backend().Name(), s.be.Name())
+	}
+	swappable := make([]Swappable, len(s.replicas))
+	for i, r := range s.replicas {
+		sw, ok := r.(Swappable)
+		if !ok {
+			return fmt.Errorf("serve: replica %d (%T) does not support model swapping", i, r)
+		}
+		swappable[i] = sw
+	}
+	for _, sw := range swappable {
+		sw.Swap(m)
+	}
+	return nil
 }
 
 // Shutdown stops intake (subsequent Predicts fail with ErrClosed) and waits

@@ -6,13 +6,25 @@ import "math/rand/v2"
 // generation. All experiment randomness flows through explicitly-seeded RNGs
 // so runs are reproducible.
 type RNG struct {
-	r *rand.Rand
+	src *rand.PCG // kept so the stream position can be checkpointed
+	r   *rand.Rand
 }
 
 // NewRNG returns a deterministic generator seeded with seed.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	src := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: src, r: rand.New(src)}
 }
+
+// MarshalBinary captures the generator's exact stream position, so a
+// restored RNG continues with the same draws an uninterrupted one would
+// produce — the invariant crash-safe training resume depends on. (PCG keeps
+// no buffered values outside its 128-bit state, so the source state is the
+// whole story.)
+func (g *RNG) MarshalBinary() ([]byte, error) { return g.src.MarshalBinary() }
+
+// UnmarshalBinary restores a position captured by MarshalBinary.
+func (g *RNG) UnmarshalBinary(data []byte) error { return g.src.UnmarshalBinary(data) }
 
 // Float64 returns a uniform value in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -1,0 +1,115 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/faults"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// CrashFailpoint is the faults name the crash-matrix tests arm to kill a
+// training run immediately after the snapshot for epoch n has been taken:
+// faults.Enable(train.CrashFailpoint, n) makes the loop panic with an
+// ErrInjected-wrapped error there, the closest an in-process test can get
+// to SIGKILL at an arbitrary epoch boundary.
+const CrashFailpoint = "train.crash"
+
+// Checkpointing configures crash-safe training snapshots. It is embedded in
+// every recipe's options struct; the zero value disables checkpointing.
+type Checkpointing struct {
+	// CheckpointDir is the directory snapshots are written to; empty
+	// disables checkpointing entirely. RunGraphCV gives each fold its own
+	// subdirectory (fold-0000, fold-0001, ...) under this path.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in epochs; <= 0 means every
+	// epoch. A snapshot is also always taken at the run's natural end, so
+	// the final state survives regardless of cadence alignment.
+	CheckpointEvery int
+	// CheckpointKeep is the retention count (keep-last-K); <= 0 keeps 3.
+	CheckpointKeep int
+	// Resume makes the run restore the newest recoverable checkpoint in
+	// CheckpointDir before training; with none present it starts fresh.
+	Resume bool
+}
+
+func (c Checkpointing) every() int {
+	if c.CheckpointEvery <= 0 {
+		return 1
+	}
+	return c.CheckpointEvery
+}
+
+func (c Checkpointing) keep() int {
+	if c.CheckpointKeep <= 0 {
+		return 3
+	}
+	return c.CheckpointKeep
+}
+
+// ckptHook binds a training loop's live objects (model, optimizer, random
+// streams) to a checkpoint directory. A nil hook is the disabled state and
+// every method no-ops, so the loops call it unconditionally.
+type ckptHook struct {
+	dir   *ckpt.Dir
+	state *ckpt.State
+	every int
+}
+
+// newCkptHook opens the checkpoint directory and assembles the state bound
+// to the run's live objects. extraRNGs are the loop-owned streams (the
+// shuffle stream) appended after the model's own. Returns nil when
+// checkpointing is disabled.
+func newCkptHook(c Checkpointing, m models.Model, adam *optim.Adam, extraRNGs []*tensor.RNG, reg *obs.Registry) *ckptHook {
+	if c.CheckpointDir == "" {
+		return nil
+	}
+	dir, err := ckpt.Open(c.CheckpointDir, c.keep())
+	if err != nil {
+		panic("train: " + err.Error())
+	}
+	dir.SetMetrics(ckpt.NewMetrics(reg))
+	s := ckpt.ForModel(m)
+	s.Adam = adam
+	s.RNGs = append(s.RNGs, extraRNGs...)
+	return &ckptHook{dir: dir, state: s, every: c.every()}
+}
+
+// resume restores the newest recoverable checkpoint and reports whether one
+// was found. No checkpoint (or none recoverable) means a fresh start; a
+// checkpoint recorded under a different base seed is a misconfiguration —
+// resuming it would silently blend two experiments — and panics.
+func (h *ckptHook) resume(seed uint64) bool {
+	if h == nil {
+		return false
+	}
+	if _, err := h.dir.Load(h.state); err != nil {
+		if errors.Is(err, ckpt.ErrNoCheckpoint) {
+			return false
+		}
+		panic("train: " + err.Error())
+	}
+	if h.state.Seed != seed {
+		panic(fmt.Sprintf("train: checkpoint in %s was recorded under seed %d, run configured with seed %d",
+			h.dir.Path(), h.state.Seed, seed))
+	}
+	return true
+}
+
+// snapshot persists the state with Epoch = epoch (a count of fully completed
+// epochs) when the cadence or force says so, then fires the crash failpoint.
+// Save failures are recorded in the metrics but do not abort training — a
+// full checkpoint disk must not kill a multi-hour run.
+func (h *ckptHook) snapshot(epoch int, force bool) {
+	if h != nil && (force || epoch%h.every == 0) {
+		h.state.Epoch = epoch
+		h.dir.Save(h.state)
+	}
+	if faults.At(CrashFailpoint, int64(epoch)) {
+		panic(fmt.Errorf("%w: %s after epoch %d", faults.ErrInjected, CrashFailpoint, epoch))
+	}
+}

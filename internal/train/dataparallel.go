@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -20,6 +21,15 @@ type DPOptions struct {
 	Epochs    int
 	Cluster   *device.Cluster
 	Seed      uint64
+
+	// Checkpointing configures crash-safe snapshots and resume; the zero
+	// value disables them. DataParallel snapshots at epoch boundaries only
+	// (the per-epoch permutation is derived fresh from Seed+epoch, so the
+	// epoch cursor plus optimizer and model state is the whole story).
+	Checkpointing
+
+	// Metrics receives checkpoint instrumentation; nil disables.
+	Metrics *obs.Registry
 }
 
 // DPEpochStats reports one DataParallel epoch. Because the reproduction host
@@ -155,14 +165,23 @@ func RunDataParallel(m models.Model, d *datasets.Dataset, opt DPOptions) ([]DPEp
 		opt.Epochs = 1
 	}
 	adam := optim.NewAdam(m.Params(), opt.LR)
+	hook := newCkptHook(opt.Checkpointing, m, adam, nil, opt.Metrics)
+	start := 0
+	if hook != nil {
+		hook.state.Seed = opt.Seed
+		if opt.Resume && hook.resume(opt.Seed) {
+			start = hook.state.Epoch
+		}
+	}
 	var all []DPEpochStats
 	var total time.Duration
-	for e := 0; e < opt.Epochs; e++ {
+	for e := start; e < opt.Epochs; e++ {
 		epOpt := opt
 		epOpt.Seed = opt.Seed + uint64(e)
 		s := TrainDataParallelEpoch(m, d, adam, epOpt)
 		all = append(all, s)
 		total += s.EpochTime
+		hook.snapshot(e+1, e+1 == opt.Epochs)
 	}
 	return all, total / time.Duration(opt.Epochs)
 }

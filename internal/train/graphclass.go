@@ -1,9 +1,12 @@
 package train
 
 import (
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/ag"
+	"repro/internal/ckpt"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
@@ -27,6 +30,10 @@ type GraphOptions struct {
 	MinLR     float64
 	Device    *device.Device
 	Seed      uint64 // shuffling seed
+
+	// Checkpointing configures crash-safe snapshots and resume; the zero
+	// value disables them.
+	Checkpointing
 
 	// CollectLayerTimes turns on per-layer timing (Fig 3) aggregated over
 	// the run.
@@ -160,7 +167,21 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 	defer dev.Free(residentBytes)
 
 	order := append([]int(nil), split.Train...)
-	for epoch := 0; epoch < opt.MaxEpochs; epoch++ {
+	hook := newCkptHook(opt.Checkpointing, m, adam, []*tensor.RNG{rng}, opt.Metrics)
+	startEpoch := 0
+	if hook != nil {
+		hook.state.Seed = opt.Seed
+		hook.state.Order = order
+		if opt.Resume && hook.resume(opt.Seed) {
+			// Everything tensor- and stream-shaped was restored in place;
+			// the scheduler's progress and the (history-dependent, shuffled
+			// in place) permutation come back through the state struct.
+			sch.SetState(hook.state.Sched.Best, hook.state.Sched.Bad, hook.state.Sched.Started)
+			order = hook.state.Order
+			startEpoch = hook.state.Epoch
+		}
+	}
+	for epoch := startEpoch; epoch < opt.MaxEpochs; epoch++ {
 		epochSpan := foldSpan.Child("epoch", obs.Int("epoch", epoch))
 		dev.ResetTime()
 		dev.ResetPeak()
@@ -229,7 +250,17 @@ func TrainGraphFold(m models.Model, d *datasets.Dataset, split datasets.CVSplit,
 		res.Epochs = append(res.Epochs, stats)
 		tm.observeEpoch(stats)
 		epochSpan.End()
-		if !sch.Step(valLoss) {
+		cont := sch.Step(valLoss)
+		if hook != nil {
+			best, bad, started := sch.State()
+			hook.state.Sched = ckpt.Sched{Kind: ckpt.SchedPlateau, Best: best, Bad: bad, Started: started}
+			hook.state.Order = order
+		}
+		// Snapshot after the scheduler has absorbed this epoch's loss, so a
+		// resume replays neither the epoch nor its scheduler step; force one
+		// at the stopping rule so the final state always survives.
+		hook.snapshot(epoch+1, !cont)
+		if !cont {
 			break
 		}
 	}
@@ -375,6 +406,12 @@ func RunGraphCV(factory func(seed uint64) models.Model, d *datasets.Dataset, spl
 		}
 		foldOpt := opt
 		foldOpt.Seed = opt.Seed + uint64(fold)
+		if opt.CheckpointDir != "" {
+			// Each fold trains a fresh model from its own cursor, so each
+			// gets its own checkpoint lineage; on resume, finished folds
+			// replay only from their final snapshot to the stopping rule.
+			foldOpt.CheckpointDir = filepath.Join(opt.CheckpointDir, fmt.Sprintf("fold-%04d", fold))
+		}
 		fr := TrainGraphFold(m, d, split, foldOpt)
 		accs = append(accs, fr.TestAcc*100)
 		epochSum += fr.EpochMean()

@@ -8,10 +8,13 @@
 package train
 
 import (
+	"fmt"
 	"math"
+	"path/filepath"
 	"time"
 
 	"repro/internal/ag"
+	"repro/internal/ckpt"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
@@ -29,6 +32,12 @@ type NodeOptions struct {
 	// Patience for early stopping on validation loss; 0 disables (the paper
 	// trains with an early-stopping criterion alongside the epoch cap).
 	Patience int
+	// Seed is the run's base seed, recorded in checkpoints so a resume can
+	// detect a mismatched experiment.
+	Seed uint64
+	// Checkpointing configures crash-safe snapshots and resume; the zero
+	// value disables them.
+	Checkpointing
 	// Metrics receives epoch counters and loss gauges; nil disables.
 	Metrics *obs.Registry
 	// Tracer records run → epoch spans; nil disables.
@@ -69,8 +78,18 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 		obs.String("model", m.Name()), obs.String("framework", be.Name()), obs.String("dataset", d.Name))
 	defer runSpan.End()
 
+	hook := newCkptHook(opt.Checkpointing, m, opt2, nil, opt.Metrics)
+	startEpoch := 0
+	if hook != nil {
+		hook.state.Seed = opt.Seed
+		if opt.Resume && hook.resume(opt.Seed) {
+			stopper.SetState(hook.state.Sched.Best, hook.state.Sched.Bad, hook.state.Sched.Started)
+			startEpoch = hook.state.Epoch
+		}
+	}
+
 	var res NodeResult
-	for epoch := 0; epoch < opt.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < opt.Epochs; epoch++ {
 		epochSpan := runSpan.Child("epoch", obs.Int("epoch", epoch))
 		// Epoch times are reported on the modeled timeline: host work at
 		// wall time, kernels at device cost-model time (see profile.
@@ -104,6 +123,11 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 			stop = !stopper.Step(valLoss)
 		}
 		epochSpan.End()
+		if hook != nil {
+			best, bad, started := stopper.State()
+			hook.state.Sched = ckpt.Sched{Kind: ckpt.SchedEarlyStop, Best: best, Bad: bad, Started: started}
+		}
+		hook.snapshot(epoch+1, stop || epoch+1 == opt.Epochs)
 		if stop {
 			break
 		}
@@ -179,7 +203,12 @@ func RunNodeSeeds(factory func(seed uint64) models.Model, d *datasets.Dataset, o
 			s.Model = m.Name()
 			s.Framework = m.Backend().Name()
 		}
-		r := TrainNode(m, d, opt)
+		runOpt := opt
+		runOpt.Seed = seed
+		if opt.CheckpointDir != "" {
+			runOpt.CheckpointDir = filepath.Join(opt.CheckpointDir, fmt.Sprintf("seed-%04d", seed))
+		}
+		r := TrainNode(m, d, runOpt)
 		s.PerRunAcc = append(s.PerRunAcc, r.TestAcc*100)
 		s.PerRunEpoch = append(s.PerRunEpoch, r.EpochMean)
 		totalEpoch += r.EpochMean
