@@ -1,0 +1,92 @@
+// Command gnnvet statically enforces this repo's project invariants —
+// determinism of the kernel packages, crash-safe persistence, and
+// observability hygiene — over every package in the module, using nothing
+// beyond the standard library's go toolchain (go/parser, go/ast, go/types
+// plus one `go list -export` invocation for dependency metadata).
+//
+//	gnnvet ./...                      # run every check over the module
+//	gnnvet -checks determinism ./...  # only the named checks
+//	gnnvet -checks -span-end ./...    # all checks but the named ones
+//	gnnvet -json ./...                # machine-readable findings
+//	gnnvet -list                      # describe the registered checks
+//
+// Diagnostics print as "file:line:col: [check] message", one per line, and
+// any active finding makes the exit status 1 (load/usage errors exit 2).
+// A `//gnnvet:allow <check> -- reason` comment on the offending line or the
+// line above suppresses a finding; suppressed findings are tallied on
+// stderr so waivers stay visible.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive it with captured
+// streams. Returns 0 clean, 1 on findings, 2 on usage/load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gnnvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	checksSpec := fs.String("checks", "", "comma-separated checks to run (\"a,b\"), or to skip (\"-a,-b\"); default all")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks, err := analysis.Select(*checksSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "gnnvet: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "gnnvet: %v\n", err)
+		return 2
+	}
+
+	result := analysis.Run(pkgs, checks)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(result); err != nil {
+			fmt.Fprintf(stderr, "gnnvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range result.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if n := len(result.Suppressed); n > 0 {
+		fmt.Fprintf(stderr, "gnnvet: %d finding(s) suppressed by %s directives\n", n, "//gnnvet:allow")
+	}
+	if len(result.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "gnnvet: %d finding(s) in %d package(s)\n", len(result.Diagnostics), len(pkgs))
+		return 1
+	}
+	return 0
+}

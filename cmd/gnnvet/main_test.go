@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// fixtureDir is the analysis package's fixture module, reused here so the
+// CLI is exercised against packages with known findings.
+const fixtureDir = "../../internal/analysis/testdata/src"
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, c := range analysis.All() {
+		if !strings.Contains(out.String(), c.Name) {
+			t.Errorf("-list output missing check %s", c.Name)
+		}
+	}
+
+	if code := run([]string{"-checks", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown check exit = %d, want 2", code)
+	}
+	if code := run([]string{"-C", t.TempDir(), "./..."}, &out, &errOut); code != 2 {
+		t.Errorf("unloadable dir exit = %d, want 2", code)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", fixtureDir, "./lockbalance"}, &out, &errOut); code != 1 {
+		t.Fatalf("fixture findings exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[lock-balance]") {
+		t.Errorf("findings output missing [lock-balance] diagnostics:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-C", fixtureDir, "-checks", "span-end", "./lockbalance"}, &out, &errOut); code != 0 {
+		t.Errorf("disabled-check run exit = %d, want 0; out:\n%s", code, out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", fixtureDir, "-json", "./allowed"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var result analysis.Result
+	if err := json.Unmarshal([]byte(out.String()), &result); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(result.Diagnostics) != 1 || result.Diagnostics[0].Check != "lock-balance" {
+		t.Errorf("JSON diagnostics = %+v, want one lock-balance finding", result.Diagnostics)
+	}
+	if len(result.Suppressed) != 2 {
+		t.Errorf("JSON suppressed = %d findings, want 2", len(result.Suppressed))
+	}
+}

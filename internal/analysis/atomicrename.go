@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomic-rename check guards PR 4's durability contract: a checkpoint
+// (or any data file) is committed by writing a temp file, flushing it with
+// Sync, closing it, and only then os.Rename-ing it over the final name.
+// Renaming without the fsync lets a crash expose a torn file under the
+// committed name — exactly the window the ckpt recovery tests close. The
+// check fires on an os.Rename in a function that also opened a file for
+// writing but performed no Sync (on any handle) before the rename.
+var atomicRenameCheck = &Check{
+	Name: "atomic-rename",
+	Doc:  "os.Rename committing a locally written file without a preceding Sync",
+	Run:  runAtomicRename,
+}
+
+func runAtomicRename(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			var renames []*ast.CallExpr
+			wrote := false
+			var syncPositions []token.Pos
+			inspectShallow(scope.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgFuncCall(info, call, "os", "Rename"):
+					renames = append(renames, call)
+				case pkgFuncCall(info, call, "os", "Create"),
+					pkgFuncCall(info, call, "os", "CreateTemp"),
+					pkgFuncCall(info, call, "os", "OpenFile"):
+					wrote = true
+				case isSyncCall(info, call):
+					syncPositions = append(syncPositions, call.Pos())
+				}
+				return true
+			})
+			if !wrote {
+				continue // pure rename/rotation helpers commit nothing they wrote
+			}
+			for _, r := range renames {
+				synced := false
+				for _, p := range syncPositions {
+					if p < r.Pos() {
+						synced = true
+						break
+					}
+				}
+				if !synced {
+					pass.Reportf(r.Pos(),
+						"os.Rename in %s commits a file written here without a preceding Sync; fsync the temp file so a crash cannot tear the committed copy",
+						scope.name)
+				}
+			}
+		}
+	}
+}
+
+// isSyncCall matches x.Sync() where the method resolves to (*os.File).Sync.
+func isSyncCall(info *types.Info, call *ast.CallExpr) bool {
+	recv := methodCall(info, call, "os", "Sync")
+	return recv != nil
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// The defer-close-exit check mechanizes the bug class PR 4 fixed by hand in
+// cmd/gnnbench and cmd/gnntrace: os.Exit terminates the process without
+// running deferred functions, so `defer f.Close()` on a file opened for
+// writing silently drops buffered data (and its error) on any exit path.
+// The check flags a deferred Close on a file this function opened writable
+// when the function can still reach os.Exit after the defer — directly, via
+// log.Fatal*, or through a package-local helper that exits (e.g. the cmd/
+// `fatal(err)` idiom).
+var deferCloseExitCheck = &Check{
+	Name: "defer-close-exit",
+	Doc:  "defer f.Close() on a written *os.File in a function that can reach os.Exit",
+	Run:  runDeferCloseExit,
+}
+
+func runDeferCloseExit(pass *Pass) {
+	exiting := exitingFuncs(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			checkDeferClose(pass, decl, exiting)
+			return true
+		})
+	}
+}
+
+// exitingFuncs computes the package-local functions that can call os.Exit,
+// to a fixpoint so helpers-of-helpers are covered.
+func exitingFuncs(pkg *Package) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd.Body
+				}
+			}
+		}
+	}
+	exiting := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			if exiting[fn] {
+				continue
+			}
+			if exitCallPos(pkg, body, exiting) != token.NoPos {
+				exiting[fn] = true
+				changed = true
+			}
+		}
+	}
+	return exiting
+}
+
+// exitCallPos returns the position of the last call in body that terminates
+// the process without running defers (os.Exit, log.Fatal*, or a
+// package-local function known to exit), or NoPos.
+func exitCallPos(pkg *Package, body *ast.BlockStmt, exiting map[*types.Func]bool) token.Pos {
+	last := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isExit := false
+		switch fn.Pkg().Path() {
+		case "os":
+			isExit = fn.Name() == "Exit"
+		case "log":
+			isExit = strings.HasPrefix(fn.Name(), "Fatal")
+		default:
+			isExit = exiting[fn]
+		}
+		if isExit && call.Pos() > last {
+			last = call.Pos()
+		}
+		return true
+	})
+	return last
+}
+
+// checkDeferClose flags deferred Closes of writable files in decl when an
+// exit call follows the defer.
+func checkDeferClose(pass *Pass, decl *ast.FuncDecl, exiting map[*types.Func]bool) {
+	exitPos := exitCallPos(pass.Pkg, decl.Body, exiting)
+	if exitPos == token.NoPos {
+		return
+	}
+	info := pass.Pkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok || def.Pos() > exitPos {
+			return true
+		}
+		recv := methodCall(info, def.Call, "os", "Close")
+		if recv == nil {
+			return true
+		}
+		obj := usedObject(info, recv)
+		if obj == nil || !namedType(obj.Type(), "os", "File") {
+			return true
+		}
+		if !openedWritable(info, decl.Body, obj, def.Pos()) {
+			return true
+		}
+		pass.Reportf(def.Pos(),
+			"deferred %s.Close() never runs once %s reaches os.Exit; close explicitly (and check the error) before exit paths",
+			obj.Name(), decl.Name.Name)
+		return true
+	})
+}
+
+// openedWritable reports whether obj was assigned from os.Create,
+// os.CreateTemp, or os.OpenFile with a write flag, before pos in body.
+// Files of unknown origin (parameters, fields) are skipped: the check only
+// fires when the whole open-write-close lifecycle is local.
+func openedWritable(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	writable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Pos() > pos || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(assign.Lhs) == 0 || usedObject(info, assign.Lhs[0]) != obj {
+			return true
+		}
+		switch {
+		case pkgFuncCall(info, call, "os", "Create"), pkgFuncCall(info, call, "os", "CreateTemp"):
+			writable = true
+		case pkgFuncCall(info, call, "os", "OpenFile") && len(call.Args) >= 2:
+			if flag, ok := constInt(info, call.Args[1]); !ok || flag&int64(os.O_WRONLY|os.O_RDWR) != 0 {
+				writable = true
+			}
+		}
+		return true
+	})
+	return writable
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The determinism check guards the repo's bit-identity invariants (PR 1's
+// parallel kernels, PR 4's crash resume): results must not depend on Go's
+// randomized map-iteration order, and the kernel packages must draw
+// randomness and time only from injected, checkpointable sources.
+//
+// Two rules:
+//
+//  1. In any package: a `for … range` over a map whose body appends to (or
+//     index-writes, or string-concatenates into) an ordered result declared
+//     outside the loop produces iteration-order-dependent output. The
+//     finding is waived when the same function visibly sorts that result
+//     after the loop (the repo's standard collect-then-sort idiom).
+//
+//  2. In the kernel packages (tensor, ag, parallel, train, ckpt): calls to
+//     math/rand's or math/rand/v2's package-level draw functions bypass the
+//     seeded, checkpointable RNG streams (constructors like rand.New or
+//     rand.NewPCG are the sanctioned way in); and time.Now reads ambient
+//     wall clock where deterministic replay needs an injected clock.
+//     Sanctioned measurement-only sites carry //gnnvet:allow determinism.
+var determinismCheck = &Check{
+	Name: "determinism",
+	Doc:  "map-iteration order leaking into ordered results; ambient rand/time in kernel packages",
+	Run:  runDeterminism,
+}
+
+// kernelPackages are the packages whose outputs must be bit-identical
+// across runs, worker counts and crash/resume boundaries.
+var kernelPackages = map[string]bool{
+	"tensor": true, "ag": true, "parallel": true, "train": true, "ckpt": true,
+}
+
+func runDeterminism(pass *Pass) {
+	kernel := kernelPackages[pass.Pkg.Name]
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			body := scope.body
+			inspectShallow(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					checkMapRange(pass, body, n)
+				case *ast.CallExpr:
+					if kernel {
+						checkAmbientSource(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkAmbientSource flags package-level math/rand draws and time.Now.
+func checkAmbientSource(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Float64 on a seeded stream) are fine; only
+	// package-level functions touch global state.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") { // constructors build seeded streams
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s draws from ambient process randomness; use a seeded stream (tensor.NewRNG / rand.New)",
+			fn.Pkg().Name(), fn.Name())
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in kernel package %s reads ambient wall clock; inject the clock so replays are deterministic",
+				pass.Pkg.Name)
+		}
+	}
+}
+
+// checkMapRange flags appends/index-writes/string-concats into variables
+// declared outside a map-range loop, unless the variable is sorted later in
+// the same function.
+func checkMapRange(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	type finding struct {
+		obj  types.Object
+		pos  token.Pos
+		what string
+	}
+	var findings []finding
+	outside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	inspectShallow(asBlock(rng.Body), func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			switch lhs := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				obj := usedObject(info, lhs)
+				if !outside(obj) {
+					continue
+				}
+				switch {
+				case assign.Tok == token.ASSIGN && i < len(assign.Rhs) && isAppendTo(info, assign.Rhs[i], obj):
+					findings = append(findings, finding{obj, assign.Pos(), "appended to"})
+				case assign.Tok == token.ADD_ASSIGN && isStringOrSlice(obj.Type()):
+					findings = append(findings, finding{obj, assign.Pos(), "concatenated into"})
+				}
+			case *ast.IndexExpr:
+				base := ast.Unparen(lhs.X)
+				obj := usedObject(info, base)
+				if !outside(obj) {
+					continue
+				}
+				switch obj.Type().Underlying().(type) {
+				case *types.Slice, *types.Array:
+					// Writes keyed by the map's own key/value are positional
+					// only if the index is loop-local state; indexing by a
+					// value read from the map element itself stays ordered.
+					findings = append(findings, finding{obj, assign.Pos(), "index-written"})
+				}
+			}
+		}
+		return true
+	})
+	for _, fd := range findings {
+		if sortedAfter(info, body, fd.obj, rng.End()) {
+			continue
+		}
+		pass.Reportf(fd.pos,
+			"ordered result %s is %s in map-iteration order; sort it afterwards or iterate sorted keys",
+			fd.obj.Name(), fd.what)
+	}
+}
+
+// asBlock wraps a statement as a block for inspectShallow.
+func asBlock(s ast.Stmt) *ast.BlockStmt {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return b
+	}
+	return &ast.BlockStmt{List: []ast.Stmt{s}}
+}
+
+// isAppendTo reports whether e is append(obj, ...) (possibly wrapped, e.g.
+// append(append(obj, …), …)).
+func isAppendTo(info *types.Info, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "append" {
+		return false
+	}
+	if usedObject(info, call.Args[0]) == obj {
+		return true
+	}
+	return isAppendTo(info, call.Args[0], obj)
+}
+
+func isStringOrSlice(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices function after
+// pos in the same function body — the sanctioned collect-then-sort idiom.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The lock-balance check is the mutex half of the PR 3 hygiene rules: a
+// sync.Mutex (or RWMutex) locked without a reachable unlock deadlocks the
+// next scraper or trainer goroutine that touches the same registry, ring
+// buffer or replica pool. For every Lock/RLock call the check requires,
+// in the same function scope and on the same receiver expression, either a
+// deferred matching unlock or a plain matching unlock with no return
+// statement between the lock and that unlock (an early return would leave
+// the mutex held — use defer). Lock() with the matching Unlock deferred on
+// the very next line is the repo idiom; both orders are accepted as long
+// as the defer exists anywhere in the scope.
+var lockBalanceCheck = &Check{
+	Name: "lock-balance",
+	Doc:  "mutex locked without a reachable matching unlock on every path",
+	Run:  runLockBalance,
+}
+
+// lockPairs lists each sync lock method with its matching unlock.
+var lockPairs = []struct{ lock, unlock string }{
+	{"Lock", "Unlock"},
+	{"RLock", "RUnlock"},
+}
+
+// unlockFor returns the unlock method matching a lock method.
+func unlockFor(lock string) string {
+	for _, p := range lockPairs {
+		if p.lock == lock {
+			return p.unlock
+		}
+	}
+	return ""
+}
+
+func runLockBalance(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			checkLockScope(pass, scope)
+		}
+	}
+}
+
+func checkLockScope(pass *Pass, scope funcScope) {
+	type lock struct {
+		key    string // receiver path, e.g. "r.mu"
+		method string // "Lock" or "RLock"
+		pos    token.Pos
+	}
+	var locks []lock
+	// deferred and unlocks key on "receiver-path.method".
+	deferred := map[string]bool{}
+	unlocks := map[string][]token.Pos{}
+	var returns []token.Pos
+
+	record := func(call *ast.CallExpr, isDefer bool) bool {
+		for _, pair := range lockPairs {
+			lockName, unlockName := pair.lock, pair.unlock
+			if recv := syncMethod(pass, call, lockName); recv != nil {
+				if key := exprKey(recv); key != "" && !isDefer {
+					locks = append(locks, lock{key: key, method: lockName, pos: call.Pos()})
+				}
+				return true
+			}
+			if recv := syncMethod(pass, call, unlockName); recv != nil {
+				key := exprKey(recv)
+				if key == "" {
+					return true
+				}
+				if isDefer {
+					deferred[key+"."+unlockName] = true
+				} else {
+					unlocks[key+"."+unlockName] = append(unlocks[key+"."+unlockName], call.Pos())
+				}
+				return true
+			}
+		}
+		return false
+	}
+
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.DeferStmt:
+			if record(n.Call, true) {
+				return false
+			}
+		case *ast.CallExpr:
+			record(n, false)
+		}
+		return true
+	})
+
+	for _, l := range locks {
+		unlockName := unlockFor(l.method)
+		want := l.key + "." + unlockName
+		if deferred[want] {
+			continue
+		}
+		// First matching unlock after this lock.
+		var unlock token.Pos
+		for _, p := range unlocks[want] {
+			if p > l.pos && (unlock == token.NoPos || p < unlock) {
+				unlock = p
+			}
+		}
+		if unlock == token.NoPos {
+			pass.Reportf(l.pos,
+				"%s.%s in %s has no matching %s in this function; the mutex stays held",
+				l.key, l.method, scope.name, unlockName)
+			continue
+		}
+		for _, r := range returns {
+			if r > l.pos && r < unlock {
+				pass.Reportf(l.pos,
+					"%s.%s in %s is not released on the return path at line %d; defer the %s",
+					l.key, l.method, scope.name, pass.Pkg.Fset.Position(r).Line, unlockName)
+				break
+			}
+		}
+	}
+}
+
+// syncMethod matches call as recv.name(...) where the method resolves into
+// package sync (promoted methods of embedded mutexes included), returning
+// the receiver expression.
+func syncMethod(pass *Pass, call *ast.CallExpr, name string) ast.Expr {
+	return methodCall(pass.Pkg.Info, call, "sync", name)
+}
+
+// exprKey renders an identifier/selector chain ("mu", "s.mu", "s.pool.mu")
+// as a stable string key, or "" for expressions (calls, indexes) whose
+// lock/unlock receivers cannot be textually matched.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/obs"
+)
+
+// The metric-names check is the static port of internal/obs's runtime Lint:
+// it applies the same naming law (obs.CheckMetricName and friends from
+// internal/obs/namelaw.go — one shared rule table, three enforcement
+// surfaces) to the string literals at registration call sites, so an
+// unlawful metric name fails review instead of panicking the first process
+// that registers it. Only compile-time constant arguments are judged;
+// dynamically built names are the registry's runtime panic's job.
+var metricNamesCheck = &Check{
+	Name: "metric-names",
+	Doc:  "metric/label names and help text at obs registration sites violating the naming law",
+	Run:  runMetricNames,
+}
+
+// registrationSites maps each obs.Registry registration method to the shape
+// of its trailing arguments after (name, help).
+var registrationSites = map[string]struct {
+	labels bool // variadic string label names
+	bounds bool // histogram bucket bounds (variadic floats, or a []float64 arg then labels)
+}{
+	"Counter":      {},
+	"CounterVec":   {labels: true},
+	"CounterFunc":  {},
+	"Gauge":        {},
+	"GaugeVec":     {labels: true},
+	"GaugeFunc":    {},
+	"Histogram":    {bounds: true},
+	"HistogramVec": {bounds: true, labels: true},
+}
+
+func runMetricNames(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			shape, ok := registrationSites[sel.Sel.Name]
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			tv, typed := info.Types[sel.X]
+			if !typed || !namedType(tv.Type, "obs", "Registry") {
+				return true
+			}
+
+			name, nameConst := constString(info, call.Args[0])
+			if nameConst {
+				if err := obs.CheckMetricName(name); err != nil {
+					pass.Reportf(call.Args[0].Pos(), "%v", err)
+				}
+			} else {
+				name = "<dynamic>"
+			}
+			if help, ok := constString(info, call.Args[1]); ok {
+				if err := obs.CheckHelp(name, help); err != nil {
+					pass.Reportf(call.Args[1].Pos(), "%v", err)
+				}
+			}
+
+			rest := call.Args[2:]
+			if sel.Sel.Name == "HistogramVec" && len(rest) > 0 {
+				checkBoundsExpr(pass, name, rest[0])
+				rest = rest[1:]
+			} else if shape.bounds {
+				checkBoundsArgs(pass, name, call.Pos(), rest, call.Ellipsis.IsValid())
+				rest = nil
+			}
+			if shape.labels {
+				checkLabelArgs(pass, name, rest, call.Ellipsis.IsValid())
+			}
+			return true
+		})
+	}
+}
+
+// checkLabelArgs validates constant label-name arguments and their pairwise
+// uniqueness. A labels... spread defeats static checking and is skipped.
+func checkLabelArgs(pass *Pass, metric string, args []ast.Expr, spread bool) {
+	if spread {
+		return
+	}
+	seen := map[string]ast.Expr{}
+	for _, a := range args {
+		l, ok := constString(pass.Pkg.Info, a)
+		if !ok {
+			continue
+		}
+		if err := obs.CheckLabelName(metric, l); err != nil {
+			pass.Reportf(a.Pos(), "%v", err)
+			continue
+		}
+		if prev, dup := seen[l]; dup {
+			pass.Reportf(a.Pos(), "metric %s repeats label name %q (first at line %d)",
+				metric, l, pass.Pkg.Fset.Position(prev.Pos()).Line)
+			continue
+		}
+		seen[l] = a
+	}
+}
+
+// checkBoundsArgs validates variadic histogram bucket bounds when every
+// element is a compile-time constant.
+func checkBoundsArgs(pass *Pass, metric string, callPos token.Pos, args []ast.Expr, spread bool) {
+	if spread || len(args) == 0 {
+		// No bounds at all is Lint's "histogram has no buckets" violation —
+		// but Registry.Histogram's signature makes it expressible, so flag it.
+		if !spread && len(args) == 0 {
+			pass.Reportf(callPos, "histogram %s registered with no bucket bounds", metric)
+		}
+		return
+	}
+	bounds := make([]float64, 0, len(args))
+	for _, a := range args {
+		v, ok := constFloat(pass.Pkg.Info, a)
+		if !ok {
+			return // dynamically computed bounds: runtime Lint's job
+		}
+		bounds = append(bounds, v)
+	}
+	if err := obs.CheckHistogramBounds(metric, bounds); err != nil {
+		pass.Reportf(args[0].Pos(), "%v", err)
+	}
+}
+
+// checkBoundsExpr validates an explicit []float64{...} bounds literal
+// (HistogramVec's third argument).
+func checkBoundsExpr(pass *Pass, metric string, arg ast.Expr) {
+	lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+	if !ok {
+		return // a variable or call: runtime Lint's job
+	}
+	if len(lit.Elts) == 0 {
+		pass.Reportf(arg.Pos(), "histogram %s registered with no bucket bounds", metric)
+		return
+	}
+	bounds := make([]float64, 0, len(lit.Elts))
+	for _, e := range lit.Elts {
+		v, ok := constFloat(pass.Pkg.Info, e)
+		if !ok {
+			return
+		}
+		bounds = append(bounds, v)
+	}
+	if err := obs.CheckHistogramBounds(metric, bounds); err != nil {
+		pass.Reportf(arg.Pos(), "%v", err)
+	}
+}

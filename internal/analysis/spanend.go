@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The span-end check keeps the PR 3 trace surface lawful: an obs.Span that
+// is started (Tracer.Start or Span.Child) but never Ended never reaches the
+// ring buffer, and a root span additionally leaks its display lane, so
+// every later root renders on the wrong timeline row. For each assignment
+// of a span the check requires, within the same function scope, either a
+// `defer sp.End()` or an End() call with no return statement between the
+// start and that End (an early return would skip it — use defer). Spans
+// handed to another function, stored, or returned transfer ownership and
+// are skipped.
+var spanEndCheck = &Check{
+	Name: "span-end",
+	Doc:  "obs span started without a matching End on every path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			checkSpanScope(pass, scope)
+		}
+	}
+}
+
+func checkSpanScope(pass *Pass, scope funcScope) {
+	info := pass.Pkg.Info
+	type start struct {
+		obj  types.Object
+		pos  token.Pos
+		from string // "Start" or "Child"
+	}
+	var starts []start
+	deferred := map[types.Object]bool{}
+	endPositions := map[types.Object][]token.Pos{}
+	escaped := map[types.Object]bool{}
+	var returns []token.Pos
+
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.DeferStmt:
+			if recv := spanMethod(pass, n.Call, "End"); recv != nil {
+				if obj := usedObject(info, recv); obj != nil {
+					deferred[obj] = true
+				}
+				return false // don't double-count as a plain End call
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				from := ""
+				if spanMethod(pass, call, "Start") != nil {
+					from = "Start"
+				} else if spanMethod(pass, call, "Child") != nil {
+					from = "Child"
+				}
+				if from == "" || !spanTyped(pass, call) {
+					continue
+				}
+				if obj := usedObject(info, n.Lhs[i]); obj != nil {
+					starts = append(starts, start{obj: obj, pos: n.Pos(), from: from})
+				}
+			}
+		case *ast.CallExpr:
+			if recv := spanMethod(pass, n, "End"); recv != nil {
+				if obj := usedObject(info, recv); obj != nil {
+					endPositions[obj] = append(endPositions[obj], n.Pos())
+				}
+				return true
+			}
+			// A span passed as an argument (not the receiver) escapes.
+			for _, arg := range n.Args {
+				if obj := usedObject(info, arg); obj != nil && spanTyped(pass, arg) {
+					escaped[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	// Spans that leave the scope by return transfer ownership too.
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if obj := usedObject(info, res); obj != nil && spanTyped(pass, res) {
+				escaped[obj] = true
+			}
+		}
+		return true
+	})
+
+	for _, s := range starts {
+		if deferred[s.obj] || escaped[s.obj] {
+			continue
+		}
+		// First End on this variable after this start (reassignment makes
+		// each start adopt the next End downstream).
+		var end token.Pos
+		for _, p := range endPositions[s.obj] {
+			if p > s.pos && (end == token.NoPos || p < end) {
+				end = p
+			}
+		}
+		if end == token.NoPos {
+			pass.Reportf(s.pos, "span %s from %s is never Ended in %s; it never reaches the trace buffer (and a root span leaks its lane)",
+				s.obj.Name(), s.from, scope.name)
+			continue
+		}
+		for _, r := range returns {
+			if r > s.pos && r < end {
+				pass.Reportf(s.pos, "span %s from %s is not Ended on the return path at line %d; End it with defer",
+					s.obj.Name(), s.from, pass.Pkg.Fset.Position(r).Line)
+				break
+			}
+		}
+	}
+}
+
+// spanMethod matches call as recv.name(...) on an obs.Span or obs.Tracer
+// receiver and returns the receiver expression.
+func spanMethod(pass *Pass, call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	tv, ok := pass.Pkg.Info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	if namedType(tv.Type, "obs", "Span") || namedType(tv.Type, "obs", "Tracer") {
+		return sel.X
+	}
+	return nil
+}
+
+// spanTyped reports whether e's type is *obs.Span.
+func spanTyped(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	return ok && namedType(tv.Type, "obs", "Span")
+}

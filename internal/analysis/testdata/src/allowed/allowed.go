@@ -1,0 +1,29 @@
+// Package allowed exercises //gnnvet:allow suppression: each directive
+// moves its finding into the suppressed tally (own-line and trailing forms,
+// specific check names and "all").
+package allowed
+
+import "sync"
+
+var mu sync.Mutex
+
+// SuppressedOwnLine carries the directive on the line above the finding.
+func SuppressedOwnLine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//gnnvet:allow determinism -- fixture: order does not matter here
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SuppressedAll uses the "all" wildcard in trailing position.
+func SuppressedAll() {
+	mu.Lock() //gnnvet:allow all -- fixture: released by a callback elsewhere
+}
+
+// NotSuppressed names a different check, so the finding stays active.
+func NotSuppressed() {
+	//gnnvet:allow span-end -- fixture: wrong check name on purpose
+	mu.Lock()
+}

@@ -1,0 +1,64 @@
+// Package atomicrename exercises the atomic-rename check: committing a
+// locally written file with os.Rename requires a Sync first, or a crash can
+// tear the committed copy.
+package atomicrename
+
+import "os"
+
+// BadRenameNoSync writes, closes and renames without ever flushing.
+func BadRenameNoSync(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("state"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// BadSyncAfterRename flushes only after the commit point.
+func BadSyncAfterRename(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		f.Close()
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
+
+// GoodSyncThenRename is the durable commit sequence: write, Sync, Close,
+// Rename.
+func GoodSyncThenRename(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("state"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// GoodPureRotation renames files it never wrote: rotation helpers commit
+// nothing of their own, so no Sync is required here.
+func GoodPureRotation(a, b string) error {
+	return os.Rename(a, b)
+}

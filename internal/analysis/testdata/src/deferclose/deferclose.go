@@ -1,0 +1,121 @@
+// Package deferclose exercises the defer-close-exit check: a deferred
+// Close on a locally opened writable *os.File never runs once the function
+// reaches os.Exit (directly, via log.Fatal, or through a local helper).
+package deferclose
+
+import (
+	"log"
+	"os"
+)
+
+// fatal is the cmd/ helper idiom: it exits, so callers' defers never run.
+func fatal(err error) {
+	log.Printf("fixture: %v", err)
+	os.Exit(1)
+}
+
+// BadDirectExit defers the close and can still reach os.Exit.
+func BadDirectExit(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		os.Exit(1)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("data"); err != nil {
+		os.Exit(1)
+	}
+}
+
+// BadLogFatal reaches process exit through log.Fatalf.
+func BadLogFatal(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString("data"); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+}
+
+// BadLocalHelper reaches os.Exit through the package-local fatal helper.
+func BadLocalHelper(path string) {
+	f, err := os.CreateTemp("", "fixture")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString("data"); err != nil {
+		fatal(err)
+	}
+	_ = path
+}
+
+// BadOpenFileWrite opens with an explicit write flag.
+func BadOpenFileWrite(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString("data"); err != nil {
+		os.Exit(1)
+	}
+}
+
+// GoodReadOnly defers a close on a read-only handle: nothing buffered to
+// lose, so exiting past it is harmless.
+func GoodReadOnly(path string) []byte {
+	f, err := os.Open(path)
+	if err != nil {
+		os.Exit(1)
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		os.Exit(1)
+	}
+	return buf[:n]
+}
+
+// GoodNoExit defers the close in a function with no exit path: defers run
+// on every return.
+func GoodNoExit(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// GoodExitBeforeOpen exits only before the file exists; once the defer is
+// set, every path runs it.
+func GoodExitBeforeOpen(path string) error {
+	if path == "" {
+		os.Exit(2)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// GoodExplicitClose closes by hand (checking the error) before the exit
+// path — the PR 4 fix shape.
+func GoodExplicitClose(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_, werr := f.WriteString("data")
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Package determ exercises the determinism check's map-iteration rule,
+// which applies in every package (the rand/time rule is fixture/train's
+// job). Functions prefixed Bad expect findings; Good ones expect none.
+package determ
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadAppend appends to an outside slice in map-iteration order.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadConcat string-concatenates in map-iteration order.
+func BadConcat(m map[string]int) string {
+	out := ""
+	for k, v := range m {
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+// BadIndexWrite index-writes an outside slice at a loop-carried cursor.
+func BadIndexWrite(m map[string]int) []int {
+	vals := make([]int, len(m))
+	i := 0
+	for _, v := range m {
+		vals[i] = v
+		i++
+	}
+	return vals
+}
+
+// GoodSortedAfter uses the sanctioned collect-then-sort idiom.
+func GoodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSliceRange ranges a slice, which iterates in order.
+func GoodSliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// GoodMapWrite writes into another map: no order to leak.
+func GoodMapWrite(m map[string]int) map[string]int {
+	inv := map[string]int{}
+	for k, v := range m {
+		inv[k] = v * 2
+	}
+	return inv
+}
+
+// GoodLoopLocal appends to a slice declared inside the loop body.
+func GoodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

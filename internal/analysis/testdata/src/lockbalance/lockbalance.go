@@ -1,0 +1,71 @@
+// Package lockbalance exercises the lock-balance check: every Lock/RLock
+// needs a deferred matching unlock, or a plain one with no return statement
+// in between.
+package lockbalance
+
+import "sync"
+
+// Store is a fixture type with the repo's embedded-and-named mutex shapes.
+type Store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	vals map[string]int
+}
+
+// BadNoUnlock locks and never releases.
+func BadNoUnlock(s *Store) {
+	s.mu.Lock()
+	s.vals["k"] = 1
+}
+
+// BadEarlyReturn releases only on the fall-through path.
+func BadEarlyReturn(s *Store, k string) int {
+	s.mu.Lock()
+	v, ok := s.vals[k]
+	if !ok {
+		return -1
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// BadReadLockLeak leaks the read lock on one path.
+func BadReadLockLeak(s *Store, k string) int {
+	s.rw.RLock()
+	if s.vals == nil {
+		return 0
+	}
+	v := s.vals[k]
+	s.rw.RUnlock()
+	return v
+}
+
+// GoodDeferUnlock is the repo idiom.
+func GoodDeferUnlock(s *Store, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// GoodStraightLine unlocks with no return in between.
+func GoodStraightLine(s *Store, k string, v int) {
+	s.mu.Lock()
+	s.vals[k] = v
+	s.mu.Unlock()
+}
+
+// GoodReadLock pairs RLock with a deferred RUnlock.
+func GoodReadLock(s *Store, k string) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.vals[k]
+}
+
+// GoodMixedReceivers keeps two mutexes balanced independently.
+func GoodMixedReceivers(a, b *Store) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.vals["x"] = b.vals["x"]
+}

@@ -1,0 +1,36 @@
+// Package metricnames exercises the metric-names check against the fixture
+// obs stub: the same naming law the runtime registry panics through,
+// applied statically to constant arguments at registration sites.
+package metricnames
+
+import "fixture/obs"
+
+// BadRegistrations violates each rule of the naming law once.
+func BadRegistrations(r *obs.Registry) {
+	r.Counter("Bad-Name", "uppercase and dash are unlawful")
+	r.Gauge("gauge_without_help", "")
+	r.CounterVec("requests_total", "by route", "Bad Label")
+	r.CounterVec("hits_total", "by shard", "shard", "shard")
+	r.GaugeVec("depth", "by bucket", "le")
+	r.Histogram("latency_seconds", "request latency", 3, 2, 1)
+	r.Histogram("empty_seconds", "no buckets at all")
+	r.HistogramVec("vec_seconds", "per worker", []float64{}, "worker")
+	r.HistogramVec("dup_seconds", "per worker", []float64{1, 1, 2}, "worker")
+}
+
+// GoodRegistrations are all lawful.
+func GoodRegistrations(r *obs.Registry) {
+	r.Counter("batches_total", "batches served")
+	r.CounterVec("requests_total", "by route and code", "route", "code")
+	r.CounterFunc("uptime_seconds", "process uptime", func() float64 { return 0 })
+	r.Gauge("queue_depth", "pending requests")
+	r.GaugeVec("replica_busy", "by replica", "replica")
+	r.GaugeFunc("goroutines", "live goroutines", func() float64 { return 0 })
+	r.Histogram("latency_seconds", "request latency", 0.001, 0.01, 0.1, 1)
+	r.HistogramVec("batch_seconds", "per phase", []float64{0.01, 0.1, 1}, "phase")
+}
+
+// GoodDynamicName is the runtime registry's job, not the static check's.
+func GoodDynamicName(r *obs.Registry, name string) {
+	r.Counter(name, "dynamically named")
+}

@@ -1,0 +1,69 @@
+// Package spanend exercises the span-end check against the fixture obs
+// stubs: every started span must End on every path, or it never reaches the
+// trace ring buffer.
+package spanend
+
+import "fixture/obs"
+
+// BadNeverEnded starts a span and forgets it.
+func BadNeverEnded(tr *obs.Tracer) int {
+	sp := tr.Start("work")
+	_ = sp
+	return 42
+}
+
+// BadEarlyReturn has a return between the start and the End, so the error
+// path leaks the span.
+func BadEarlyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		return errFixture
+	}
+	sp.End()
+	return nil
+}
+
+// BadChildNeverEnded leaks a child span even though the root is deferred.
+func BadChildNeverEnded(tr *obs.Tracer) {
+	sp := tr.Start("root")
+	defer sp.End()
+	child := sp.Child("step")
+	_ = child
+}
+
+// GoodDeferredEnd is the repo idiom: defer the End immediately.
+func GoodDeferredEnd(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer sp.End()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// GoodStraightLine Ends with no return in between.
+func GoodStraightLine(tr *obs.Tracer) {
+	sp := tr.Start("work")
+	sp.Child("step").End()
+	sp.End()
+}
+
+// GoodReturnedSpan transfers ownership to the caller.
+func GoodReturnedSpan(tr *obs.Tracer) *obs.Span {
+	sp := tr.Start("work")
+	return sp
+}
+
+// GoodEscapedSpan hands the span to another function, which now owns it.
+func GoodEscapedSpan(tr *obs.Tracer) {
+	sp := tr.Start("work")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) { sp.End() }
+
+type fixtureError struct{}
+
+func (fixtureError) Error() string { return "fixture" }
+
+var errFixture error = fixtureError{}

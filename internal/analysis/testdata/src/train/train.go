@@ -1,0 +1,43 @@
+// Package train exercises the determinism check's kernel-package rule: the
+// check scopes on package *name*, so this fixture stands in for the real
+// internal/train. Ambient randomness and wall-clock reads are findings;
+// seeded streams and injected clocks are not.
+package train
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BadGlobalRand draws from math/rand's process-global source.
+func BadGlobalRand() int {
+	return rand.Intn(10)
+}
+
+// BadGlobalFloat draws a float from the global source.
+func BadGlobalFloat() float64 {
+	return rand.Float64()
+}
+
+// BadWallClock reads the ambient wall clock in a kernel package.
+func BadWallClock() time.Time {
+	return time.Now()
+}
+
+// GoodSeededStream draws from an explicitly seeded stream: the constructor
+// and the stream's methods are both sanctioned.
+func GoodSeededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// GoodInjectedClock consumes a caller-supplied instant.
+func GoodInjectedClock(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, 0))
+}
+
+// GoodAllowedMeasurement is a sanctioned measurement-only site: the
+// directive moves the finding into the suppressed tally.
+func GoodAllowedMeasurement() time.Time {
+	return time.Now() //gnnvet:allow determinism -- fixture: measurement-only site
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Shared AST/type-resolution helpers for the checks.
+
+// pkgFuncCall reports whether call invokes the package-level function
+// pkgPath.name (e.g. "os".Exit), resolved through the type checker so
+// aliased imports and shadowed identifiers are handled.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// calleeFunc resolves the called function or method object, or nil for
+// builtins, conversions and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// methodCall matches a call of the form recv.name(...) where the resolved
+// method belongs to package pkgPath (its receiver's package). It returns the
+// receiver expression, or nil when the call does not match.
+func methodCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	return sel.X
+}
+
+// namedType reports whether t (after pointer indirection) is the named type
+// pkgName.typeName. Matching is by package *name*, not path, so testdata
+// fixture modules exercising the obs-based checks resolve identically to the
+// real tree.
+func namedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constInt returns the compile-time integer value of e, if it has one.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return v, ok
+}
+
+// constFloat returns the compile-time float value of e, if it has one.
+func constFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Float, constant.Int:
+		v, _ := constant.Float64Val(tv.Value)
+		return v, true
+	}
+	return 0, false
+}
+
+// usedObject resolves the object an identifier expression refers to.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// funcScope is one function body: a declaration or a function literal.
+type funcScope struct {
+	// name labels the scope in diagnostics ("Save", "func literal").
+	name string
+	body *ast.BlockStmt
+}
+
+// funcScopes collects every function body in the file, outermost first.
+func funcScopes(f *ast.File) []funcScope {
+	var scopes []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				scopes = append(scopes, funcScope{name: n.Name.Name, body: n.Body})
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, funcScope{name: "func literal", body: n.Body})
+		}
+		return true
+	})
+	return scopes
+}
+
+// inspectShallow walks body without descending into nested function
+// literals, so per-function analyses treat each closure as its own scope.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -187,7 +187,15 @@ func PreferentialAttachment(rng *tensor.RNG, n, m int) *Graph {
 				chosen[u] = true
 			}
 		}
+		// Drain the dedup set in sorted order: ranging the map directly
+		// would append edges in Go's randomized iteration order, making the
+		// generated graph differ run to run despite the seeded RNG.
+		targets := make([]int, 0, len(chosen))
 		for u := range chosen {
+			targets = append(targets, u)
+		}
+		sort.Ints(targets)
+		for _, u := range targets {
 			g.Src = append(g.Src, u, v)
 			g.Dst = append(g.Dst, v, u)
 			endpoints = append(endpoints, u, v)

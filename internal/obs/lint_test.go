@@ -2,7 +2,6 @@ package obs_test
 
 import (
 	"context"
-	"regexp"
 	"strings"
 	"testing"
 
@@ -82,11 +81,11 @@ func requireFamilies(t *testing.T, label string, r *obs.Registry, names ...strin
 	}
 }
 
-var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
-
-// checkExposition verifies the rendered text: every family name is lawful,
-// appears exactly once, and every sample line follows that family's HELP and
-// TYPE declarations.
+// checkExposition verifies the rendered text: every family name satisfies
+// the shared naming law (obs.CheckMetricName — the same rule table gnnvet's
+// static metric-names check applies at registration call sites), appears
+// exactly once, and every sample line follows that family's HELP and TYPE
+// declarations.
 func checkExposition(t *testing.T, label string, r *obs.Registry) {
 	t.Helper()
 	var sb strings.Builder
@@ -110,8 +109,8 @@ func checkExposition(t *testing.T, label string, r *obs.Registry) {
 			current = name
 		case strings.HasPrefix(line, "# TYPE "):
 			name := strings.Fields(line)[2]
-			if !metricNameRE.MatchString(name) {
-				t.Errorf("%s: metric name %q violates naming law", label, name)
+			if err := obs.CheckMetricName(name); err != nil {
+				t.Errorf("%s: metric name violates naming law: %v", label, err)
 			}
 			if typed[name] {
 				t.Errorf("%s: duplicate TYPE for %s", label, name)

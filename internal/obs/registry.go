@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"regexp"
 	"sort"
 	"strings"
 	"sync"
@@ -59,9 +58,6 @@ func (k Kind) String() string {
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
-
-// nameRE is the registry's naming law for metrics and labels.
-var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 // Registry holds metric families and renders them deterministically. Create
 // one with NewRegistry, or use the process-wide Default.
@@ -110,24 +106,16 @@ func Default() *Registry { return defaultRegistry }
 // family looks up or creates a metric family, panicking on invalid names or
 // a conflicting re-registration.
 func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *family {
-	if !nameRE.MatchString(name) {
-		panic(fmt.Sprintf("obs: invalid metric name %q (want %s)", name, nameRE))
+	// The naming law lives in namelaw.go, shared with Lint and with gnnvet's
+	// static metric-names check.
+	if err := CheckMetricName(name); err != nil {
+		panic("obs: " + err.Error())
 	}
-	if strings.TrimSpace(help) == "" {
-		panic(fmt.Sprintf("obs: metric %s registered without help text", name))
+	if err := CheckHelp(name, help); err != nil {
+		panic("obs: " + err.Error())
 	}
-	seen := map[string]bool{}
-	for _, l := range labels {
-		if !nameRE.MatchString(l) {
-			panic(fmt.Sprintf("obs: metric %s has invalid label name %q", name, l))
-		}
-		if l == "le" {
-			panic(fmt.Sprintf("obs: metric %s uses reserved label name \"le\"", name))
-		}
-		if seen[l] {
-			panic(fmt.Sprintf("obs: metric %s repeats label name %q", name, l))
-		}
-		seen[l] = true
+	if err := CheckLabelNames(name, labels); err != nil {
+		panic("obs: " + err.Error())
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -496,21 +484,19 @@ func (m *instrument) write(w io.Writer) error {
 // that the enforcement holds.
 func (r *Registry) Lint() error {
 	for _, f := range r.snapshotFamilies() {
-		if !nameRE.MatchString(f.name) {
-			return fmt.Errorf("obs: metric %q has invalid name", f.name)
+		if err := CheckMetricName(f.name); err != nil {
+			return fmt.Errorf("obs: %w", err)
 		}
-		if strings.TrimSpace(f.help) == "" {
-			return fmt.Errorf("obs: metric %s has no help text", f.name)
+		if err := CheckHelp(f.name, f.help); err != nil {
+			return fmt.Errorf("obs: %w", err)
 		}
-		seen := map[string]bool{}
-		for _, l := range f.labels {
-			if !nameRE.MatchString(l) || l == "le" || seen[l] {
-				return fmt.Errorf("obs: metric %s has bad label %q", f.name, l)
+		if err := CheckLabelNames(f.name, f.labels); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		if f.kind == KindHistogram {
+			if err := CheckHistogramBounds(f.name, f.bounds); err != nil {
+				return fmt.Errorf("obs: %w", err)
 			}
-			seen[l] = true
-		}
-		if f.kind == KindHistogram && len(f.bounds) == 0 {
-			return fmt.Errorf("obs: histogram %s has no buckets", f.name)
 		}
 		for _, m := range f.snapshotChildren() {
 			if len(m.values) != len(f.labels) {

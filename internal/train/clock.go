@@ -40,7 +40,7 @@ func newPhaseClock(dev *device.Device, bd *profile.Breakdown, dispatch time.Dura
 
 func (c *phaseClock) time(p profile.Phase, f func()) {
 	s0 := c.dev.Stats()
-	start := time.Now()
+	start := time.Now() //gnnvet:allow determinism -- phase-breakdown measurement only; modeled time never feeds training math
 	f()
 	wall := time.Since(start)
 	s1 := c.dev.Stats()
@@ -52,7 +52,7 @@ func (c *phaseClock) time(p profile.Phase, f func()) {
 // timeCollate charges f's wall time to the data-loading phase scaled by the
 // Python-host factor (f must run no kernels).
 func (c *phaseClock) timeCollate(f func()) {
-	start := time.Now()
+	start := time.Now() //gnnvet:allow determinism -- phase-breakdown measurement only; modeled time never feeds training math
 	f()
 	c.bd.Add(profile.PhaseDataLoad, time.Since(start)*pythonCollateFactor)
 }

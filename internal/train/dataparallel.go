@@ -71,7 +71,7 @@ func TrainDataParallelEpoch(m models.Model, d *datasets.Dataset, adam *optim.Ada
 
 	paramBytes := nn.ParamBytes(m.Params())
 	var stats DPEpochStats
-	wallStart := time.Now()
+	wallStart := time.Now() //gnnvet:allow determinism -- epoch wall-time stat only; never enters model state
 
 	for lo := 0; lo < len(order); lo += opt.BatchSize {
 		hi := lo + opt.BatchSize
@@ -96,7 +96,7 @@ func TrainDataParallelEpoch(m models.Model, d *datasets.Dataset, adam *optim.Ada
 		// scatters it across replicas. The scatter shards are rebuilt from
 		// the same graphs below — an implementation detail of this
 		// reproduction charged only through ScatterTime.
-		t0 := time.Now()
+		t0 := time.Now() //gnnvet:allow determinism -- data-load timing stat only; never enters model state
 		full := be.Batch(gatherGraphs(d, idx), nil)
 		stats.DataLoad += time.Since(t0) * pythonCollateFactor
 		batchBytes := full.Bytes()
@@ -144,7 +144,7 @@ func TrainDataParallelEpoch(m models.Model, d *datasets.Dataset, adam *optim.Ada
 		}
 		stats.Transfer += c.ScatterTime(batchBytes) + c.AllReduceTime(paramBytes)
 
-		t1 := time.Now()
+		t1 := time.Now() //gnnvet:allow determinism -- update timing stat only; never enters model state
 		adam.Step()
 		stats.Update += time.Since(t1)
 		stats.TrainLoss += lossSum

@@ -95,7 +95,7 @@ func TrainNode(m models.Model, d *datasets.Dataset, opt NodeOptions) NodeResult 
 		// wall time, kernels at device cost-model time (see profile.
 		// ModeledDuration) — the clock a GPU-backed run would show.
 		s0 := dev.Stats()
-		t0 := time.Now()
+		t0 := time.Now() //gnnvet:allow determinism -- epoch timing stat only; never enters model state
 		g := ag.New(dev)
 		logits := m.Forward(g, b, true, nil)
 		loss := g.CrossEntropy(logits, b.NodeLabels, d.TrainIdx)
