@@ -37,6 +37,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 	queueDepth := flag.Int("queue", 256, "bounded request-queue depth")
 	window := flag.Duration("window", 2*time.Millisecond, "coalescing window after a batch's first request")
 	timeout := flag.Duration("timeout", time.Second, "default per-request deadline")
+	dtype := flag.String("dtype", "", "compiled serving at this weight precision: f64|f32|q8 (empty = eager reference path)")
 	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
 	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable GNNCKPT2 file supplies the weights, and /admin/reload or SIGHUP re-reads it")
 	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
@@ -118,11 +120,25 @@ func main() {
 	reg := obs.Default()
 	obs.RegisterRuntimeMetrics(reg)
 	obs.RegisterPoolMetrics(reg)
+	obs.RegisterTensorPoolMetrics(reg)
+	var wdt tensor.DType
+	if *dtype != "" {
+		wdt, err = tensor.ParseDType(*dtype)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	reps := make([]serve.Replica, *replicas)
 	devs := make([]*device.Device, *replicas)
 	for i := range reps {
 		devs[i] = device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti())
-		reps[i] = serve.NewModelReplica(m, devs[i])
+		if *dtype != "" {
+			// Compiled replicas record each batch shape's forward tape once
+			// and replay it allocation-free, with weights held at wdt.
+			reps[i] = serve.NewCompiledModelReplica(m, devs[i], wdt)
+		} else {
+			reps[i] = serve.NewModelReplica(m, devs[i])
+		}
 	}
 	obs.RegisterDeviceMetrics(reg, devs...)
 	srv := serve.New(reps, serve.Options{
@@ -178,8 +194,12 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %d replicas, batch<=%d, queue %d, window %s\n",
-		*modelName, be.Name(), d.Name, *addr, *replicas, *batch, *queueDepth, *window)
+	mode := "eager f64"
+	if *dtype != "" {
+		mode = "compiled " + wdt.String()
+	}
+	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %d replicas (%s), batch<=%d, queue %d, window %s\n",
+		*modelName, be.Name(), d.Name, *addr, *replicas, mode, *batch, *queueDepth, *window)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -7,7 +7,7 @@
 // simulated accelerator (internal/device) sees the same kernel stream a GPU
 // profiler would: one launch per op, with FLOP and byte counts.
 //
-// Usage per training step:
+// Usage per training step (eager, the default — allocates per step):
 //
 //	g := ag.New(dev)
 //	x := g.Input(features)
@@ -15,6 +15,26 @@
 //	loss := g.CrossEntropy(h, labels, nil)
 //	g.Backward(loss)   // accumulates into W.Grad, b.Grad
 //	g.Finish()         // releases device-memory accounting for intermediates
+//
+// Record/replay (the zero-allocation steady state): every op records a
+// forward closure writing its pooled output buffer in place, so one recorded
+// tape can be re-executed against fresh input data without rebuilding it:
+//
+//	g := ag.New(dev)
+//	g.EnablePooling()          // op outputs come from the tensor buffer pool
+//	loss := model.Forward(g, batch, ...)   // records the tape (allocates)
+//	for step := range steps {              // steady state: zero allocations
+//		g.BeginStep()          // recycle last step's gradient buffers
+//		g.ReplayForward()      // re-run every forward kernel in place
+//		g.Backward(loss)
+//		opt.Step()
+//	}
+//	g.Finish()                 // returns every pooled buffer to the pool
+//
+// Replay reads whatever the input tensors and index slices hold at re-run
+// time, so serving code swaps a new batch in by copying into the recorded
+// buffers. The eager and replayed paths run the same kernels in the same
+// order and are bit-identical.
 package ag
 
 import (
@@ -35,19 +55,22 @@ type Parameter struct {
 
 // NewParameter wraps a value tensor as a named parameter with a zero gradient.
 func NewParameter(name string, value *tensor.Tensor) *Parameter {
-	return &Parameter{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+	return &Parameter{Name: name, Value: value, Grad: tensor.NewLike(value)}
 }
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
 
 // Node is one value on the tape. Its gradient is materialized lazily during
-// Backward.
+// Backward. fwd re-runs the op's forward kernel in place for replay (nil for
+// inputs, parameters, and secondary outputs of multi-output ops).
 type Node struct {
 	T            *tensor.Tensor
 	grad         *tensor.Tensor
 	requiresGrad bool
 	backward     func(g *Graph)
+	fwd          func()
+	flops, bytes int64
 	label        string
 }
 
@@ -60,12 +83,18 @@ func (n *Node) Grad() *tensor.Tensor { return n.grad }
 // RequiresGrad reports whether gradients flow into this node.
 func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 
-// Graph is a single-use autodiff tape bound to a device.
+// Graph is an autodiff tape bound to a device: single-use when eager,
+// re-executable via ReplayForward when recorded with pooling.
 type Graph struct {
 	dev        *device.Device
 	tape       []*Node
 	allocBytes int64
 	finished   bool
+
+	pooled    bool             // op buffers come from the tensor pool
+	owned     []*tensor.Tensor // pooled buffers released at Finish (outputs + workspaces)
+	evalQuant bool             // Linear layers may use compressed weights
+	onReplay  []func()         // constant-refresh hooks run before each replay
 }
 
 // New returns an empty tape recording kernels and allocations on dev.
@@ -79,6 +108,27 @@ func (g *Graph) Device() *device.Device { return g.dev }
 
 // NumNodes returns the number of tape entries so far.
 func (g *Graph) NumNodes() int { return len(g.tape) }
+
+// EnablePooling makes all subsequent op outputs, workspaces and gradient
+// buffers come from the tensor buffer pool (and return to it at Finish /
+// BeginStep). Call it on a fresh graph, before recording ops.
+func (g *Graph) EnablePooling() {
+	if len(g.tape) != 0 {
+		panic("ag: EnablePooling after ops were recorded")
+	}
+	g.pooled = true
+}
+
+// Pooled reports whether this graph draws its buffers from the tensor pool.
+func (g *Graph) Pooled() bool { return g.pooled }
+
+// EnableQuantizedEval lets Linear layers apply their compressed (f32/q8)
+// weights on this graph. Only meaningful for inference tapes; quantized
+// weights have no gradients.
+func (g *Graph) EnableQuantizedEval() { g.evalQuant = true }
+
+// QuantizedEval reports whether compressed Linear weights may be used.
+func (g *Graph) QuantizedEval() bool { return g.evalQuant }
 
 // alloc records t's storage as live device memory owned by this graph.
 func (g *Graph) alloc(t *tensor.Tensor) {
@@ -95,12 +145,74 @@ func (g *Graph) run(flops, bytes int64, f func()) {
 	g.dev.Kernel(flops, bytes, f)
 }
 
+// get allocates an op output or workspace buffer: pooled (and graph-owned)
+// when pooling is on, a plain zeroed tensor otherwise.
+func (g *Graph) get(shape ...int) *tensor.Tensor {
+	if g.pooled {
+		t := tensor.Get(shape...)
+		g.owned = append(g.owned, t)
+		return t
+	}
+	return tensor.New(shape...)
+}
+
+// getLike is get with t's shape, without copying the shape slice.
+func (g *Graph) getLike(t *tensor.Tensor) *tensor.Tensor {
+	if g.pooled {
+		o := tensor.GetLike(t)
+		g.owned = append(g.owned, o)
+		return o
+	}
+	return tensor.NewLike(t)
+}
+
+// temp allocates backward scratch: pooled when pooling is on (the caller
+// returns it with freeTemp after accumulating), a plain tensor otherwise.
+// Either way the buffer starts zeroed.
+func (g *Graph) temp(shape ...int) *tensor.Tensor {
+	if g.pooled {
+		return tensor.Get(shape...)
+	}
+	return tensor.New(shape...)
+}
+
+// tempLike is temp with t's shape.
+func (g *Graph) tempLike(t *tensor.Tensor) *tensor.Tensor {
+	if g.pooled {
+		return tensor.GetLike(t)
+	}
+	return tensor.NewLike(t)
+}
+
+// freeTemp returns backward scratch to the pool (no-op on the eager path,
+// where the garbage collector owns it — identical to the historical
+// behavior).
+func (g *Graph) freeTemp(ts ...*tensor.Tensor) {
+	if g.pooled {
+		tensor.Release(ts...)
+	}
+}
+
 // node appends a tape entry whose output tensor was freshly allocated by the
 // op (and is therefore accounted as device memory).
 func (g *Graph) node(t *tensor.Tensor, requiresGrad bool, label string, backward func(*Graph)) *Node {
 	g.alloc(t)
 	n := &Node{T: t, requiresGrad: requiresGrad, backward: backward, label: label}
 	g.tape = append(g.tape, n)
+	return n
+}
+
+// op runs fwd once as a kernel and appends the resulting node, remembering
+// fwd and its accounting so ReplayForward can re-execute the tape. out points
+// at the variable fwd writes its output buffer through: fwd acquires the
+// buffer lazily on its first (recording) run, so the allocation is charged
+// inside the kernel — exactly where the historical eager ops allocated — and
+// replays reuse the recorded buffer without touching the allocator.
+func (g *Graph) op(out **tensor.Tensor, requiresGrad bool, label string, flops, bytes int64, fwd func()) *Node {
+	g.run(flops, bytes, fwd)
+	n := g.node(*out, requiresGrad, label, nil)
+	n.fwd = fwd
+	n.flops, n.bytes = flops, bytes
 	return n
 }
 
@@ -126,6 +238,20 @@ func (g *Graph) Param(p *Parameter) *Node {
 	return n
 }
 
+// Compute records a constant-producing kernel: fill writes the output buffer
+// from whatever non-tensor state it reads (batch degrees, edge structure).
+// No gradient flows. On replay, fill re-runs, so batch-derived constants
+// follow the data that was copied into the recorded batch buffers.
+func (g *Graph) Compute(shape []int, label string, flops, bytes int64, fill func(dst *tensor.Tensor)) *Node {
+	var out *tensor.Tensor
+	return g.op(&out, false, label, flops, bytes, func() {
+		if out == nil {
+			out = g.get(shape...)
+		}
+		fill(out)
+	})
+}
+
 // accum adds grad into n's gradient buffer, allocating it on first touch.
 // Ops call this only for inputs that require gradients.
 func (g *Graph) accum(n *Node, grad *tensor.Tensor) {
@@ -136,8 +262,13 @@ func (g *Graph) accum(n *Node, grad *tensor.Tensor) {
 	g.run(int64(grad.Size()), int64(grad.Size())*24, func() {
 		if first {
 			// Output-buffer allocation is the device allocator's job; it
-			// belongs inside the kernel accounting.
-			n.grad = tensor.New(n.T.Shape()...)
+			// belongs inside the kernel accounting. Pooled graphs recycle the
+			// buffer released by the previous BeginStep.
+			if g.pooled {
+				n.grad = tensor.GetLike(n.T)
+			} else {
+				n.grad = tensor.NewLike(n.T)
+			}
 		}
 		tensor.AddInPlace(n.grad, grad)
 	})
@@ -156,7 +287,12 @@ func (g *Graph) Backward(loss *Node) {
 	if !loss.requiresGrad {
 		panic("ag: loss does not depend on any parameter")
 	}
-	loss.grad = tensor.Scalar(1)
+	if g.pooled {
+		loss.grad = tensor.GetLike(loss.T)
+	} else {
+		loss.grad = tensor.NewLike(loss.T)
+	}
+	loss.grad.Data[0] = 1
 	g.alloc(loss.grad)
 	for i := len(g.tape) - 1; i >= 0; i-- {
 		n := g.tape[i]
@@ -167,10 +303,54 @@ func (g *Graph) Backward(loss *Node) {
 	}
 }
 
+// ReplayForward re-executes every recorded forward kernel in tape order,
+// writing each op's output buffer in place. Inputs, parameters and
+// batch-index slices are read as they are now, so callers refresh data by
+// copying into the recorded buffers before replaying.
+func (g *Graph) ReplayForward() {
+	if g.finished {
+		panic("ag: ReplayForward after Finish")
+	}
+	for _, f := range g.onReplay {
+		f()
+	}
+	for _, n := range g.tape {
+		if n.fwd != nil {
+			g.run(n.flops, n.bytes, n.fwd)
+		}
+	}
+}
+
+// OnReplay registers f to run at the start of every ReplayForward, before
+// any kernel. Models and backends use it to refresh batch-derived constant
+// tensors (degree normalizations, pseudo-coordinates) that eager recording
+// computes host-side, so a replayed tape tracks whatever data the recorded
+// batch buffers currently hold. The hooks never run on the eager path.
+func (g *Graph) OnReplay(f func()) { g.onReplay = append(g.onReplay, f) }
+
+// BeginStep recycles the previous step's gradient buffers (returning them to
+// the pool when pooling is on) so the next Backward re-draws them without
+// allocating. Call it before each replayed step.
+func (g *Graph) BeginStep() {
+	for _, n := range g.tape {
+		if n.grad == nil {
+			continue
+		}
+		b := int64(n.grad.Size()) * 8
+		g.allocBytes -= b
+		g.dev.Free(b)
+		if g.pooled {
+			tensor.Release(n.grad)
+		}
+		n.grad = nil
+	}
+}
+
 // Finish releases the device-memory accounting for every intermediate this
-// graph allocated. Call it exactly once, after the optimizer step, to mirror
-// the end-of-iteration free that frameworks perform when the autograd graph
-// is dropped.
+// graph allocated, and returns every pooled buffer (outputs, workspaces,
+// gradients) to the tensor pool. Call it exactly once, after the last step,
+// to mirror the end-of-iteration free that frameworks perform when the
+// autograd graph is dropped.
 func (g *Graph) Finish() {
 	if g.finished {
 		panic("ag: Finish called twice")
@@ -178,7 +358,18 @@ func (g *Graph) Finish() {
 	g.finished = true
 	g.dev.Free(g.allocBytes)
 	g.allocBytes = 0
+	if g.pooled {
+		tensor.Release(g.owned...)
+		for _, n := range g.tape {
+			if n.grad != nil {
+				tensor.Release(n.grad)
+				n.grad = nil
+			}
+		}
+	}
+	g.owned = nil
 	g.tape = nil
+	g.onReplay = nil
 }
 
 // checkCols panics unless n's tensor is rank 2.

@@ -13,12 +13,11 @@ import (
 // described in the paper's Sec. IV-C. rowptr has one entry per destination
 // node plus one; col[k] is the source node of incoming arc k.
 //
-// Parallel execution: forward kernels partition destination rows (each output
-// row is owned by one worker). Backward kernels scatter into source rows, so
-// they use source-row ownership instead — every worker scans the full edge
-// list but accumulates only the gradient rows it owns. Both directions keep
-// each output element's accumulation in the serial edge order, so results are
-// bit-identical to single-threaded execution with zero atomics.
+// The fused kernels live in tensor/csr.go; this layer wires them onto the
+// tape with the paper's FLOP/byte accounting. Parallel execution keeps the
+// ownership disciplines documented there (destination rows forward, source
+// rows or edge ids backward), so results are bit-identical to single-threaded
+// execution with zero atomics.
 
 // spmmGrain estimates a For grain for a CSR kernel: rows whose combined
 // edge×feature work reaches the pool's minimum profitable work unit.
@@ -38,45 +37,21 @@ func (g *Graph) GSpMMSum(x *Node, rowptr, col []int) *Node {
 	f := x.T.Cols()
 	e := len(col)
 	sz := int64(e * f)
-	grain := spmmGrain(e, n, f)
 	var out *tensor.Tensor
-	g.run(sz, 24*sz, func() {
-		out = tensor.New(n, f)
-		parallel.For(n, grain, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				orow := out.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					xrow := x.T.Row(col[k])
-					for j := 0; j < f; j++ {
-						orow[j] += xrow[j]
-					}
-				}
-			}
-		})
+	res := g.op(&out, x.requiresGrad, "gspmm-sum", sz, 24*sz, func() {
+		if out == nil {
+			out = g.get(n, f)
+		}
+		tensor.GSpMMSumInto(out, x.T, rowptr, col)
 	})
-	res := g.node(out, x.requiresGrad, "gspmm-sum", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
-			srcRows := x.T.Rows()
-			gx = tensor.New(x.T.Shape()...)
-			parallel.For(srcRows, spmmGrain(e, srcRows, f), func(lo, hi int) {
-				for v := 0; v < n; v++ {
-					grow := res.grad.Row(v)
-					for k := rowptr[v]; k < rowptr[v+1]; k++ {
-						src := col[k]
-						if src < lo || src >= hi {
-							continue
-						}
-						xrow := gx.Row(src)
-						for j := 0; j < f; j++ {
-							xrow[j] += grow[j]
-						}
-					}
-				}
-			})
+			gx = gr.tempLike(x.T)
+			tensor.GSpMMSumGradInto(gx, res.grad, rowptr, col)
 		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
@@ -92,76 +67,35 @@ func (g *Graph) GSpMMWeightedSum(x, w *Node, rowptr, col, eid []int) *Node {
 		panic(fmt.Sprintf("ag: GSpMMWeightedSum wants %d weights, got %v", e, w.T.Shape()))
 	}
 	sz := int64(e * f)
-	grain := spmmGrain(e, n, f)
 	wd := w.T.Data
 	var out *tensor.Tensor
-	g.run(2*sz, 32*sz, func() {
-		out = tensor.New(n, f)
-		parallel.For(n, grain, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				orow := out.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					wk := wd[eid[k]]
-					xrow := x.T.Row(col[k])
-					for j := 0; j < f; j++ {
-						orow[j] += wk * xrow[j]
-					}
-				}
-			}
-		})
+	res := g.op(&out, x.requiresGrad || w.requiresGrad, "gspmm-wsum", 2*sz, 32*sz, func() {
+		if out == nil {
+			out = g.get(n, f)
+		}
+		tensor.GSpMMWeightedSumInto(out, x.T, wd, rowptr, col, eid)
 	})
-	res := g.node(out, x.requiresGrad || w.requiresGrad, "gspmm-wsum", nil)
 	res.backward = func(gr *Graph) {
 		var gx, gw *tensor.Tensor
 		gr.run(3*sz, 48*sz, func() {
 			if x.requiresGrad {
-				srcRows := x.T.Rows()
-				gx = tensor.New(x.T.Shape()...)
-				parallel.For(srcRows, spmmGrain(e, srcRows, f), func(lo, hi int) {
-					for v := 0; v < n; v++ {
-						grow := res.grad.Row(v)
-						for k := rowptr[v]; k < rowptr[v+1]; k++ {
-							src := col[k]
-							if src < lo || src >= hi {
-								continue
-							}
-							wk := wd[eid[k]]
-							xrow := gx.Row(src)
-							for j := 0; j < f; j++ {
-								xrow[j] += wk * grow[j]
-							}
-						}
-					}
-				})
+				gx = gr.tempLike(x.T)
+				tensor.GSpMMWeightedSumGradXInto(gx, res.grad, wd, rowptr, col, eid)
 			}
 			if w.requiresGrad {
 				// Edge-weight gradients scatter by edge id, so ownership is
 				// over the eid range: the owner of eid[k] computes that dot.
-				gw = tensor.New(w.T.Shape()...)
-				parallel.For(e, parallel.RowGrain(2*f), func(lo, hi int) {
-					for v := 0; v < n; v++ {
-						grow := res.grad.Row(v)
-						for k := rowptr[v]; k < rowptr[v+1]; k++ {
-							ek := eid[k]
-							if ek < lo || ek >= hi {
-								continue
-							}
-							xrow := x.T.Row(col[k])
-							var dot float64
-							for j := 0; j < f; j++ {
-								dot += xrow[j] * grow[j]
-							}
-							gw.Data[ek] += dot
-						}
-					}
-				})
+				gw = gr.tempLike(w.T)
+				tensor.GSpMMWeightedSumGradWInto(gw, res.grad, x.T, rowptr, col, eid)
 			}
 		})
 		if gx != nil {
 			gr.accum(x, gx)
+			gr.freeTemp(gx)
 		}
 		if gw != nil {
 			gr.accum(w, gw)
+			gr.freeTemp(gw)
 		}
 	}
 	return res
@@ -173,42 +107,22 @@ func (g *Graph) GSpMMEdgeSum(m *Node, rowptr, eid []int) *Node {
 	check2("GSpMMEdgeSum", m)
 	n := len(rowptr) - 1
 	f := m.T.Cols()
-	e := m.T.Rows()
 	sz := int64(m.T.Size())
 	var out *tensor.Tensor
-	g.run(sz, 24*sz, func() {
-		out = tensor.New(n, f)
-		parallel.For(n, spmmGrain(e, n, f), func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				orow := out.Row(v)
-				for k := rowptr[v]; k < rowptr[v+1]; k++ {
-					mrow := m.T.Row(eid[k])
-					for j := 0; j < f; j++ {
-						orow[j] += mrow[j]
-					}
-				}
-			}
-		})
+	res := g.op(&out, m.requiresGrad, "gspmm-esum", sz, 24*sz, func() {
+		if out == nil {
+			out = g.get(n, f)
+		}
+		tensor.GSpMMEdgeSumInto(out, m.T, rowptr, eid)
 	})
-	res := g.node(out, m.requiresGrad, "gspmm-esum", nil)
 	res.backward = func(gr *Graph) {
 		var gm *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
-			gm = tensor.New(m.T.Shape()...)
-			parallel.For(e, parallel.RowGrain(f), func(lo, hi int) {
-				for v := 0; v < n; v++ {
-					grow := res.grad.Row(v)
-					for k := rowptr[v]; k < rowptr[v+1]; k++ {
-						ek := eid[k]
-						if ek < lo || ek >= hi {
-							continue
-						}
-						copy(gm.Row(ek), grow)
-					}
-				}
-			})
+			gm = gr.tempLike(m.T)
+			tensor.GSpMMEdgeSumGradInto(gm, res.grad, rowptr, eid)
 		})
 		gr.accum(m, gm)
+		gr.freeTemp(gm)
 	}
 	return res
 }

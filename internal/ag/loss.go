@@ -36,66 +36,98 @@ func (g *Graph) CrossEntropy(logits *Node, labels []int, rows []int) *Node {
 		}
 	}
 	sz := int64(len(rows) * c)
-	// Softmax probabilities for the selected rows, saved for backward.
+	// Softmax probabilities for the selected rows, saved for backward; the
+	// per-row NLL scratch is recorded once and reused by every replay. All
+	// three are acquired inside the kernel on the first run.
 	var probs, out *tensor.Tensor
-	g.run(5*sz, 24*sz, func() {
-		probs = tensor.New(len(rows), c)
-		out = tensor.New(1)
-		nll := make([]float64, len(rows))
-		parallel.For(len(rows), parallel.RowGrain(5*c), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				i := rows[k]
-				row := logits.T.Row(i)
-				m := math.Inf(-1)
-				for _, v := range row {
-					if v > m {
-						m = v
-					}
-				}
-				var z float64
-				prow := probs.Row(k)
-				for j, v := range row {
-					e := math.Exp(v - m)
-					prow[j] = e
-					z += e
-				}
-				for j := range prow {
-					prow[j] /= z
-				}
-				nll[k] = -math.Log(math.Max(prow[labels[i]], 1e-300))
-			}
-		})
+	var nll []float64
+	fwd := func() {
+		if out == nil {
+			probs = g.get(len(rows), c)
+			out = g.get(1)
+			nll = make([]float64, len(rows))
+		}
+		grain := parallel.RowGrain(5 * c)
+		if parallel.Inline(len(rows), grain) {
+			ceForwardRange(probs.Data, logits.T.Data, nll, rows, labels, c, 0, len(rows))
+		} else {
+			parallel.For(len(rows), grain, func(lo, hi int) {
+				ceForwardRange(probs.Data, logits.T.Data, nll, rows, labels, c, lo, hi)
+			})
+		}
 		var total float64
 		for _, v := range nll {
 			total += v
 		}
 		out.Data[0] = total / float64(len(rows))
-	})
+	}
+	g.run(5*sz, 24*sz, fwd)
 	g.alloc(probs)
 	res := g.node(out, logits.requiresGrad, "crossentropy", nil)
+	res.fwd, res.flops, res.bytes = fwd, 5*sz, 24*sz
 	res.backward = func(gr *Graph) {
+		// gx starts zeroed; unselected rows contribute no gradient.
 		var gx *tensor.Tensor
 		gr.run(2*sz, 24*sz, func() {
-			gx = tensor.New(n, c)
+			gx = gr.tempLike(logits.T)
+			// gxd is read-only for the For closure: capturing gx itself (a
+			// variable the closure's enclosing scope assigns) would force its
+			// cell to the heap on every backward run, because parallel.For's
+			// closure argument escapes even on the inline path.
+			gxd := gx.Data
 			scale := res.grad.Data[0] / float64(len(rows))
 			avg := (len(rows)*c)/n + 1
-			parallel.For(n, parallel.RowGrain(avg), func(lo, hi int) {
-				for k, i := range rows {
-					if i < lo || i >= hi {
-						continue
-					}
-					prow := probs.Row(k)
-					xrow := gx.Row(i)
-					for j := 0; j < c; j++ {
-						xrow[j] = scale * prow[j]
-					}
-					xrow[labels[i]] -= scale
-				}
+			grain := parallel.RowGrain(avg)
+			if parallel.Inline(n, grain) {
+				ceGradRange(gxd, probs.Data, rows, labels, scale, c, 0, n)
+				return
+			}
+			parallel.For(n, grain, func(lo, hi int) {
+				ceGradRange(gxd, probs.Data, rows, labels, scale, c, lo, hi)
 			})
 		})
 		gr.accum(logits, gx)
+		gr.freeTemp(gx)
 	}
 	return res
+}
+
+func ceForwardRange(probs, logits []float64, nll []float64, rows, labels []int, c, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		i := rows[k]
+		row := logits[i*c : (i+1)*c]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		var z float64
+		prow := probs[k*c : (k+1)*c]
+		for j, v := range row {
+			e := math.Exp(v - m)
+			prow[j] = e
+			z += e
+		}
+		for j := range prow {
+			prow[j] /= z
+		}
+		nll[k] = -math.Log(math.Max(prow[labels[i]], 1e-300))
+	}
+}
+
+func ceGradRange(gx, probs []float64, rows, labels []int, scale float64, c, lo, hi int) {
+	for k, i := range rows {
+		if i < lo || i >= hi {
+			continue
+		}
+		prow := probs[k*c : (k+1)*c]
+		xrow := gx[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			xrow[j] = scale * prow[j]
+		}
+		xrow[labels[i]] -= scale
+	}
 }
 
 // Accuracy returns the fraction of the selected rows whose argmax matches the

@@ -2,9 +2,7 @@ package ag
 
 import (
 	"fmt"
-	"math"
 
-	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -14,13 +12,22 @@ func (g *Graph) Gather(x *Node, idx []int) *Node {
 	check2("Gather", x)
 	f := x.T.Cols()
 	sz := int64(len(idx) * f)
+	rows := len(idx)
 	var out *tensor.Tensor
-	g.run(0, 16*sz, func() { out = tensor.GatherRows(x.T, idx) })
-	res := g.node(out, x.requiresGrad, "gather", nil)
+	res := g.op(&out, x.requiresGrad, "gather", 0, 16*sz, func() {
+		if out == nil {
+			out = g.get(rows, f)
+		}
+		tensor.GatherRowsInto(out, x.T, idx)
+	})
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
-		gr.run(sz, 24*sz, func() { gx = tensor.ScatterAddRows(res.grad, idx, x.T.Rows()) })
+		gr.run(sz, 24*sz, func() {
+			gx = gr.tempLike(x.T)
+			tensor.ScatterAddRowsInto(gx, res.grad, idx)
+		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
@@ -30,30 +37,50 @@ func (g *Graph) Gather(x *Node, idx []int) *Node {
 func (g *Graph) ScatterAdd(x *Node, idx []int, n int) *Node {
 	check2("ScatterAdd", x)
 	sz := int64(x.T.Size())
+	f := x.T.Cols()
 	var out *tensor.Tensor
-	g.run(sz, 24*sz, func() { out = tensor.ScatterAddRows(x.T, idx, n) })
-	res := g.node(out, x.requiresGrad, "scatteradd", nil)
+	res := g.op(&out, x.requiresGrad, "scatteradd", sz, 24*sz, func() {
+		if out == nil {
+			out = g.get(n, f)
+		}
+		tensor.ScatterAddRowsInto(out, x.T, idx)
+	})
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
-		gr.run(0, 16*sz, func() { gx = tensor.GatherRows(res.grad, idx) })
+		gr.run(0, 16*sz, func() {
+			gx = gr.tempLike(x.T)
+			tensor.GatherRowsInto(gx, res.grad, idx)
+		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
 
 // ScatterMean averages rows of x into n destination rows. Rows receiving no
-// contributions stay zero.
+// contributions stay zero. The inverse-count scales refresh on every replay,
+// so a re-executed tape follows whatever indices the batch buffers hold.
 func (g *Graph) ScatterMean(x *Node, idx []int, n int) *Node {
 	summed := g.ScatterAdd(x, idx, n)
-	counts := tensor.ScatterCounts(idx, n)
-	inv := tensor.New(n)
-	for i, c := range counts {
-		if c > 0 {
-			inv.Data[i] = 1 / c
+	var inv *tensor.Tensor
+	fill := func() {
+		if inv == nil {
+			inv = g.get(n)
+			g.alloc(inv)
+		}
+		for i := range inv.Data {
+			inv.Data[i] = 0
+		}
+		for _, d := range idx {
+			inv.Data[d]++
+		}
+		for i, c := range inv.Data {
+			if c > 0 {
+				inv.Data[i] = 1 / c
+			}
 		}
 	}
-	g.alloc(inv)
-	return g.scaleRowsConst(summed, inv)
+	return g.scaleRowsConst(summed, &inv, fill)
 }
 
 // ScatterMax takes the per-destination elementwise maximum of rows of x.
@@ -65,68 +92,49 @@ func (g *Graph) ScatterMax(x *Node, idx []int, n int) *Node {
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
 	var arg []int // which source row won each (dst, col) slot
-	grain := spmmGrain(len(idx), n, f)
-	g.run(sz, 24*sz, func() {
-		out = tensor.Full(math.Inf(-1), n, f)
-		arg = make([]int, n*f)
-		for i := range arg {
-			arg[i] = -1
+	res := g.op(&out, x.requiresGrad, "scattermax", sz, 24*sz, func() {
+		if out == nil {
+			out = g.get(n, f)
+			arg = make([]int, n*f)
 		}
-		// Destination-row ownership: each worker scans every source row but
-		// only updates the max slots of destinations it owns, preserving the
-		// serial tie-breaking (first k wins on equal values).
-		parallel.For(n, grain, func(lo, hi int) {
-			for k, dst := range idx {
-				if dst < lo || dst >= hi {
-					continue
-				}
-				srow := x.T.Row(k)
-				drow := out.Row(dst)
-				for j := 0; j < f; j++ {
-					if srow[j] > drow[j] {
-						drow[j] = srow[j]
-						arg[dst*f+j] = k
-					}
-				}
-			}
-			for i := lo * f; i < hi*f; i++ {
-				if math.IsInf(out.Data[i], -1) {
-					out.Data[i] = 0
-				}
-			}
-		})
+		tensor.ScatterMaxInto(out, arg, x.T, idx)
 	})
-	res := g.node(out, x.requiresGrad, "scattermax", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 24*sz, func() {
-			gx = tensor.New(x.T.Shape()...)
-			// Partition by destination row: each source row k feeds exactly
-			// one destination (idx[k]), so the slots of one destination are
-			// the only writers of that source's gradient row.
-			parallel.For(n, grain, func(lo, hi int) {
-				for slot := lo * f; slot < hi*f; slot++ {
-					if k := arg[slot]; k >= 0 {
-						gx.Data[k*f+slot%f] += res.grad.Data[slot]
-					}
-				}
-			})
+			gx = gr.tempLike(x.T)
+			tensor.ScatterMaxGradInto(gx, res.grad, arg)
 		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
 
-// scaleRowsConst multiplies row i of x by the constant s[i] (no gradient to s).
-func (g *Graph) scaleRowsConst(x *Node, s *tensor.Tensor) *Node {
+// scaleRowsConst multiplies row i of x by the constant (*s)[i] (no gradient
+// to s). refresh, when non-nil, lazily materializes *s and recomputes its
+// contents; it runs inside the forward kernel so replays track the current
+// batch structure.
+func (g *Graph) scaleRowsConst(x *Node, s **tensor.Tensor, refresh func()) *Node {
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
-	g.run(sz, 24*sz, func() { out = tensor.MulColVector(x.T, s) })
-	res := g.node(out, x.requiresGrad, "scalerows", nil)
+	res := g.op(&out, x.requiresGrad, "scalerows", sz, 24*sz, func() {
+		if refresh != nil {
+			refresh()
+		}
+		if out == nil {
+			out = g.getLike(x.T)
+		}
+		tensor.MulColVectorInto(out, x.T, *s)
+	})
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
-		gr.run(sz, 24*sz, func() { gx = tensor.MulColVector(res.grad, s) })
+		gr.run(sz, 24*sz, func() {
+			gx = gr.tempLike(x.T)
+			tensor.MulColVectorInto(gx, res.grad, *s)
+		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
@@ -138,7 +146,8 @@ func (g *Graph) ScaleRows(x *Node, s *tensor.Tensor) *Node {
 	if s.Size() != x.T.Rows() {
 		panic(fmt.Sprintf("ag: ScaleRows wants %d scales, got %v", x.T.Rows(), s.Shape()))
 	}
-	return g.scaleRowsConst(x, s.Reshape(s.Size()))
+	sv := s.Reshape(s.Size())
+	return g.scaleRowsConst(x, &sv, nil)
 }
 
 // EdgeSoftmax normalizes per-edge scores over the edges sharing a
@@ -153,88 +162,27 @@ func (g *Graph) EdgeSoftmax(scores *Node, dst []int, n int) *Node {
 		panic(fmt.Sprintf("ag: EdgeSoftmax got %d scores for %d edges", e, len(dst)))
 	}
 	sz := int64(e * h)
-	var out *tensor.Tensor
-	grain := spmmGrain(e, n, 4*h)
-	g.run(4*sz, 32*sz, func() {
-		out = tensor.New(e, h)
-		maxes := tensor.Full(math.Inf(-1), n, h)
-		sums := tensor.New(n, h)
-		// Destination-group ownership: a worker runs all three softmax passes
-		// for the destinations it owns. Edge rows of out are written only by
-		// their destination's owner, so no two workers touch the same slot.
-		parallel.For(n, grain, func(lo, hi int) {
-			for k, d := range dst {
-				if d < lo || d >= hi {
-					continue
-				}
-				srow := scores.T.Row(k)
-				mrow := maxes.Row(d)
-				for j := 0; j < h; j++ {
-					if srow[j] > mrow[j] {
-						mrow[j] = srow[j]
-					}
-				}
-			}
-			for k, d := range dst {
-				if d < lo || d >= hi {
-					continue
-				}
-				srow := scores.T.Row(k)
-				mrow := maxes.Row(d)
-				orow := out.Row(k)
-				zrow := sums.Row(d)
-				for j := 0; j < h; j++ {
-					v := math.Exp(srow[j] - mrow[j])
-					orow[j] = v
-					zrow[j] += v
-				}
-			}
-			for k, d := range dst {
-				if d < lo || d >= hi {
-					continue
-				}
-				orow := out.Row(k)
-				zrow := sums.Row(d)
-				for j := 0; j < h; j++ {
-					orow[j] /= zrow[j]
-				}
-			}
-		})
+	// Per-group max and sum workspaces are re-initialized inside the kernel,
+	// so the recorded buffers serve every replay.
+	var out, maxes, sums *tensor.Tensor
+	res := g.op(&out, scores.requiresGrad, "edgesoftmax", 4*sz, 32*sz, func() {
+		if out == nil {
+			out = g.get(e, h)
+			maxes = g.get(n, h)
+			sums = g.get(n, h)
+		}
+		tensor.EdgeSoftmaxInto(out, scores.T, dst, maxes, sums)
 	})
-	res := g.node(out, scores.requiresGrad, "edgesoftmax", nil)
 	res.backward = func(gr *Graph) {
 		// dL/ds_e = alpha_e * (dL/dalpha_e - sum_{e' in group} alpha_e' dL/dalpha_e')
-		var gs *tensor.Tensor
+		var gs, dots *tensor.Tensor
 		gr.run(4*sz, 32*sz, func() {
-			gs = tensor.New(e, h)
-			dots := tensor.New(n, h)
-			parallel.For(n, grain, func(lo, hi int) {
-				for k, d := range dst {
-					if d < lo || d >= hi {
-						continue
-					}
-					arow := out.Row(k)
-					grow := res.grad.Row(k)
-					drow := dots.Row(d)
-					for j := 0; j < h; j++ {
-						drow[j] += arow[j] * grow[j]
-					}
-				}
-				for k, d := range dst {
-					if d < lo || d >= hi {
-						continue
-					}
-					arow := out.Row(k)
-					grow := res.grad.Row(k)
-					drow := dots.Row(d)
-					srow := gs.Row(k)
-					for j := 0; j < h; j++ {
-						srow[j] = arow[j] * (grow[j] - drow[j])
-					}
-				}
-			})
+			gs = gr.tempLike(scores.T)
+			dots = gr.tempLike(maxes)
+			tensor.EdgeSoftmaxGradInto(gs, out, res.grad, dst, dots)
 		})
 		gr.accum(scores, gs)
+		gr.freeTemp(gs, dots)
 	}
 	return res
 }
@@ -251,53 +199,44 @@ func (g *Graph) SegmentSum(x *Node, offsets []int) *Node {
 	f := x.T.Cols()
 	sz := int64(x.T.Size())
 	var out *tensor.Tensor
-	grain := spmmGrain(x.T.Rows(), segs, f)
-	g.run(sz, 16*sz, func() {
-		out = tensor.New(segs, f)
-		parallel.For(segs, grain, func(lo, hi int) {
-			for s := lo; s < hi; s++ {
-				orow := out.Row(s)
-				for r := offsets[s]; r < offsets[s+1]; r++ {
-					xrow := x.T.Row(r)
-					for j := 0; j < f; j++ {
-						orow[j] += xrow[j]
-					}
-				}
-			}
-		})
+	res := g.op(&out, x.requiresGrad, "segmentsum", sz, 16*sz, func() {
+		if out == nil {
+			out = g.get(segs, f)
+		}
+		tensor.SegmentSumInto(out, x.T, offsets)
 	})
-	res := g.node(out, x.requiresGrad, "segmentsum", nil)
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(sz, 16*sz, func() {
-			gx = tensor.New(x.T.Shape()...)
-			parallel.For(segs, grain, func(lo, hi int) {
-				for s := lo; s < hi; s++ {
-					grow := res.grad.Row(s)
-					for r := offsets[s]; r < offsets[s+1]; r++ {
-						copy(gx.Row(r), grow)
-					}
-				}
-			})
+			gx = gr.tempLike(x.T)
+			tensor.SegmentSumGradInto(gx, res.grad, offsets)
 		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
 }
 
 // SegmentMean averages contiguous row segments (see SegmentSum). Empty
-// segments produce zero rows.
+// segments produce zero rows. The inverse-count scales refresh on replay.
 func (g *Graph) SegmentMean(x *Node, offsets []int) *Node {
 	summed := g.SegmentSum(x, offsets)
 	segs := len(offsets) - 1
-	inv := tensor.New(segs)
-	for s := 0; s < segs; s++ {
-		if c := offsets[s+1] - offsets[s]; c > 0 {
-			inv.Data[s] = 1 / float64(c)
+	var inv *tensor.Tensor
+	fill := func() {
+		if inv == nil {
+			inv = g.get(segs)
+			g.alloc(inv)
+		}
+		for s := 0; s < segs; s++ {
+			if c := offsets[s+1] - offsets[s]; c > 0 {
+				inv.Data[s] = 1 / float64(c)
+			} else {
+				inv.Data[s] = 0
+			}
 		}
 	}
-	g.alloc(inv)
-	return g.scaleRowsConst(summed, inv)
+	return g.scaleRowsConst(summed, &inv, fill)
 }
 
 func validateOffsets(offsets []int, rows int) {

@@ -8,6 +8,10 @@ import (
 	"repro/internal/tensor"
 )
 
+// The normalization kernels keep their fused loop bodies in package-level
+// range functions, so the serial path (parallel.Inline) runs them without
+// constructing the escaping closure parallel.For requires.
+
 // BatchNorm applies 1-D batch normalization over the rows of x ([N,F]) with
 // learnable gamma and beta ([F] parameters). In training mode it normalizes
 // with batch statistics and updates the running estimates in place (with the
@@ -20,51 +24,54 @@ func (g *Graph) BatchNorm(x *Node, gamma, beta *Node, runMean, runVar *tensor.Te
 		panic(fmt.Sprintf("ag: BatchNorm gamma/beta must be [%d]", f))
 	}
 	sz := int64(n * f)
+	batchStats := training && n > 1
 
 	var xhat, invstd, out *tensor.Tensor
-	g.run(6*sz, 48*sz, func() {
-		xhat = tensor.New(n, f)
-		invstd = tensor.New(f)
-		out = tensor.New(n, f)
-		var mean, varr *tensor.Tensor
-		if training && n > 1 {
-			m, std := tensor.MeanStd(x.T)
-			mean = m
-			varr = tensor.Square(std)
+	var bmean, bstd, bvar *tensor.Tensor
+	fwd := func() {
+		if out == nil {
+			xhat = g.get(n, f)
+			invstd = g.get(f)
+			out = g.get(n, f)
+			if batchStats {
+				bmean = g.get(f)
+				bstd = g.get(f)
+				bvar = g.get(f)
+			}
+		}
+		mean, varr := runMean, runVar
+		if batchStats {
+			tensor.MeanStdInto(bmean, bstd, x.T)
+			tensor.SquareInto(bvar, bstd)
 			// update running statistics
 			for j := 0; j < f; j++ {
-				runMean.Data[j] = (1-momentum)*runMean.Data[j] + momentum*mean.Data[j]
-				runVar.Data[j] = (1-momentum)*runVar.Data[j] + momentum*varr.Data[j]
+				runMean.Data[j] = (1-momentum)*runMean.Data[j] + momentum*bmean.Data[j]
+				runVar.Data[j] = (1-momentum)*runVar.Data[j] + momentum*bvar.Data[j]
 			}
-		} else {
-			mean = runMean
-			varr = runVar
+			mean, varr = bmean, bvar
 		}
 		for j := 0; j < f; j++ {
 			invstd.Data[j] = 1 / math.Sqrt(varr.Data[j]+eps)
 		}
-		parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				xrow := x.T.Row(i)
-				hrow := xhat.Row(i)
-				orow := out.Row(i)
-				for j := 0; j < f; j++ {
-					h := (xrow[j] - mean.Data[j]) * invstd.Data[j]
-					hrow[j] = h
-					orow[j] = gamma.T.Data[j]*h + beta.T.Data[j]
-				}
-			}
+		grain := parallel.RowGrain(4 * f)
+		if parallel.Inline(n, grain) {
+			batchNormRange(out.Data, xhat.Data, x.T.Data, mean.Data, invstd.Data, gamma.T.Data, beta.T.Data, f, 0, n)
+			return
+		}
+		parallel.For(n, grain, func(lo, hi int) {
+			batchNormRange(out.Data, xhat.Data, x.T.Data, mean.Data, invstd.Data, gamma.T.Data, beta.T.Data, f, lo, hi)
 		})
-	})
+	}
+	g.run(6*sz, 48*sz, fwd)
 	g.alloc(xhat)
 	g.alloc(invstd)
 	res := g.node(out, x.requiresGrad || gamma.requiresGrad || beta.requiresGrad, "batchnorm", nil)
-	batchStats := training && n > 1
+	res.fwd, res.flops, res.bytes = fwd, 6*sz, 48*sz
 	res.backward = func(gr *Graph) {
 		if gamma.requiresGrad {
 			var gg *tensor.Tensor
 			gr.run(2*sz, 24*sz, func() {
-				gg = tensor.New(gamma.T.Shape()...)
+				gg = gr.tempLike(gamma.T)
 				for i := 0; i < n; i++ {
 					grow := res.grad.Row(i)
 					hrow := xhat.Row(i)
@@ -74,60 +81,104 @@ func (g *Graph) BatchNorm(x *Node, gamma, beta *Node, runMean, runVar *tensor.Te
 				}
 			})
 			gr.accum(gamma, gg)
+			gr.freeTemp(gg)
 		}
 		if beta.requiresGrad {
 			var gb *tensor.Tensor
 			gr.run(sz, 16*sz, func() {
-				gb = tensor.SumRows(res.grad).Reshape(beta.T.Shape()...)
+				gb = gr.tempLike(beta.T)
+				tensor.SumRowsInto(gb, res.grad)
 			})
 			gr.accum(beta, gb)
+			gr.freeTemp(gb)
 		}
 		if x.requiresGrad {
 			var gx *tensor.Tensor
-			gr.run(6*sz, 48*sz, func() {
-				gx = tensor.New(n, f)
-				if batchStats {
+			if batchStats {
+				var sumDy, sumDyXhat *tensor.Tensor
+				gr.run(6*sz, 48*sz, func() {
+					gx = gr.tempLike(x.T)
+					sumDy = gr.tempLike(gamma.T)
+					sumDyXhat = gr.tempLike(gamma.T)
+					// Read-only captures keep the temps' cells off the heap
+					// (parallel.For's closure escapes even when inlined away).
+					gxd, sdy, sdyx := gx.Data, sumDy.Data, sumDyXhat.Data
 					// Standard batch-norm input gradient with batch statistics:
 					// dx = (gamma*invstd/N) * (N*dy - sum(dy) - xhat*sum(dy*xhat))
-					sumDy := tensor.New(f)
-					sumDyXhat := tensor.New(f)
 					for i := 0; i < n; i++ {
 						grow := res.grad.Row(i)
 						hrow := xhat.Row(i)
 						for j := 0; j < f; j++ {
-							sumDy.Data[j] += grow[j]
-							sumDyXhat.Data[j] += grow[j] * hrow[j]
+							sdy[j] += grow[j]
+							sdyx[j] += grow[j] * hrow[j]
 						}
 					}
 					inv := 1 / float64(n)
-					parallel.For(n, parallel.RowGrain(6*f), func(lo, hi int) {
-						for i := lo; i < hi; i++ {
-							grow := res.grad.Row(i)
-							hrow := xhat.Row(i)
-							xrow := gx.Row(i)
-							for j := 0; j < f; j++ {
-								xrow[j] = gamma.T.Data[j] * invstd.Data[j] * inv *
-									(float64(n)*grow[j] - sumDy.Data[j] - hrow[j]*sumDyXhat.Data[j])
-							}
-						}
+					grain := parallel.RowGrain(6 * f)
+					if parallel.Inline(n, grain) {
+						batchNormGradXRange(gxd, res.grad.Data, xhat.Data, gamma.T.Data, invstd.Data, sdy, sdyx, inv, n, f, 0, n)
+						return
+					}
+					parallel.For(n, grain, func(lo, hi int) {
+						batchNormGradXRange(gxd, res.grad.Data, xhat.Data, gamma.T.Data, invstd.Data, sdy, sdyx, inv, n, f, lo, hi)
 					})
-				} else {
+				})
+				gr.freeTemp(sumDy, sumDyXhat)
+			} else {
+				gr.run(6*sz, 48*sz, func() {
+					gx = gr.tempLike(x.T)
+					gxd := gx.Data // read-only capture keeps gx's cell off the heap
 					// Running statistics are constants: dx = dy*gamma*invstd.
-					parallel.For(n, parallel.RowGrain(2*f), func(lo, hi int) {
-						for i := lo; i < hi; i++ {
-							grow := res.grad.Row(i)
-							xrow := gx.Row(i)
-							for j := 0; j < f; j++ {
-								xrow[j] = grow[j] * gamma.T.Data[j] * invstd.Data[j]
-							}
-						}
+					grain := parallel.RowGrain(2 * f)
+					if parallel.Inline(n, grain) {
+						batchNormGradXEvalRange(gxd, res.grad.Data, gamma.T.Data, invstd.Data, f, 0, n)
+						return
+					}
+					parallel.For(n, grain, func(lo, hi int) {
+						batchNormGradXEvalRange(gxd, res.grad.Data, gamma.T.Data, invstd.Data, f, lo, hi)
 					})
-				}
-			})
+				})
+			}
 			gr.accum(x, gx)
+			gr.freeTemp(gx)
 		}
 	}
 	return res
+}
+
+func batchNormRange(out, xhat, x, mean, invstd, gamma, beta []float64, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xrow := x[i*f : (i+1)*f]
+		hrow := xhat[i*f : (i+1)*f]
+		orow := out[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			h := (xrow[j] - mean[j]) * invstd[j]
+			hrow[j] = h
+			orow[j] = gamma[j]*h + beta[j]
+		}
+	}
+}
+
+func batchNormGradXRange(gx, grad, xhat, gamma, invstd, sumDy, sumDyXhat []float64, inv float64, n, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		grow := grad[i*f : (i+1)*f]
+		hrow := xhat[i*f : (i+1)*f]
+		xrow := gx[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			xrow[j] = gamma[j] * invstd[j] * inv *
+				(float64(n)*grow[j] - sumDy[j] - hrow[j]*sumDyXhat[j])
+		}
+	}
+}
+
+func batchNormGradXEvalRange(gx, grad, gamma, invstd []float64, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		grow := grad[i*f : (i+1)*f]
+		xrow := gx[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			xrow[j] = grow[j] * gamma[j] * invstd[j]
+		}
+	}
 }
 
 // L2NormalizeRows projects each row of x onto the unit ball:
@@ -137,53 +188,75 @@ func (g *Graph) L2NormalizeRows(x *Node, eps float64) *Node {
 	n, f := x.T.Rows(), x.T.Cols()
 	sz := int64(n * f)
 	var norms, out *tensor.Tensor
-	g.run(2*sz, 32*sz, func() {
-		norms = tensor.New(n)
-		out = tensor.New(n, f)
-		parallel.For(n, parallel.RowGrain(3*f), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				xrow := x.T.Row(i)
-				var s float64
-				for _, v := range xrow {
-					s += v * v
-				}
-				nv := math.Sqrt(s)
-				if nv < eps {
-					nv = eps
-				}
-				norms.Data[i] = nv
-				orow := out.Row(i)
-				for j := 0; j < f; j++ {
-					orow[j] = xrow[j] / nv
-				}
-			}
-		})
-	})
+	fwd := func() {
+		if out == nil {
+			norms = g.get(n)
+			out = g.get(n, f)
+		}
+		grain := parallel.RowGrain(3 * f)
+		if parallel.Inline(n, grain) {
+			l2normRange(out.Data, norms.Data, x.T.Data, eps, f, 0, n)
+			return
+		}
+		parallel.For(n, grain, func(lo, hi int) { l2normRange(out.Data, norms.Data, x.T.Data, eps, f, lo, hi) })
+	}
+	g.run(2*sz, 32*sz, fwd)
 	g.alloc(norms)
 	res := g.node(out, x.requiresGrad, "l2norm", nil)
+	res.fwd, res.flops, res.bytes = fwd, 2*sz, 32*sz
 	res.backward = func(gr *Graph) {
 		var gx *tensor.Tensor
 		gr.run(4*sz, 40*sz, func() {
-			gx = tensor.New(n, f)
-			parallel.For(n, parallel.RowGrain(4*f), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					grow := res.grad.Row(i)
-					yrow := out.Row(i)
-					xrow := gx.Row(i)
-					var dot float64
-					for j := 0; j < f; j++ {
-						dot += grow[j] * yrow[j]
-					}
-					inv := 1 / norms.Data[i]
-					for j := 0; j < f; j++ {
-						xrow[j] = inv * (grow[j] - yrow[j]*dot)
-					}
-				}
+			gx = gr.tempLike(x.T)
+			gxd := gx.Data // read-only capture keeps gx's cell off the heap
+			grain := parallel.RowGrain(4 * f)
+			if parallel.Inline(n, grain) {
+				l2normGradRange(gxd, res.grad.Data, out.Data, norms.Data, f, 0, n)
+				return
+			}
+			parallel.For(n, grain, func(lo, hi int) {
+				l2normGradRange(gxd, res.grad.Data, out.Data, norms.Data, f, lo, hi)
 			})
 		})
 		gr.accum(x, gx)
+		gr.freeTemp(gx)
 	}
 	return res
+}
+
+func l2normRange(out, norms, x []float64, eps float64, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		xrow := x[i*f : (i+1)*f]
+		var s float64
+		for _, v := range xrow {
+			s += v * v
+		}
+		nv := math.Sqrt(s)
+		if nv < eps {
+			nv = eps
+		}
+		norms[i] = nv
+		orow := out[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			orow[j] = xrow[j] / nv
+		}
+	}
+}
+
+func l2normGradRange(gx, grad, y, norms []float64, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		grow := grad[i*f : (i+1)*f]
+		yrow := y[i*f : (i+1)*f]
+		xrow := gx[i*f : (i+1)*f]
+		var dot float64
+		for j := 0; j < f; j++ {
+			dot += grow[j] * yrow[j]
+		}
+		inv := 1 / norms[i]
+		for j := 0; j < f; j++ {
+			xrow[j] = inv * (grow[j] - yrow[j]*dot)
+		}
+	}
 }
 
 // GaussianWeight computes MoNet's kernel weights over pseudo-coordinates:
@@ -200,26 +273,24 @@ func (g *Graph) GaussianWeight(u *tensor.Tensor, mu, isig *Node) *Node {
 	}
 	sz := int64(e * d)
 	var out *tensor.Tensor
-	g.run(6*sz, 24*sz, func() {
-		out = tensor.New(e, 1)
-		parallel.For(e, parallel.RowGrain(6*d), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				urow := u.Row(k)
-				var s float64
-				for j := 0; j < d; j++ {
-					z := (urow[j] - mu.T.Data[j]) * isig.T.Data[j]
-					s += z * z
-				}
-				out.Data[k] = math.Exp(-0.5 * s)
-			}
+	res := g.op(&out, mu.requiresGrad || isig.requiresGrad, "gaussianweight", 6*sz, 24*sz, func() {
+		if out == nil {
+			out = g.get(e, 1)
+		}
+		grain := parallel.RowGrain(6 * d)
+		if parallel.Inline(e, grain) {
+			gaussianWeightRange(out.Data, u.Data, mu.T.Data, isig.T.Data, d, 0, e)
+			return
+		}
+		parallel.For(e, grain, func(lo, hi int) {
+			gaussianWeightRange(out.Data, u.Data, mu.T.Data, isig.T.Data, d, lo, hi)
 		})
 	})
-	res := g.node(out, mu.requiresGrad || isig.requiresGrad, "gaussianweight", nil)
 	res.backward = func(gr *Graph) {
 		var gmu, gsig *tensor.Tensor
 		gr.run(8*sz, 32*sz, func() {
-			gmu = tensor.New(mu.T.Shape()...)
-			gsig = tensor.New(isig.T.Shape()...)
+			gmu = gr.tempLike(mu.T)
+			gsig = gr.tempLike(isig.T)
 			for k := 0; k < e; k++ {
 				urow := u.Row(k)
 				dw := res.grad.Data[k] * out.Data[k]
@@ -235,6 +306,19 @@ func (g *Graph) GaussianWeight(u *tensor.Tensor, mu, isig *Node) *Node {
 		})
 		gr.accum(mu, gmu)
 		gr.accum(isig, gsig)
+		gr.freeTemp(gmu, gsig)
 	}
 	return res
+}
+
+func gaussianWeightRange(out, u, mu, isig []float64, d, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		urow := u[k*d : (k+1)*d]
+		var s float64
+		for j := 0; j < d; j++ {
+			z := (urow[j] - mu[j]) * isig[j]
+			s += z * z
+		}
+		out[k] = math.Exp(-0.5 * s)
+	}
 }

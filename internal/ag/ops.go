@@ -2,40 +2,86 @@ package ag
 
 import (
 	"fmt"
+
 	"repro/internal/tensor"
 )
+
+// Every op follows the record/replay discipline: the forward closure acquires
+// its output buffer lazily on its first (recording) run — so the allocation
+// is charged inside the kernel, exactly like the historical eager ops — and
+// writes it in place through the tensor Into kernels. g.op remembers the
+// closure so ReplayForward can re-execute it against the recorded buffers
+// without touching the allocator. Backward closures draw scratch from
+// gr.temp/tempLike inside their kernel and return it with gr.freeTemp, so a
+// replayed step performs no heap allocation. Kernel FLOP/byte accounting and
+// floating-point evaluation order are identical to the historical eager
+// implementations.
 
 // MatMul returns a @ b for [M,K] @ [K,N] nodes.
 func (g *Graph) MatMul(a, b *Node) *Node {
 	check2("MatMul", a)
 	check2("MatMul", b)
 	m, k, n := a.T.Dim(0), a.T.Dim(1), b.T.Dim(1)
-	var out *tensor.Tensor
 	flops := int64(2 * m * k * n)
 	bytes := int64(8 * (m*k + k*n + m*n))
-	g.run(flops, bytes, func() { out = tensor.MatMul(a.T, b.T) })
-	res := g.node(out, a.requiresGrad || b.requiresGrad, "matmul", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad || b.requiresGrad, "matmul", flops, bytes, func() {
+		if out == nil {
+			out = g.get(m, n)
+		}
+		tensor.MatMulInto(out, a.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		if a.requiresGrad {
 			var ga *tensor.Tensor
-			gr.run(flops, bytes, func() { ga = tensor.MatMulTB(res.grad, b.T) })
+			gr.run(flops, bytes, func() {
+				ga = gr.tempLike(a.T)
+				tensor.MatMulTBInto(ga, res.grad, b.T)
+			})
 			gr.accum(a, ga)
+			gr.freeTemp(ga)
 		}
 		if b.requiresGrad {
 			var gb *tensor.Tensor
-			gr.run(flops, bytes, func() { gb = tensor.MatMulTA(a.T, res.grad) })
+			gr.run(flops, bytes, func() {
+				gb = gr.tempLike(b.T)
+				tensor.MatMulTAInto(gb, a.T, res.grad)
+			})
 			gr.accum(b, gb)
+			gr.freeTemp(gb)
 		}
 	}
 	return res
 }
 
+// QMatMul applies a compressed (f32/q8) weight to x: out = x @ W for W
+// stored transposed in q. Compressed weights are inference-only, so no
+// gradient flows; the kernel's byte accounting reflects the smaller weight
+// footprint, which is the point of serving with compressed replicas.
+func (g *Graph) QMatMul(x *Node, q *tensor.QTensor) *Node {
+	check2("QMatMul", x)
+	m := x.T.Rows()
+	flops := int64(2 * m * q.In * q.Out)
+	bytes := int64(8*(m*q.In+m*q.Out)) + q.Bytes()
+	var out *tensor.Tensor
+	return g.op(&out, false, "qmatmul", flops, bytes, func() {
+		if out == nil {
+			out = g.get(m, q.Out)
+		}
+		tensor.QMatMulInto(out, x.T, q)
+	})
+}
+
 // Add returns a + b for same-shaped nodes.
 func (g *Graph) Add(a, b *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 24*n, func() { out = tensor.Add(a.T, b.T) })
-	res := g.node(out, a.requiresGrad || b.requiresGrad, "add", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad || b.requiresGrad, "add", n, 24*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.AddInto(out, a.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		gr.accum(a, res.grad)
 		gr.accum(b, res.grad)
@@ -45,16 +91,24 @@ func (g *Graph) Add(a, b *Node) *Node {
 
 // Sub returns a - b for same-shaped nodes.
 func (g *Graph) Sub(a, b *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 24*n, func() { out = tensor.Sub(a.T, b.T) })
-	res := g.node(out, a.requiresGrad || b.requiresGrad, "sub", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad || b.requiresGrad, "sub", n, 24*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.SubInto(out, a.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		gr.accum(a, res.grad)
 		if b.requiresGrad {
 			var neg *tensor.Tensor
-			gr.run(n, 16*n, func() { neg = tensor.Neg(res.grad) })
+			gr.run(n, 16*n, func() {
+				neg = gr.tempLike(b.T)
+				tensor.NegInto(neg, res.grad)
+			})
 			gr.accum(b, neg)
+			gr.freeTemp(neg)
 		}
 	}
 	return res
@@ -62,20 +116,32 @@ func (g *Graph) Sub(a, b *Node) *Node {
 
 // Mul returns the elementwise product of same-shaped nodes.
 func (g *Graph) Mul(a, b *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 24*n, func() { out = tensor.Mul(a.T, b.T) })
-	res := g.node(out, a.requiresGrad || b.requiresGrad, "mul", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad || b.requiresGrad, "mul", n, 24*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.MulInto(out, a.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		if a.requiresGrad {
 			var ga *tensor.Tensor
-			gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, b.T) })
+			gr.run(n, 24*n, func() {
+				ga = gr.tempLike(a.T)
+				tensor.MulInto(ga, res.grad, b.T)
+			})
 			gr.accum(a, ga)
+			gr.freeTemp(ga)
 		}
 		if b.requiresGrad {
 			var gb *tensor.Tensor
-			gr.run(n, 24*n, func() { gb = tensor.Mul(res.grad, a.T) })
+			gr.run(n, 24*n, func() {
+				gb = gr.tempLike(b.T)
+				tensor.MulInto(gb, res.grad, a.T)
+			})
 			gr.accum(b, gb)
+			gr.freeTemp(gb)
 		}
 	}
 	return res
@@ -83,23 +149,32 @@ func (g *Graph) Mul(a, b *Node) *Node {
 
 // Div returns the elementwise quotient a / b of same-shaped nodes.
 func (g *Graph) Div(a, b *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 24*n, func() { out = tensor.Div(a.T, b.T) })
-	res := g.node(out, a.requiresGrad || b.requiresGrad, "div", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad || b.requiresGrad, "div", n, 24*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.DivInto(out, a.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		if a.requiresGrad {
 			var ga *tensor.Tensor
-			gr.run(n, 24*n, func() { ga = tensor.Div(res.grad, b.T) })
+			gr.run(n, 24*n, func() {
+				ga = gr.tempLike(a.T)
+				tensor.DivInto(ga, res.grad, b.T)
+			})
 			gr.accum(a, ga)
+			gr.freeTemp(ga)
 		}
 		if b.requiresGrad {
 			var gb *tensor.Tensor
 			gr.run(3*n, 32*n, func() {
-				gb = tensor.Zip(res.grad, b.T, func(dg, bv float64) float64 { return -dg / (bv * bv) })
-				gb = tensor.Mul(gb, a.T)
+				gb = gr.tempLike(b.T)
+				tensor.DivGradBInto(gb, res.grad, a.T, b.T)
 			})
 			gr.accum(b, gb)
+			gr.freeTemp(gb)
 		}
 	}
 	return res
@@ -107,24 +182,36 @@ func (g *Graph) Div(a, b *Node) *Node {
 
 // Scale returns s * a.
 func (g *Graph) Scale(a *Node, s float64) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 16*n, func() { out = tensor.Scale(a.T, s) })
-	res := g.node(out, a.requiresGrad, "scale", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "scale", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.ScaleInto(out, a.T, s)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
-		gr.run(n, 16*n, func() { ga = tensor.Scale(res.grad, s) })
+		gr.run(n, 16*n, func() {
+			ga = gr.tempLike(a.T)
+			tensor.ScaleInto(ga, res.grad, s)
+		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // AddScalar returns a + s elementwise.
 func (g *Graph) AddScalar(a *Node, s float64) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 16*n, func() { out = tensor.AddScalar(a.T, s) })
-	res := g.node(out, a.requiresGrad, "addscalar", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "addscalar", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.AddScalarInto(out, a.T, s)
+	})
 	res.backward = func(gr *Graph) { gr.accum(a, res.grad) }
 	return res
 }
@@ -132,16 +219,24 @@ func (g *Graph) AddScalar(a *Node, s float64) *Node {
 // AddBias returns m + b broadcast over rows: m is [N,F], b is [F].
 func (g *Graph) AddBias(m, b *Node) *Node {
 	check2("AddBias", m)
-	var out *tensor.Tensor
 	n := int64(m.T.Size())
-	g.run(n, 24*n, func() { out = tensor.AddRowVector(m.T, b.T) })
-	res := g.node(out, m.requiresGrad || b.requiresGrad, "addbias", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, m.requiresGrad || b.requiresGrad, "addbias", n, 24*n, func() {
+		if out == nil {
+			out = g.getLike(m.T)
+		}
+		tensor.AddRowVectorInto(out, m.T, b.T)
+	})
 	res.backward = func(gr *Graph) {
 		gr.accum(m, res.grad)
 		if b.requiresGrad {
 			var gb *tensor.Tensor
-			gr.run(n, 8*n, func() { gb = tensor.SumRows(res.grad).Reshape(b.T.Shape()...) })
+			gr.run(n, 8*n, func() {
+				gb = gr.tempLike(b.T)
+				tensor.SumRowsInto(gb, res.grad)
+			})
 			gr.accum(b, gb)
+			gr.freeTemp(gb)
 		}
 	}
 	return res
@@ -156,22 +251,33 @@ func (g *Graph) MulBroadcastCol(x, w *Node) *Node {
 	if w.T.Size() != n {
 		panic(fmt.Sprintf("ag: MulBroadcastCol weight size %v for %d rows", w.T.Shape(), n))
 	}
-	var out *tensor.Tensor
+	wv := w.T.Reshape(n)
 	sz := int64(x.T.Size())
-	g.run(sz, 24*sz, func() { out = tensor.MulColVector(x.T, w.T.Reshape(n)) })
-	res := g.node(out, x.requiresGrad || w.requiresGrad, "mulbcol", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, x.requiresGrad || w.requiresGrad, "mulbcol", sz, 24*sz, func() {
+		if out == nil {
+			out = g.getLike(x.T)
+		}
+		tensor.MulColVectorInto(out, x.T, wv)
+	})
 	res.backward = func(gr *Graph) {
 		if x.requiresGrad {
 			var gx *tensor.Tensor
-			gr.run(sz, 24*sz, func() { gx = tensor.MulColVector(res.grad, w.T.Reshape(n)) })
+			gr.run(sz, 24*sz, func() {
+				gx = gr.tempLike(x.T)
+				tensor.MulColVectorInto(gx, res.grad, wv)
+			})
 			gr.accum(x, gx)
+			gr.freeTemp(gx)
 		}
 		if w.requiresGrad {
 			var gw *tensor.Tensor
 			gr.run(sz, 16*sz, func() {
-				gw = tensor.SumCols(tensor.Mul(res.grad, x.T)).Reshape(w.T.Shape()...)
+				gw = gr.tempLike(w.T)
+				tensor.MulSumColsInto(gw, res.grad, x.T)
 			})
 			gr.accum(w, gw)
+			gr.freeTemp(gw)
 		}
 	}
 	return res
@@ -179,125 +285,154 @@ func (g *Graph) MulBroadcastCol(x, w *Node) *Node {
 
 // ReLU returns max(0, a) elementwise.
 func (g *Graph) ReLU(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 16*n, func() { out = tensor.ReLU(a.T) })
-	res := g.node(out, a.requiresGrad, "relu", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "relu", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.ReLUInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(n, 24*n, func() {
-			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 {
-				if x > 0 {
-					return dg
-				}
-				return 0
-			})
+			ga = gr.tempLike(a.T)
+			tensor.ReLUGradInto(ga, res.grad, a.T)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // LeakyReLU returns a where positive and slope*a elsewhere.
 func (g *Graph) LeakyReLU(a *Node, slope float64) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 16*n, func() { out = tensor.LeakyReLU(a.T, slope) })
-	res := g.node(out, a.requiresGrad, "leakyrelu", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "leakyrelu", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.LeakyReLUInto(out, a.T, slope)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(n, 24*n, func() {
-			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 {
-				if x > 0 {
-					return dg
-				}
-				return slope * dg
-			})
+			ga = gr.tempLike(a.T)
+			tensor.LeakyReLUGradInto(ga, res.grad, a.T, slope)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // ELU returns a where positive and alpha*(e^a - 1) elsewhere.
 func (g *Graph) ELU(a *Node, alpha float64) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(2*n, 16*n, func() { out = tensor.ELU(a.T, alpha) })
-	res := g.node(out, a.requiresGrad, "elu", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "elu", 2*n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.ELUInto(out, a.T, alpha)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(2*n, 24*n, func() {
-			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 {
-				if y > 0 {
-					return dg
-				}
-				return dg * (y + alpha)
-			})
+			ga = gr.tempLike(a.T)
+			tensor.ELUGradInto(ga, res.grad, out, alpha)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // Sigmoid returns the logistic function elementwise.
 func (g *Graph) Sigmoid(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(4*n, 16*n, func() { out = tensor.Sigmoid(a.T) })
-	res := g.node(out, a.requiresGrad, "sigmoid", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "sigmoid", 4*n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.SigmoidInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(3*n, 24*n, func() {
-			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 { return dg * y * (1 - y) })
+			ga = gr.tempLike(a.T)
+			tensor.SigmoidGradInto(ga, res.grad, out)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // Tanh returns tanh elementwise.
 func (g *Graph) Tanh(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(4*n, 16*n, func() { out = tensor.Tanh(a.T) })
-	res := g.node(out, a.requiresGrad, "tanh", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "tanh", 4*n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.TanhInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(3*n, 24*n, func() {
-			ga = tensor.Zip(res.grad, out, func(dg, y float64) float64 { return dg * (1 - y*y) })
+			ga = gr.tempLike(a.T)
+			tensor.TanhGradInto(ga, res.grad, out)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // Exp returns e^a elementwise.
 func (g *Graph) Exp(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(4*n, 16*n, func() { out = tensor.Exp(a.T) })
-	res := g.node(out, a.requiresGrad, "exp", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "exp", 4*n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.ExpInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
-		gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, out) })
+		gr.run(n, 24*n, func() {
+			ga = gr.tempLike(a.T)
+			tensor.MulInto(ga, res.grad, out)
+		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
 
 // Square returns a*a elementwise.
 func (g *Graph) Square(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(n, 16*n, func() { out = tensor.Square(a.T) })
-	res := g.node(out, a.requiresGrad, "square", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "square", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.SquareInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
 		gr.run(2*n, 24*n, func() {
-			ga = tensor.Zip(res.grad, a.T, func(dg, x float64) float64 { return 2 * dg * x })
+			ga = gr.tempLike(a.T)
+			tensor.SquareGradInto(ga, res.grad, a.T)
 		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
@@ -307,25 +442,34 @@ func (g *Graph) ConcatCols(parts ...*Node) *Node {
 	ts := make([]*tensor.Tensor, len(parts))
 	req := false
 	var total int64
+	cols := 0
 	for i, p := range parts {
 		check2("ConcatCols", p)
 		ts[i] = p.T
 		req = req || p.requiresGrad
 		total += int64(p.T.Size())
+		cols += p.T.Cols()
 	}
+	rows := parts[0].T.Rows()
 	var out *tensor.Tensor
-	g.run(0, 16*total, func() { out = tensor.ConcatCols(ts...) })
-	res := g.node(out, req, "concatcols", nil)
+	res := g.op(&out, req, "concatcols", 0, 16*total, func() {
+		if out == nil {
+			out = g.get(rows, cols)
+		}
+		tensor.ConcatColsInto(out, ts...)
+	})
+	gtmp := make([]*tensor.Tensor, len(parts))
 	res.backward = func(gr *Graph) {
-		widths := make([]int, len(parts))
+		gr.run(0, 16*total, func() {
+			for i, p := range parts {
+				gtmp[i] = gr.tempLike(p.T)
+			}
+			tensor.SplitColsInto(gtmp, res.grad)
+		})
 		for i, p := range parts {
-			widths[i] = p.T.Cols()
+			gr.accum(p, gtmp[i])
 		}
-		var grads []*tensor.Tensor
-		gr.run(0, 16*total, func() { grads = tensor.SplitCols(res.grad, widths...) })
-		for i, p := range parts {
-			gr.accum(p, grads[i])
-		}
+		gr.freeTemp(gtmp...)
 	}
 	return res
 }
@@ -334,30 +478,45 @@ func (g *Graph) ConcatCols(parts ...*Node) *Node {
 // multi-head attention to address each head's features.
 func (g *Graph) SplitCols(a *Node, widths ...int) []*Node {
 	check2("SplitCols", a)
-	var parts []*tensor.Tensor
+	rows := a.T.Rows()
 	total := int64(a.T.Size())
-	g.run(0, 16*total, func() { parts = tensor.SplitCols(a.T, widths...) })
-	outs := make([]*Node, len(parts))
-	offsets := make([]int, len(parts))
+	parts := make([]*tensor.Tensor, len(widths))
+	offsets := make([]int, len(widths))
 	off := 0
 	for i, w := range widths {
 		offsets[i] = off
 		off += w
 	}
+	if off != a.T.Cols() {
+		panic(fmt.Sprintf("ag: SplitCols widths sum to %d, node has %d columns", off, a.T.Cols()))
+	}
+	fwd := func() {
+		if parts[0] == nil {
+			for i, w := range widths {
+				parts[i] = g.get(rows, w)
+			}
+		}
+		tensor.SplitColsInto(parts, a.T)
+	}
+	g.run(0, 16*total, fwd)
+	outs := make([]*Node, len(parts))
 	for i, p := range parts {
 		i, p := i, p
 		res := g.node(p, a.requiresGrad, "splitcols", nil)
+		if i == 0 {
+			// One recorded kernel writes every part; replaying the first
+			// node's closure refreshes all of them.
+			res.fwd, res.flops, res.bytes = fwd, 0, 16*total
+		}
 		res.backward = func(gr *Graph) {
 			// Expand this block's gradient back to the full width.
 			var full *tensor.Tensor
 			gr.run(0, 16*int64(p.Size()), func() {
-				full = tensor.New(a.T.Shape()...)
-				rows, w := p.Rows(), p.Cols()
-				for r := 0; r < rows; r++ {
-					copy(full.Row(r)[offsets[i]:offsets[i]+w], res.grad.Row(r))
-				}
+				full = gr.tempLike(a.T)
+				tensor.ScatterColsInto(full, res.grad, offsets[i])
 			})
 			gr.accum(a, full)
+			gr.freeTemp(full)
 		}
 		outs[i] = res
 	}
@@ -375,18 +534,30 @@ func (g *Graph) Dropout(a *Node, p float64, training bool, rng *tensor.RNG) *Nod
 	}
 	n := int64(a.T.Size())
 	var mask, out *tensor.Tensor
-	g.run(3*n, 24*n, func() {
-		// Mask generation is part of the dropout kernel (cuRAND on a GPU).
-		mask = rng.Bernoulli(1-p, a.T.Shape()...)
+	fwd := func() {
+		if out == nil {
+			mask = g.getLike(a.T)
+			out = g.getLike(a.T)
+		}
+		// Mask generation is part of the dropout kernel (cuRAND on a GPU);
+		// each replay draws a fresh mask from the same RNG stream an eager
+		// step would have consumed.
+		rng.BernoulliInto(mask, 1-p)
 		tensor.ScaleInPlace(mask, 1/(1-p))
-		out = tensor.Mul(a.T, mask)
-	})
+		tensor.MulInto(out, a.T, mask)
+	}
+	g.run(3*n, 24*n, fwd)
 	g.alloc(mask)
 	res := g.node(out, a.requiresGrad, "dropout", nil)
+	res.fwd, res.flops, res.bytes = fwd, 3*n, 24*n
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
-		gr.run(n, 24*n, func() { ga = tensor.Mul(res.grad, mask) })
+		gr.run(n, 24*n, func() {
+			ga = gr.tempLike(a.T)
+			tensor.MulInto(ga, res.grad, mask)
+		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
@@ -397,20 +568,32 @@ func (g *Graph) ScaleByScalar(x, s *Node) *Node {
 	if s.T.Size() != 1 {
 		panic(fmt.Sprintf("ag: ScaleByScalar wants scalar node, got %v", s.T.Shape()))
 	}
-	var out *tensor.Tensor
 	n := int64(x.T.Size())
-	g.run(n, 16*n, func() { out = tensor.Scale(x.T, s.T.Data[0]) })
-	res := g.node(out, x.requiresGrad || s.requiresGrad, "scalebyscalar", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, x.requiresGrad || s.requiresGrad, "scalebyscalar", n, 16*n, func() {
+		if out == nil {
+			out = g.getLike(x.T)
+		}
+		tensor.ScaleInto(out, x.T, s.T.Data[0])
+	})
 	res.backward = func(gr *Graph) {
 		if x.requiresGrad {
 			var gx *tensor.Tensor
-			gr.run(n, 16*n, func() { gx = tensor.Scale(res.grad, s.T.Data[0]) })
+			gr.run(n, 16*n, func() {
+				gx = gr.tempLike(x.T)
+				tensor.ScaleInto(gx, res.grad, s.T.Data[0])
+			})
 			gr.accum(x, gx)
+			gr.freeTemp(gx)
 		}
 		if s.requiresGrad {
 			var gs *tensor.Tensor
-			gr.run(2*n, 16*n, func() { gs = tensor.Scalar(tensor.Dot(res.grad, x.T)) })
+			gr.run(2*n, 16*n, func() {
+				gs = gr.tempLike(s.T)
+				gs.Data[0] = tensor.Dot(res.grad, x.T)
+			})
 			gr.accum(s, gs)
+			gr.freeTemp(gs)
 		}
 	}
 	return res
@@ -421,10 +604,14 @@ func (g *Graph) ScaleByScalar(x, s *Node) *Node {
 // tensors into the graph's edge frame — extra kernels PyG's transient
 // tensors avoid.
 func (g *Graph) Copy(a *Node) *Node {
-	var out *tensor.Tensor
 	n := int64(a.T.Size())
-	g.run(0, 16*n, func() { out = a.T.Clone() })
-	res := g.node(out, a.requiresGrad, "copy", nil)
+	var out *tensor.Tensor
+	res := g.op(&out, a.requiresGrad, "copy", 0, 16*n, func() {
+		if out == nil {
+			out = g.getLike(a.T)
+		}
+		tensor.CopyInto(out, a.T)
+	})
 	res.backward = func(gr *Graph) { gr.accum(a, res.grad) }
 	return res
 }
@@ -433,12 +620,20 @@ func (g *Graph) Copy(a *Node) *Node {
 func (g *Graph) MeanAll(a *Node) *Node {
 	n := int64(a.T.Size())
 	var out *tensor.Tensor
-	g.run(n, 8*n, func() { out = tensor.Scalar(tensor.Mean(a.T)) })
-	res := g.node(out, a.requiresGrad, "meanall", nil)
+	res := g.op(&out, a.requiresGrad, "meanall", n, 8*n, func() {
+		if out == nil {
+			out = g.get(1)
+		}
+		out.Data[0] = tensor.Mean(a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
-		gr.run(n, 8*n, func() { ga = tensor.Full(res.grad.Data[0]/float64(a.T.Size()), a.T.Shape()...) })
+		gr.run(n, 8*n, func() {
+			ga = gr.tempLike(a.T)
+			tensor.FillInto(ga, res.grad.Data[0]/float64(a.T.Size()))
+		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }
@@ -447,12 +642,20 @@ func (g *Graph) MeanAll(a *Node) *Node {
 func (g *Graph) SumAll(a *Node) *Node {
 	n := int64(a.T.Size())
 	var out *tensor.Tensor
-	g.run(n, 8*n, func() { out = tensor.Scalar(tensor.Sum(a.T)) })
-	res := g.node(out, a.requiresGrad, "sumall", nil)
+	res := g.op(&out, a.requiresGrad, "sumall", n, 8*n, func() {
+		if out == nil {
+			out = g.get(1)
+		}
+		out.Data[0] = tensor.Sum(a.T)
+	})
 	res.backward = func(gr *Graph) {
 		var ga *tensor.Tensor
-		gr.run(n, 8*n, func() { ga = tensor.Full(res.grad.Data[0], a.T.Shape()...) })
+		gr.run(n, 8*n, func() {
+			ga = gr.tempLike(a.T)
+			tensor.FillInto(ga, res.grad.Data[0])
+		})
 		gr.accum(a, ga)
+		gr.freeTemp(ga)
 	}
 	return res
 }

@@ -41,6 +41,7 @@ func All() []*Check {
 		spanEndCheck,
 		lockBalanceCheck,
 		metricNamesCheck,
+		useAfterReleaseCheck,
 	}
 }
 

@@ -71,6 +71,7 @@ func TestCheckGolden(t *testing.T) {
 		{"span-end", []string{"./spanend"}},
 		{"lock-balance", []string{"./lockbalance"}},
 		{"metric-names", []string{"./metricnames"}},
+		{"use-after-release", []string{"./usereleased"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {

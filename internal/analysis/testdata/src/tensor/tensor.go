@@ -1,0 +1,23 @@
+// Package tensor is a fixture stand-in for the repo's internal/tensor: the
+// use-after-release check matches the package-level Release function by
+// package *name*, so this stub exercises it with the real pool signatures
+// but no behavior.
+package tensor
+
+// Tensor mirrors the shape of the real tensor handle.
+type Tensor struct{ Data []float64 }
+
+// New mirrors tensor.New.
+func New(shape ...int) *Tensor { return &Tensor{} }
+
+// Get mirrors the pooled tensor.Get.
+func Get(shape ...int) *Tensor { return &Tensor{} }
+
+// Release mirrors the pooled tensor.Release.
+func Release(ts ...*Tensor) {}
+
+// Row mirrors tensor.(*Tensor).Row.
+func (t *Tensor) Row(i int) []float64 { return nil }
+
+// AddInto mirrors one of the real Into kernels.
+func AddInto(dst, a, b *Tensor) {}

@@ -1,0 +1,65 @@
+// Package usereleased exercises the use-after-release check against the
+// fixture tensor stub: variables handed to tensor.Release must not be
+// touched again until rebound.
+package usereleased
+
+import "fixture/tensor"
+
+// BadReadAfterRelease reads a tensor the pool already owns again.
+func BadReadAfterRelease() float64 {
+	t := tensor.Get(4, 4)
+	tensor.Release(t)
+	return t.Data[0]
+}
+
+// BadKernelArgAfterRelease feeds a released tensor back into a kernel.
+func BadKernelArgAfterRelease(dst, a *tensor.Tensor) {
+	tmp := tensor.Get(8)
+	tensor.AddInto(tmp, a, a)
+	tensor.Release(tmp)
+	tensor.AddInto(dst, tmp, a)
+}
+
+// BadSecondOfBatchRelease releases two tensors and touches the second.
+func BadSecondOfBatchRelease() []float64 {
+	a := tensor.Get(2)
+	b := tensor.Get(2)
+	tensor.Release(a, b)
+	return b.Row(0)
+}
+
+// GoodReleaseLast releases strictly after the last use.
+func GoodReleaseLast() float64 {
+	t := tensor.Get(4)
+	v := t.Data[0]
+	tensor.Release(t)
+	return v
+}
+
+// GoodDeferredRelease defers the release, so later uses precede it at run
+// time.
+func GoodDeferredRelease() float64 {
+	t := tensor.Get(4)
+	defer tensor.Release(t)
+	return t.Data[0]
+}
+
+// GoodRebindAfterRelease reuses the variable name for a fresh tensor.
+func GoodRebindAfterRelease() float64 {
+	t := tensor.Get(4)
+	tensor.Release(t)
+	t = tensor.Get(8)
+	return t.Data[0]
+}
+
+// GoodLoopBodyRebind is the pool's steady-state idiom: each iteration binds
+// a fresh tensor and releases it after its last use.
+func GoodLoopBodyRebind(n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		t := tensor.Get(4)
+		sum += t.Data[0]
+		tensor.Release(t)
+	}
+	return sum
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The use-after-release check is the static half of the buffer pool's
+// ownership rule: tensor.Release hands a buffer back to the free list, so any
+// later read or write through the released variable observes recycled (or,
+// under test poisoning, NaN) data. The runtime catches the double-release
+// case by panicking and the poison tests catch reads probabilistically; this
+// check catches the textually obvious cases at vet time: within one function
+// scope, a variable passed to tensor.Release must not be mentioned again
+// until it is rebound by an assignment. Deferred releases run at function
+// exit and are exempt. Closures are separate scopes — a released variable
+// captured by a function literal is beyond a textual check and left to the
+// poison tests.
+var useAfterReleaseCheck = &Check{
+	Name: "use-after-release",
+	Doc:  "tensor variable used after tensor.Release returned its buffer to the pool",
+	Run:  runUseAfterRelease,
+}
+
+func runUseAfterRelease(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			checkReleaseScope(pass, scope)
+		}
+	}
+}
+
+// tensorRelease matches a call of the package-level function Release in a
+// package named tensor (name, not path, so the fixture stub resolves like
+// the real package).
+func tensorRelease(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "tensor" &&
+		fn.Name() == "Release" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+func checkReleaseScope(pass *Pass, scope funcScope) {
+	type released struct {
+		obj  types.Object
+		name string
+		end  token.Pos // end of the Release call: the dead window opens here
+		line int
+	}
+	var dead []released
+
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Release runs on function exit; everything textually
+			// after it is still before the release at run time.
+			return false
+		case *ast.CallExpr:
+			if !tensorRelease(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				obj := usedObject(pass.Pkg.Info, arg)
+				if obj == nil {
+					continue
+				}
+				dead = append(dead, released{
+					obj: obj, name: obj.Name(), end: n.End(),
+					line: pass.Pkg.Fset.Position(n.Pos()).Line,
+				})
+			}
+		}
+		return true
+	})
+	if len(dead) == 0 {
+		return
+	}
+
+	for _, rv := range dead {
+		// The dead window closes at the first rebinding of the variable
+		// after the release (t = ... or t := ...).
+		rebind := scope.body.End() + 1
+		inspectShallow(scope.body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Pkg.Info.Uses[id]
+				}
+				if obj == rv.obj && asg.Pos() > rv.end && asg.Pos() < rebind {
+					rebind = asg.Pos()
+				}
+			}
+			return true
+		})
+		// First mention inside the dead window is the finding; later ones
+		// are noise once the first is fixed.
+		firstUse := token.NoPos
+		inspectShallow(scope.body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || pass.Pkg.Info.Uses[id] != rv.obj {
+				return true
+			}
+			if id.Pos() > rv.end && id.Pos() < rebind &&
+				(firstUse == token.NoPos || id.Pos() < firstUse) {
+				firstUse = id.Pos()
+			}
+			return true
+		})
+		if firstUse != token.NoPos {
+			pass.Reportf(firstUse,
+				"%s is used after tensor.Release on line %d handed its buffer back to the pool",
+				rv.name, rv.line)
+		}
+	}
+}

@@ -208,11 +208,17 @@ func (*Backend) AggMean(g *ag.Graph, b *fw.Batch, x *ag.Node) *ag.Node {
 	csr := mustCSR(b)
 	summed := g.GSpMMSum(x, csr.RowPtr, csr.Col)
 	inv := tensor.New(b.NumNodes)
-	for i, d := range b.InDeg {
-		if d > 0 {
-			inv.Data[i] = 1 / d
+	fill := func() {
+		for i, d := range b.InDeg {
+			if d > 0 {
+				inv.Data[i] = 1 / d
+			} else {
+				inv.Data[i] = 0
+			}
 		}
 	}
+	fill()
+	g.OnReplay(fill)
 	return g.ScaleRows(summed, inv)
 }
 

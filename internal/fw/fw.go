@@ -19,6 +19,7 @@ package fw
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"repro/internal/ag"
@@ -79,6 +80,143 @@ func invSqrt(d float64) float64 {
 		return 0
 	}
 	return 1 / math.Sqrt(d)
+}
+
+// FillPseudo recomputes the cached pseudo-coordinate tensor in place from
+// the current Src/Dst/InDeg contents. It is a no-op when Pseudo was never
+// materialized; replayed tapes register it as a refresh hook so the recorded
+// pseudo buffer follows batch data copied in via CopyDataFrom.
+func (b *Batch) FillPseudo() {
+	if b.pseudo == nil {
+		return
+	}
+	for k := 0; k < b.NumEdges(); k++ {
+		b.pseudo.Set(k, 0, invSqrt(b.InDeg[b.Src[k]]))
+		b.pseudo.Set(k, 1, invSqrt(b.InDeg[b.Dst[k]]))
+	}
+}
+
+// ShapeSig returns a key identifying the batch's shape: two batches with the
+// same signature have identical node/edge/graph counts, feature widths and
+// per-graph offsets, so a forward tape recorded on one can be replayed on
+// the other after CopyDataFrom. Offsets are part of the signature because
+// segment reductions capture them by reference at record time.
+func (b *Batch) ShapeSig() string {
+	return string(b.AppendShapeSig(nil))
+}
+
+// AppendShapeSig appends the shape signature to dst and returns the extended
+// slice. The serving hot path keys its tape cache with this form so a warm
+// lookup (map index on string(buf)) allocates nothing.
+func (b *Batch) AppendShapeSig(dst []byte) []byte {
+	xw := 0
+	if b.X != nil {
+		xw = b.X.Cols()
+	}
+	ew := -1
+	if b.EdgeAttr != nil {
+		ew = b.EdgeAttr.Cols()
+	}
+	dst = append(dst, 'n')
+	dst = strconv.AppendInt(dst, int64(b.NumNodes), 10)
+	dst = append(dst, " g"...)
+	dst = strconv.AppendInt(dst, int64(b.NumGraphs), 10)
+	dst = append(dst, " e"...)
+	dst = strconv.AppendInt(dst, int64(b.NumEdges()), 10)
+	dst = append(dst, " x"...)
+	dst = strconv.AppendInt(dst, int64(xw), 10)
+	dst = append(dst, " ea"...)
+	dst = strconv.AppendInt(dst, int64(ew), 10)
+	dst = append(dst, " off["...)
+	for i, o := range b.NodeOffsets {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(o), 10)
+	}
+	return append(dst, ']')
+}
+
+// SameShape reports whether src shares b's shape signature, without
+// building either string.
+func (b *Batch) SameShape(src *Batch) bool {
+	if b.NumNodes != src.NumNodes || b.NumGraphs != src.NumGraphs || b.NumEdges() != src.NumEdges() {
+		return false
+	}
+	if (b.X == nil) != (src.X == nil) || (b.X != nil && b.X.Cols() != src.X.Cols()) {
+		return false
+	}
+	if (b.EdgeAttr == nil) != (src.EdgeAttr == nil) || (b.EdgeAttr != nil && b.EdgeAttr.Cols() != src.EdgeAttr.Cols()) {
+		return false
+	}
+	if len(b.NodeOffsets) != len(src.NodeOffsets) {
+		return false
+	}
+	for i, o := range b.NodeOffsets {
+		if o != src.NodeOffsets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the batch: no storage is shared with b. Serving replicas
+// clone the first batch of each shape into a long-lived shadow whose buffers
+// a recorded tape captures; later same-shape batches are copied in with
+// CopyDataFrom. The clone carries no device-memory accounting of its own.
+func (b *Batch) Clone() *Batch {
+	c := &Batch{
+		NumNodes:    b.NumNodes,
+		NumGraphs:   b.NumGraphs,
+		Src:         append([]int(nil), b.Src...),
+		Dst:         append([]int(nil), b.Dst...),
+		NodeOffsets: append([]int(nil), b.NodeOffsets...),
+		GraphID:     append([]int(nil), b.GraphID...),
+		Labels:      append([]int(nil), b.Labels...),
+		NodeLabels:  append([]int(nil), b.NodeLabels...),
+		InDeg:       append([]float64(nil), b.InDeg...),
+	}
+	if b.X != nil {
+		c.X = b.X.Clone()
+	}
+	if b.EdgeAttr != nil {
+		c.EdgeAttr = b.EdgeAttr.Clone()
+	}
+	if b.CSR != nil {
+		c.CSR = &graph.CSR{
+			RowPtr: append([]int(nil), b.CSR.RowPtr...),
+			Col:    append([]int(nil), b.CSR.Col...),
+			EID:    append([]int(nil), b.CSR.EID...),
+		}
+	}
+	return c
+}
+
+// CopyDataFrom copies src's payload into b's existing buffers without
+// replacing any slice or tensor, so pointers captured by a recorded tape
+// stay valid. Panics unless src has b's shape signature.
+func (b *Batch) CopyDataFrom(src *Batch) {
+	if !b.SameShape(src) {
+		panic(fmt.Sprintf("fw: CopyDataFrom shape mismatch: %q vs %q", b.ShapeSig(), src.ShapeSig()))
+	}
+	copy(b.Src, src.Src)
+	copy(b.Dst, src.Dst)
+	copy(b.NodeOffsets, src.NodeOffsets)
+	copy(b.GraphID, src.GraphID)
+	copy(b.Labels, src.Labels)
+	copy(b.NodeLabels, src.NodeLabels)
+	copy(b.InDeg, src.InDeg)
+	if b.X != nil {
+		copy(b.X.Data, src.X.Data)
+	}
+	if b.EdgeAttr != nil {
+		copy(b.EdgeAttr.Data, src.EdgeAttr.Data)
+	}
+	if b.CSR != nil && src.CSR != nil {
+		copy(b.CSR.RowPtr, src.CSR.RowPtr)
+		copy(b.CSR.Col, src.CSR.Col)
+		copy(b.CSR.EID, src.CSR.EID)
+	}
 }
 
 // Bytes returns the device-memory footprint of the batch's dense payload

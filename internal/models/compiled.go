@@ -1,0 +1,85 @@
+package models
+
+import (
+	"repro/internal/ag"
+	"repro/internal/device"
+	"repro/internal/fw"
+	"repro/internal/tensor"
+)
+
+// CompiledInfer is a forward-only inference engine that records each batch
+// shape's autograd tape once and replays it for every later batch of the
+// same shape. Recording clones the batch into a long-lived shadow whose
+// buffers the tape captures; replay copies the incoming batch's payload into
+// those buffers, runs the registered constant-refresh hooks, and re-executes
+// the recorded kernels in place — the steady state performs zero heap
+// allocations on the pooled float64 path.
+//
+// With a non-reference weight dtype the model's Linear layers are compressed
+// once (see Compressor) and the recorded tapes run the quantized matmul path.
+//
+// CompiledInfer is not safe for concurrent use; the serving layer binds one
+// instance to one worker goroutine, matching the Replica contract.
+type CompiledInfer struct {
+	m     Model
+	dev   *device.Device
+	dt    tensor.DType
+	tapes map[string]*compiledTape
+	sig   []byte // scratch for allocation-free tape lookup
+}
+
+type compiledTape struct {
+	g      *ag.Graph
+	shadow *fw.Batch
+	out    *ag.Node
+}
+
+// NewCompiledInfer wraps m for compiled serving on dev with weights at the
+// given precision (F64 keeps the bit-exact reference weights). The model's
+// weights are compressed immediately when dt asks for it.
+func NewCompiledInfer(m Model, dev *device.Device, dt tensor.DType) *CompiledInfer {
+	if dt != tensor.F64 {
+		if c, ok := m.(Compressor); ok {
+			c.Compress(dt)
+		}
+	}
+	return &CompiledInfer{m: m, dev: dev, dt: dt, tapes: make(map[string]*compiledTape)}
+}
+
+// Model returns the wrapped model.
+func (c *CompiledInfer) Model() Model { return c.m }
+
+// Tapes returns the number of recorded shape signatures.
+func (c *CompiledInfer) Tapes() int { return len(c.tapes) }
+
+// Forward computes logits for b: a recorded tape replays in place; an unseen
+// shape records a new tape first. The returned tensor is owned by the tape
+// and overwritten by the next same-shape call — read or copy it before then.
+func (c *CompiledInfer) Forward(b *fw.Batch) *tensor.Tensor {
+	c.sig = b.AppendShapeSig(c.sig[:0])
+	// Indexing the map with string(c.sig) converts without allocating.
+	if t, ok := c.tapes[string(c.sig)]; ok {
+		t.shadow.CopyDataFrom(b)
+		t.g.ReplayForward()
+		return t.out.Value()
+	}
+	shadow := b.Clone()
+	g := ag.New(c.dev)
+	g.EnablePooling()
+	if c.dt != tensor.F64 {
+		g.EnableQuantizedEval()
+	}
+	out := c.m.Forward(g, shadow, false, nil)
+	c.tapes[string(c.sig)] = &compiledTape{g: g, shadow: shadow, out: out}
+	return out.Value()
+}
+
+// Close finishes every recorded tape, returning pooled buffers and releasing
+// device-memory accounting. The CompiledInfer must not be used afterwards.
+func (c *CompiledInfer) Close() {
+	for _, t := range c.tapes {
+		t.g.Finish()
+		t.shadow.Release(c.dev)
+	}
+	c.tapes = nil
+}

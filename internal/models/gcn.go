@@ -57,6 +57,14 @@ func (m *GCN) Params() []*ag.Parameter {
 	return append(ps, m.head.params()...)
 }
 
+// Compress implements Compressor.
+func (m *GCN) Compress(dt tensor.DType) {
+	for _, l := range m.lins {
+		l.Compress(dt)
+	}
+	m.head.compress(dt)
+}
+
 // Forward implements Model.
 func (m *GCN) Forward(g *ag.Graph, b *fw.Batch, training bool, lt *profile.LayerTimes) *ag.Node {
 	x := g.Input(b.X)
@@ -64,8 +72,11 @@ func (m *GCN) Forward(g *ag.Graph, b *fw.Batch, training bool, lt *profile.Layer
 	var edgeW *ag.Node
 	if m.be.GCNNormalizeBothSides() {
 		invDeg = invSqrtDegrees(b)
+		g.OnReplay(func() { fillInvSqrtDegrees(invDeg, b) })
 	} else {
-		edgeW = g.Input(gcnEdgeWeights(b))
+		ew := gcnEdgeWeights(b)
+		edgeW = g.Input(ew)
+		g.OnReplay(func() { fillGCNEdgeWeights(ew, b) })
 	}
 	for l := range m.lins {
 		l := l

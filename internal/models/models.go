@@ -143,29 +143,59 @@ func (h head) params() []*ag.Parameter {
 	return h.mlp.Params()
 }
 
+func (h head) compress(dt tensor.DType) {
+	if h.mlp != nil {
+		h.mlp.Compress(dt)
+	}
+}
+
+// Compressor is the optional interface of models whose Linear weights can be
+// compressed to f32/q8 for quantized serving (see nn.Linear.Compress). The
+// compressed copies are snapshots — compress again after weights change. All
+// models in this package implement it.
+type Compressor interface {
+	Compress(dt tensor.DType)
+}
+
 // invSqrtDegrees returns deg^-1/2 per node (0 for isolated nodes) as a plain
 // tensor for constant row scaling.
 func invSqrtDegrees(b *fw.Batch) *tensor.Tensor {
 	t := tensor.New(b.NumNodes)
+	fillInvSqrtDegrees(t, b)
+	return t
+}
+
+// fillInvSqrtDegrees recomputes invSqrtDegrees into t in place, so a
+// replayed tape can refresh the scales from the current batch contents.
+func fillInvSqrtDegrees(t *tensor.Tensor, b *fw.Batch) {
 	for i, d := range b.InDeg {
 		if d > 0 {
 			t.Data[i] = 1 / sqrt(d)
+		} else {
+			t.Data[i] = 0
 		}
 	}
-	return t
 }
 
 // gcnEdgeWeights returns the symmetric-normalization weights
 // (deg(src)*deg(dst))^-1/2 per arc, PyG's single-pass GCN normalization.
 func gcnEdgeWeights(b *fw.Batch) *tensor.Tensor {
 	w := tensor.New(b.NumEdges(), 1)
+	fillGCNEdgeWeights(w, b)
+	return w
+}
+
+// fillGCNEdgeWeights recomputes gcnEdgeWeights into w in place (see
+// fillInvSqrtDegrees).
+func fillGCNEdgeWeights(w *tensor.Tensor, b *fw.Batch) {
 	for k := 0; k < b.NumEdges(); k++ {
 		ds, dd := b.InDeg[b.Src[k]], b.InDeg[b.Dst[k]]
 		if ds > 0 && dd > 0 {
 			w.Data[k] = 1 / sqrt(ds*dd)
+		} else {
+			w.Data[k] = 0
 		}
 	}
-	return w
 }
 
 // Labels returns the target labels a model's logits should be scored

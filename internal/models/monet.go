@@ -75,10 +75,21 @@ func (m *MoNet) Params() []*ag.Parameter {
 	return append(ps, m.head.params()...)
 }
 
+// Compress implements Compressor.
+func (m *MoNet) Compress(dt tensor.DType) {
+	for _, l := range m.layers {
+		for k := range l.w {
+			l.w[k].Compress(dt)
+		}
+	}
+	m.head.compress(dt)
+}
+
 // Forward implements Model.
 func (m *MoNet) Forward(g *ag.Graph, b *fw.Batch, training bool, lt *profile.LayerTimes) *ag.Node {
 	x := g.Input(b.X)
 	pseudo := b.Pseudo(g.Device())
+	g.OnReplay(b.FillPseudo)
 	for l, layer := range m.layers {
 		layer := layer
 		timeLayerOn(g, m.be, lt, fmt.Sprintf("conv%d", l+1), func() {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/parallel"
+	"repro/internal/tensor"
 )
 
 // Collectors bridge the rest of the runtime into a Registry as callback
@@ -72,4 +73,22 @@ func RegisterPoolMetrics(r *Registry) {
 		func() float64 { return float64(parallel.ChunksDispatched()) })
 	r.CounterFunc("gnnlab_pool_chunks_inline_total", "Chunks executed inline on the submitting goroutine.",
 		func() float64 { return float64(parallel.ChunksInline()) })
+}
+
+// RegisterTensorPoolMetrics registers the tensor buffer pool's counters: Gets
+// served from a free list vs. fresh allocations, releases and the subset the
+// pool declined to keep, and the bytes currently parked for reuse. A healthy
+// steady state shows the hit counter advancing while the miss counter stays
+// flat — each miss is a heap allocation on the hot path.
+func RegisterTensorPoolMetrics(r *Registry) {
+	r.CounterFunc("gnnlab_tensor_pool_hits_total", "Pooled tensor Gets served from a free list.",
+		func() float64 { return float64(tensor.Pool().Hits) })
+	r.CounterFunc("gnnlab_tensor_pool_misses_total", "Pooled tensor Gets that had to allocate.",
+		func() float64 { return float64(tensor.Pool().Misses) })
+	r.CounterFunc("gnnlab_tensor_pool_releases_total", "Tensors handed back to the pool.",
+		func() float64 { return float64(tensor.Pool().Releases) })
+	r.CounterFunc("gnnlab_tensor_pool_discards_total", "Releases the pool declined to keep.",
+		func() float64 { return float64(tensor.Pool().Discards) })
+	r.GaugeFunc("gnnlab_tensor_pool_free_bytes", "Bytes parked on the pool's free lists.",
+		func() float64 { return float64(tensor.Pool().Bytes) })
 }

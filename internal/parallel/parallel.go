@@ -190,6 +190,24 @@ func For(n, grain int, fn func(lo, hi int)) {
 	}
 }
 
+// Inline reports whether For(n, grain, fn) would run fn(0, n) serially on the
+// caller. Zero-allocation kernels use it to call their range function directly
+// on the serial path: a closure literal passed to For escapes to the heap
+// (For sends it to the worker channel), so hot kernels guard the closure
+// behind Inline and only construct it when the work will genuinely fan out.
+// The decision mirrors For's chunking exactly, so the dual-path kernels stay
+// bit-identical to a plain For call.
+func Inline(n, grain int) bool {
+	if n <= 0 {
+		return true
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	return chunks <= 1 || Workers() <= 1
+}
+
 // RowGrain converts a per-row operation cost (scalar ops per row) into a For
 // grain: the number of rows whose combined work reaches MinWork. Kernels that
 // process [N, F] tensors row-by-row call For(n, RowGrain(perRow), ...) so

@@ -69,3 +69,50 @@ func (r *modelReplica) Device() *device.Device { return r.dev }
 
 // Swap implements Swappable.
 func (r *modelReplica) Swap(m models.Model) { r.m.Store(&modelBox{m: m}) }
+
+// compiledReplica serves through a models.CompiledInfer: each batch shape's
+// forward tape is recorded once and replayed in place, so the steady-state
+// forward pass allocates nothing, and weights may be held at reduced
+// precision (float32 or int8) to shrink the replica's memory footprint.
+//
+// The CompiledInfer is not thread-safe; the server's one-worker-per-replica
+// contract provides the required serialization. The output tensor a replay
+// returns is owned by the tape and consumed (argmax + row copies) before the
+// worker takes its next batch.
+type compiledReplica struct {
+	m   atomic.Pointer[compiledBox]
+	dev *device.Device
+	dt  tensor.DType
+}
+
+type compiledBox struct {
+	m  models.Model
+	ci *models.CompiledInfer
+}
+
+// NewCompiledModelReplica wraps m as a compiled serving replica accounted to
+// dev, with inference weights stored at precision dt (tensor.F64 keeps the
+// bit-exact reference weights; tensor.F32 and tensor.Q8 compress them).
+// Compression mutates m's layers, so a compiled replica must not share its
+// model value with training code that expects reference-only weights.
+func NewCompiledModelReplica(m models.Model, dev *device.Device, dt tensor.DType) Replica {
+	r := &compiledReplica{dev: dev, dt: dt}
+	r.m.Store(&compiledBox{m: m, ci: models.NewCompiledInfer(m, dev, dt)})
+	return r
+}
+
+func (r *compiledReplica) Backend() fw.Backend { return r.m.Load().m.Backend() }
+
+func (r *compiledReplica) Forward(b *fw.Batch) *tensor.Tensor {
+	return r.m.Load().ci.Forward(b)
+}
+
+func (r *compiledReplica) Device() *device.Device { return r.dev }
+
+// Swap implements Swappable. The new model gets a fresh CompiledInfer whose
+// tapes re-record on first use. The old box's tapes are dropped to the
+// garbage collector without Close: a batch already in flight may still be
+// replaying on them, so eagerly finishing the tapes would poison its output.
+func (r *compiledReplica) Swap(m models.Model) {
+	r.m.Store(&compiledBox{m: m, ci: models.NewCompiledInfer(m, r.dev, r.dt)})
+}

@@ -88,3 +88,95 @@ func BenchmarkConcatRows(b *testing.B) {
 		ConcatRows(parts...)
 	}
 }
+
+// Pooled / Into-form counterparts of the allocating benchmarks above. These
+// are the hot-path shapes the zero-alloc tentpole targets: same kernels, but
+// the destination comes from the buffer pool once and is reused every
+// iteration. ReportAllocs makes any regression visible in CI.
+
+func BenchmarkMatMulInto128(b *testing.B) { benchMatMulInto(b, 128) }
+func BenchmarkMatMulInto512(b *testing.B) { benchMatMulInto(b, 512) }
+
+func benchMatMulInto(b *testing.B, n int) {
+	g := NewRNG(1)
+	x := g.Randn(1, n, n)
+	y := g.Randn(1, n, n)
+	dst := Get(n, n)
+	defer Release(dst)
+	b.SetBytes(int64(8 * n * n * 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulTransposedFormsInto(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 256, 64)
+	y := g.Randn(1, 256, 64)
+	dst := Get(64, 64)
+	defer Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTAInto(dst, x, y)
+	}
+}
+
+func BenchmarkElementwiseAddInto(b *testing.B) {
+	x, y := benchPair(1024, 64)
+	dst := Get(1024, 64)
+	defer Release(dst)
+	b.SetBytes(int64(8 * x.Size() * 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddInto(dst, x, y)
+	}
+}
+
+func BenchmarkGatherRowsInto(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 1024, 64)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = g.IntN(1024)
+	}
+	dst := Get(4096, 64)
+	defer Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRowsInto(dst, x, idx)
+	}
+}
+
+func BenchmarkScatterAddRowsInto(b *testing.B) {
+	g := NewRNG(1)
+	x := g.Randn(1, 4096, 64)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = g.IntN(1024)
+	}
+	dst := Get(1024, 64)
+	defer Release(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScatterAddRowsInto(dst, x, idx)
+	}
+}
+
+// BenchmarkPoolGetRelease measures the pool's per-buffer overhead: a Get/zero/
+// Release cycle on a warm size class.
+func BenchmarkPoolGetRelease(b *testing.B) {
+	t := Get(1024, 64)
+	Release(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t = Get(1024, 64)
+		Release(t)
+	}
+}

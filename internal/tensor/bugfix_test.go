@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Regression tests for the three correctness bugs this engine shipped with:
+// MatMul's zero-skip fast path swallowing NaN/Inf, Shape() aliasing internal
+// state, and checkShape silently overflowing the element count.
+
+// TestMatMulPropagatesNaNAndInf pins IEEE semantics through the zero-skip
+// optimization: 0 x Inf and 0 x NaN are NaN, so a zero row of a multiplied
+// into a non-finite b must poison the output, not skip it. Before the fix the
+// `av == 0` skip suppressed exactly the first NaN a diverging training run
+// produces.
+func TestMatMulPropagatesNaNAndInf(t *testing.T) {
+	a := FromSlice([]float64{
+		0, 0,
+		1, 2,
+	}, 2, 2)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := FromSlice([]float64{
+			bad, 3,
+			4, 5,
+		}, 2, 2)
+		got := MatMul(a, b)
+		if !math.IsNaN(got.At(0, 0)) {
+			t.Errorf("MatMul zero row x %v = %v, want NaN", bad, got.At(0, 0))
+		}
+		// The finite column is unaffected by the zero row.
+		if got.At(0, 1) != 0 {
+			t.Errorf("MatMul zero row, finite column = %v, want 0", got.At(0, 1))
+		}
+	}
+	// All three product forms agree: transpose-A and transpose-B kernels see
+	// the same non-finite operand.
+	aT := Transpose(a)
+	b := FromSlice([]float64{math.Inf(1), 3, 4, 5}, 2, 2)
+	if got := MatMulTA(aT, b); !math.IsNaN(got.At(0, 0)) {
+		t.Errorf("MatMulTA = %v, want NaN", got.At(0, 0))
+	}
+	bT := Transpose(b)
+	if got := MatMulTB(a, bT); !math.IsNaN(got.At(0, 0)) {
+		t.Errorf("MatMulTB = %v, want NaN", got.At(0, 0))
+	}
+	// With a fully finite b the skip stays on and zero rows stay zero.
+	finite := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if got := MatMul(a, finite); got.At(0, 0) != 0 || got.At(0, 1) != 0 {
+		t.Errorf("MatMul zero row x finite = %v %v, want 0 0", got.At(0, 0), got.At(0, 1))
+	}
+}
+
+// TestShapeReturnsCopy pins Shape()'s aliasing contract: mutating the
+// returned slice must not corrupt the tensor. Before the fix Shape returned
+// the internal slice by reference, so `s := t.Shape(); s[0] = ...` silently
+// changed the tensor's geometry.
+func TestShapeReturnsCopy(t *testing.T) {
+	x := New(3, 4)
+	s := x.Shape()
+	s[0] = 99
+	if x.Dim(0) != 3 {
+		t.Fatalf("mutating Shape()'s result changed the tensor: Dim(0) = %d", x.Dim(0))
+	}
+	if got := x.Shape(); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Shape after caller mutation = %v, want [3 4]", got)
+	}
+}
+
+// TestCheckShapeOverflowPanics pins the element-count overflow guard:
+// adversarial shapes whose product wraps around must panic loudly instead of
+// allocating a tiny buffer that later indexing reads out of bounds.
+func TestCheckShapeOverflowPanics(t *testing.T) {
+	big := 1 << 32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("overflowing shape did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "overflow") {
+			t.Fatalf("panic %v does not name the overflow", r)
+		}
+	}()
+	New(big, big)
+}
+
+// FuzzCheckShape drives New with arbitrary 3-D shapes against a reference
+// overflow-free product: every shape must either panic (negative dimension or
+// element-count overflow) or yield a tensor whose buffer exactly matches the
+// full-precision product — never a tensor smaller than its indexable extent.
+func FuzzCheckShape(f *testing.F) {
+	f.Add(2, 3, 4)
+	f.Add(0, 5, 1)
+	f.Add(1<<31, 1<<31, 2) // overflow seed: product wraps 64-bit int
+	f.Add(-1, 1, 1)
+	f.Add(math.MaxInt, 2, 1)
+	f.Fuzz(func(t *testing.T, a, b, c int) {
+		n, valid := 1, true
+		for _, d := range []int{a, b, c} {
+			if d < 0 || (d > 0 && n > math.MaxInt/d) {
+				valid = false
+				break
+			}
+			n *= d
+		}
+		if valid && n > 1<<22 {
+			t.Skip("valid but too large to materialize")
+		}
+		defer func() {
+			r := recover()
+			if valid && r != nil {
+				t.Fatalf("valid shape [%d %d %d] panicked: %v", a, b, c, r)
+			}
+			if !valid && r == nil {
+				t.Fatalf("invalid shape [%d %d %d] accepted", a, b, c)
+			}
+		}()
+		x := New(a, b, c)
+		if x.Size() != n || len(x.Data) != n {
+			t.Fatalf("shape [%d %d %d]: size %d, data %d, want %d", a, b, c, x.Size(), len(x.Data), n)
+		}
+	})
+}

@@ -1,0 +1,460 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// Fused CSR message-passing kernels (GSpMM family, edge softmax, segment and
+// scatter-max reductions), hoisted out of the autograd layer so both the
+// eager and the replayed (pooled, zero-allocation) paths share one
+// implementation. rowptr has one entry per destination node plus one; col[k]
+// is the source node of incoming arc k; eid[k] its edge id.
+//
+// Parallel execution keeps the ownership disciplines of the original ag
+// kernels: forward kernels partition destination rows, backward kernels
+// partition the rows they scatter into (source rows or edge ids). Every
+// output element accumulates its contributions in serial edge order, so
+// results are bit-identical for any worker count — and, as everywhere in
+// this package, the serial path calls the range function directly instead of
+// building a closure for parallel.For.
+
+// CSRGrain estimates a For grain for a CSR kernel: rows whose combined
+// edge×feature work reaches the pool's minimum profitable work unit.
+func CSRGrain(edges, rows, f int) int {
+	if rows <= 0 {
+		return 1
+	}
+	avg := (edges*f)/rows + 1
+	return parallel.RowGrain(avg)
+}
+
+// GSpMMSumInto computes dst[v] = Σ_{k ∈ [rowptr[v], rowptr[v+1])} x[col[k]]
+// for x [S,F], dst [n,F] with n = len(rowptr)-1. dst is zeroed first.
+func GSpMMSumInto(dst, x *Tensor, rowptr, col []int) {
+	n, f := dst.Rows(), dst.Cols()
+	grain := CSRGrain(len(col), n, f)
+	if parallel.Inline(n, grain) {
+		gspmmSumRange(dst.Data, x.Data, rowptr, col, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { gspmmSumRange(dst.Data, x.Data, rowptr, col, f, lo, hi) })
+}
+
+func gspmmSumRange(dst, x []float64, rowptr, col []int, f, lo, hi int) {
+	zero(dst[lo*f : hi*f])
+	for v := lo; v < hi; v++ {
+		orow := dst[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			xrow := x[col[k]*f : (col[k]+1)*f]
+			for j := 0; j < f; j++ {
+				orow[j] += xrow[j]
+			}
+		}
+	}
+}
+
+// GSpMMSumGradInto scatters the output gradient back to source rows:
+// gx[col[k]] += grad[v] for each arc k of v. gx is zeroed first; workers own
+// contiguous source-row ranges.
+func GSpMMSumGradInto(gx, grad *Tensor, rowptr, col []int) {
+	srcRows, f := gx.Rows(), gx.Cols()
+	n := len(rowptr) - 1
+	grain := CSRGrain(len(col), srcRows, f)
+	if parallel.Inline(srcRows, grain) {
+		gspmmSumGradRange(gx.Data, grad.Data, rowptr, col, n, f, 0, srcRows)
+		return
+	}
+	parallel.For(srcRows, grain, func(lo, hi int) {
+		gspmmSumGradRange(gx.Data, grad.Data, rowptr, col, n, f, lo, hi)
+	})
+}
+
+func gspmmSumGradRange(gx, grad []float64, rowptr, col []int, n, f, lo, hi int) {
+	zero(gx[lo*f : hi*f])
+	for v := 0; v < n; v++ {
+		grow := grad[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			src := col[k]
+			if src < lo || src >= hi {
+				continue
+			}
+			xrow := gx[src*f : (src+1)*f]
+			for j := 0; j < f; j++ {
+				xrow[j] += grow[j]
+			}
+		}
+	}
+}
+
+// GSpMMWeightedSumInto computes dst[v] = Σ_k w[eid[k]] * x[col[k]]. dst is
+// zeroed first. w is the flat per-edge weight buffer.
+func GSpMMWeightedSumInto(dst, x *Tensor, w []float64, rowptr, col, eid []int) {
+	n, f := dst.Rows(), dst.Cols()
+	grain := CSRGrain(len(col), n, f)
+	if parallel.Inline(n, grain) {
+		gspmmWSumRange(dst.Data, x.Data, w, rowptr, col, eid, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { gspmmWSumRange(dst.Data, x.Data, w, rowptr, col, eid, f, lo, hi) })
+}
+
+func gspmmWSumRange(dst, x, w []float64, rowptr, col, eid []int, f, lo, hi int) {
+	zero(dst[lo*f : hi*f])
+	for v := lo; v < hi; v++ {
+		orow := dst[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			wk := w[eid[k]]
+			xrow := x[col[k]*f : (col[k]+1)*f]
+			for j := 0; j < f; j++ {
+				orow[j] += wk * xrow[j]
+			}
+		}
+	}
+}
+
+// GSpMMWeightedSumGradXInto computes the feature gradient of the weighted
+// sum: gx[col[k]] += w[eid[k]] * grad[v]. gx is zeroed first.
+func GSpMMWeightedSumGradXInto(gx, grad *Tensor, w []float64, rowptr, col, eid []int) {
+	srcRows, f := gx.Rows(), gx.Cols()
+	n := len(rowptr) - 1
+	grain := CSRGrain(len(col), srcRows, f)
+	if parallel.Inline(srcRows, grain) {
+		gspmmWSumGradXRange(gx.Data, grad.Data, w, rowptr, col, eid, n, f, 0, srcRows)
+		return
+	}
+	parallel.For(srcRows, grain, func(lo, hi int) {
+		gspmmWSumGradXRange(gx.Data, grad.Data, w, rowptr, col, eid, n, f, lo, hi)
+	})
+}
+
+func gspmmWSumGradXRange(gx, grad, w []float64, rowptr, col, eid []int, n, f, lo, hi int) {
+	zero(gx[lo*f : hi*f])
+	for v := 0; v < n; v++ {
+		grow := grad[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			src := col[k]
+			if src < lo || src >= hi {
+				continue
+			}
+			wk := w[eid[k]]
+			xrow := gx[src*f : (src+1)*f]
+			for j := 0; j < f; j++ {
+				xrow[j] += wk * grow[j]
+			}
+		}
+	}
+}
+
+// GSpMMWeightedSumGradWInto computes the edge-weight gradient: gw[eid[k]] is
+// the dot of x[col[k]] with grad[v]. gw's flat buffer has one slot per edge;
+// ownership is over the eid range. gw is zeroed first.
+func GSpMMWeightedSumGradWInto(gw, grad, x *Tensor, rowptr, col, eid []int) {
+	e := gw.Size()
+	f := x.Cols()
+	n := len(rowptr) - 1
+	grain := parallel.RowGrain(2 * f)
+	if parallel.Inline(e, grain) {
+		gspmmWSumGradWRange(gw.Data, grad.Data, x.Data, rowptr, col, eid, n, f, 0, e)
+		return
+	}
+	parallel.For(e, grain, func(lo, hi int) {
+		gspmmWSumGradWRange(gw.Data, grad.Data, x.Data, rowptr, col, eid, n, f, lo, hi)
+	})
+}
+
+func gspmmWSumGradWRange(gw, grad, x []float64, rowptr, col, eid []int, n, f, lo, hi int) {
+	zero(gw[lo:hi])
+	for v := 0; v < n; v++ {
+		grow := grad[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			ek := eid[k]
+			if ek < lo || ek >= hi {
+				continue
+			}
+			xrow := x[col[k]*f : (col[k]+1)*f]
+			var dot float64
+			for j := 0; j < f; j++ {
+				dot += xrow[j] * grow[j]
+			}
+			gw[ek] += dot
+		}
+	}
+}
+
+// GSpMMEdgeSumInto reduces per-edge messages onto destinations:
+// dst[v] = Σ_k m[eid[k]]. dst is zeroed first.
+func GSpMMEdgeSumInto(dst, m *Tensor, rowptr, eid []int) {
+	n, f := dst.Rows(), dst.Cols()
+	grain := CSRGrain(m.Rows(), n, f)
+	if parallel.Inline(n, grain) {
+		gspmmEdgeSumRange(dst.Data, m.Data, rowptr, eid, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { gspmmEdgeSumRange(dst.Data, m.Data, rowptr, eid, f, lo, hi) })
+}
+
+func gspmmEdgeSumRange(dst, m []float64, rowptr, eid []int, f, lo, hi int) {
+	zero(dst[lo*f : hi*f])
+	for v := lo; v < hi; v++ {
+		orow := dst[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			mrow := m[eid[k]*f : (eid[k]+1)*f]
+			for j := 0; j < f; j++ {
+				orow[j] += mrow[j]
+			}
+		}
+	}
+}
+
+// GSpMMEdgeSumGradInto copies each destination's gradient row to its incoming
+// edges: gm[eid[k]] = grad[v]. Ownership is over edge ids; every edge id
+// appears exactly once in a CSR, so this is a plain copy, no accumulation.
+func GSpMMEdgeSumGradInto(gm, grad *Tensor, rowptr, eid []int) {
+	e, f := gm.Rows(), gm.Cols()
+	n := len(rowptr) - 1
+	grain := parallel.RowGrain(f)
+	if parallel.Inline(e, grain) {
+		gspmmEdgeSumGradRange(gm.Data, grad.Data, rowptr, eid, n, f, 0, e)
+		return
+	}
+	parallel.For(e, grain, func(lo, hi int) {
+		gspmmEdgeSumGradRange(gm.Data, grad.Data, rowptr, eid, n, f, lo, hi)
+	})
+}
+
+func gspmmEdgeSumGradRange(gm, grad []float64, rowptr, eid []int, n, f, lo, hi int) {
+	zero(gm[lo*f : hi*f])
+	for v := 0; v < n; v++ {
+		grow := grad[v*f : (v+1)*f]
+		for k := rowptr[v]; k < rowptr[v+1]; k++ {
+			ek := eid[k]
+			if ek < lo || ek >= hi {
+				continue
+			}
+			copy(gm[ek*f:(ek+1)*f], grow)
+		}
+	}
+}
+
+// EdgeSoftmaxInto normalizes per-edge scores over the edges sharing a
+// destination: out[k] = exp(s_k - max_group) / Σ_group. scores and out are
+// [E,H]; dst names each edge's destination in [0, n); maxes and sums are
+// caller-provided [n,H] workspaces (re-initialized here, so pooled buffers
+// can be reused across replays). A worker runs all three passes for the
+// destinations it owns.
+func EdgeSoftmaxInto(out, scores *Tensor, dst []int, maxes, sums *Tensor) {
+	e, h := scores.Rows(), scores.Cols()
+	n := maxes.Rows()
+	grain := CSRGrain(e, n, 4*h)
+	if parallel.Inline(n, grain) {
+		edgeSoftmaxRange(out.Data, scores.Data, dst, maxes.Data, sums.Data, h, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) {
+		edgeSoftmaxRange(out.Data, scores.Data, dst, maxes.Data, sums.Data, h, lo, hi)
+	})
+}
+
+func edgeSoftmaxRange(out, scores []float64, dst []int, maxes, sums []float64, h, lo, hi int) {
+	ninf := math.Inf(-1)
+	for i := lo * h; i < hi*h; i++ {
+		maxes[i] = ninf
+		sums[i] = 0
+	}
+	for k, d := range dst {
+		if d < lo || d >= hi {
+			continue
+		}
+		srow := scores[k*h : (k+1)*h]
+		mrow := maxes[d*h : (d+1)*h]
+		for j := 0; j < h; j++ {
+			if srow[j] > mrow[j] {
+				mrow[j] = srow[j]
+			}
+		}
+	}
+	for k, d := range dst {
+		if d < lo || d >= hi {
+			continue
+		}
+		srow := scores[k*h : (k+1)*h]
+		mrow := maxes[d*h : (d+1)*h]
+		orow := out[k*h : (k+1)*h]
+		zrow := sums[d*h : (d+1)*h]
+		for j := 0; j < h; j++ {
+			v := math.Exp(srow[j] - mrow[j])
+			orow[j] = v
+			zrow[j] += v
+		}
+	}
+	for k, d := range dst {
+		if d < lo || d >= hi {
+			continue
+		}
+		orow := out[k*h : (k+1)*h]
+		zrow := sums[d*h : (d+1)*h]
+		for j := 0; j < h; j++ {
+			orow[j] /= zrow[j]
+		}
+	}
+}
+
+// EdgeSoftmaxGradInto computes the softmax input gradient
+// gs_k = alpha_k * (grad_k - Σ_group alpha·grad) with a caller-provided
+// [n,H] dots workspace (zeroed here).
+func EdgeSoftmaxGradInto(gs, alpha, grad *Tensor, dst []int, dots *Tensor) {
+	e, h := alpha.Rows(), alpha.Cols()
+	n := dots.Rows()
+	grain := CSRGrain(e, n, 4*h)
+	if parallel.Inline(n, grain) {
+		edgeSoftmaxGradRange(gs.Data, alpha.Data, grad.Data, dst, dots.Data, h, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) {
+		edgeSoftmaxGradRange(gs.Data, alpha.Data, grad.Data, dst, dots.Data, h, lo, hi)
+	})
+}
+
+func edgeSoftmaxGradRange(gs, alpha, grad []float64, dst []int, dots []float64, h, lo, hi int) {
+	zero(dots[lo*h : hi*h])
+	for k, d := range dst {
+		if d < lo || d >= hi {
+			continue
+		}
+		arow := alpha[k*h : (k+1)*h]
+		grow := grad[k*h : (k+1)*h]
+		drow := dots[d*h : (d+1)*h]
+		for j := 0; j < h; j++ {
+			drow[j] += arow[j] * grow[j]
+		}
+	}
+	for k, d := range dst {
+		if d < lo || d >= hi {
+			continue
+		}
+		arow := alpha[k*h : (k+1)*h]
+		grow := grad[k*h : (k+1)*h]
+		drow := dots[d*h : (d+1)*h]
+		srow := gs[k*h : (k+1)*h]
+		for j := 0; j < h; j++ {
+			srow[j] = arow[j] * (grow[j] - drow[j])
+		}
+	}
+}
+
+// SegmentSumInto reduces contiguous row segments: segment s covers rows
+// [offsets[s], offsets[s+1]) of x and sums into dst row s. dst is zeroed
+// first.
+func SegmentSumInto(dst, x *Tensor, offsets []int) {
+	segs, f := dst.Rows(), dst.Cols()
+	grain := CSRGrain(x.Rows(), segs, f)
+	if parallel.Inline(segs, grain) {
+		segmentSumRange(dst.Data, x.Data, offsets, f, 0, segs)
+		return
+	}
+	parallel.For(segs, grain, func(lo, hi int) { segmentSumRange(dst.Data, x.Data, offsets, f, lo, hi) })
+}
+
+func segmentSumRange(dst, x []float64, offsets []int, f, lo, hi int) {
+	zero(dst[lo*f : hi*f])
+	for s := lo; s < hi; s++ {
+		orow := dst[s*f : (s+1)*f]
+		for r := offsets[s]; r < offsets[s+1]; r++ {
+			xrow := x[r*f : (r+1)*f]
+			for j := 0; j < f; j++ {
+				orow[j] += xrow[j]
+			}
+		}
+	}
+}
+
+// SegmentSumGradInto broadcasts each segment's gradient row to the rows it
+// covers: gx[r] = grad[s] for r in segment s. Segments partition the rows,
+// so this fully overwrites gx.
+func SegmentSumGradInto(gx, grad *Tensor, offsets []int) {
+	segs, f := grad.Rows(), grad.Cols()
+	grain := CSRGrain(gx.Rows(), segs, f)
+	if parallel.Inline(segs, grain) {
+		segmentSumGradRange(gx.Data, grad.Data, offsets, f, 0, segs)
+		return
+	}
+	parallel.For(segs, grain, func(lo, hi int) { segmentSumGradRange(gx.Data, grad.Data, offsets, f, lo, hi) })
+}
+
+func segmentSumGradRange(gx, grad []float64, offsets []int, f, lo, hi int) {
+	for s := lo; s < hi; s++ {
+		grow := grad[s*f : (s+1)*f]
+		for r := offsets[s]; r < offsets[s+1]; r++ {
+			copy(gx[r*f:(r+1)*f], grow)
+		}
+	}
+}
+
+// ScatterMaxInto takes the per-destination elementwise maximum of rows of x:
+// dst[idx[k]][j] = max over k, with empty slots set to 0 (PyG's fill
+// behaviour) and arg recording the winning source row per slot (-1 for
+// empty). dst is [n,F]; arg has n*F entries. Serial tie-breaking (first k
+// wins on equal values) is preserved under destination-row ownership.
+func ScatterMaxInto(dst *Tensor, arg []int, x *Tensor, idx []int) {
+	n, f := dst.Rows(), dst.Cols()
+	grain := CSRGrain(len(idx), n, f)
+	if parallel.Inline(n, grain) {
+		scatterMaxRange(dst.Data, arg, x.Data, idx, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { scatterMaxRange(dst.Data, arg, x.Data, idx, f, lo, hi) })
+}
+
+func scatterMaxRange(dst []float64, arg []int, x []float64, idx []int, f, lo, hi int) {
+	ninf := math.Inf(-1)
+	for i := lo * f; i < hi*f; i++ {
+		dst[i] = ninf
+		arg[i] = -1
+	}
+	for k, d := range idx {
+		if d < lo || d >= hi {
+			continue
+		}
+		srow := x[k*f : (k+1)*f]
+		drow := dst[d*f : (d+1)*f]
+		for j := 0; j < f; j++ {
+			if srow[j] > drow[j] {
+				drow[j] = srow[j]
+				arg[d*f+j] = k
+			}
+		}
+	}
+	for i := lo * f; i < hi*f; i++ {
+		if math.IsInf(dst[i], -1) {
+			dst[i] = 0
+		}
+	}
+}
+
+// ScatterMaxGradInto routes each slot's gradient to the source row that won
+// it: gx[arg[slot]] += grad[slot]. gx is zeroed first. Each source row feeds
+// exactly one destination, so destination-row ownership makes the scatter
+// race-free — but gx rows are only written by their destination's owner, so
+// the zeroing must cover all of gx before any worker scatters; with
+// destination partitioning that is only safe serially, hence the kernel
+// zeroes gx up front and partitions the slot scan.
+func ScatterMaxGradInto(gx, grad *Tensor, arg []int) {
+	n, f := grad.Rows(), grad.Cols()
+	grain := CSRGrain(gx.Rows(), n, f)
+	zero(gx.Data)
+	if parallel.Inline(n, grain) {
+		scatterMaxGradRange(gx.Data, grad.Data, arg, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { scatterMaxGradRange(gx.Data, grad.Data, arg, f, lo, hi) })
+}
+
+func scatterMaxGradRange(gx, grad []float64, arg []int, f, lo, hi int) {
+	for slot := lo * f; slot < hi*f; slot++ {
+		if k := arg[slot]; k >= 0 {
+			gx[k*f+slot%f] += grad[slot]
+		}
+	}
+}

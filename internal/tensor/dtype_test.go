@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseDType(t *testing.T) {
+	for _, tc := range []struct {
+		s    string
+		want DType
+	}{{"f64", F64}, {"f32", F32}, {"q8", Q8}} {
+		got, err := ParseDType(tc.s)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDType(%q) = %v, %v", tc.s, got, err)
+		}
+		if got.String() != tc.s {
+			t.Errorf("DType(%v).String() = %q, want %q", got, got.String(), tc.s)
+		}
+	}
+	if _, err := ParseDType("f16"); err == nil {
+		t.Error("ParseDType accepted an unknown dtype")
+	}
+}
+
+// TestQuantizeBytes pins the compression ratios the serve layer advertises:
+// f32 halves the weight footprint and q8 cuts it ~8x (plus one scale per
+// output row).
+func TestQuantizeBytes(t *testing.T) {
+	rng := NewRNG(3)
+	w := rng.Randn(1, 64, 32) // [In,Out]
+	ref := int64(w.Size() * 8)
+	f32 := QuantizeTransposed(w, F32)
+	if f32.Bytes() != ref/2 {
+		t.Errorf("f32 bytes = %d, want %d", f32.Bytes(), ref/2)
+	}
+	q8 := QuantizeTransposed(w, Q8)
+	if q8.Bytes() >= ref/6 {
+		t.Errorf("q8 bytes = %d, want < %d (roughly 8x compression)", q8.Bytes(), ref/6)
+	}
+}
+
+// TestQMatMulParity bounds the compressed matmul against the float64
+// reference: f32 to within rounding of the inputs, q8 to within the
+// per-row quantization step.
+func TestQMatMulParity(t *testing.T) {
+	rng := NewRNG(11)
+	const m, k, n = 9, 16, 7
+	x := rng.Randn(1, m, k)
+	w := rng.Randn(1, k, n)
+	want := MatMul(x, w)
+
+	f32 := QuantizeTransposed(w, F32)
+	got := QMatMul(x, f32)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-5 {
+			t.Fatalf("f32 parity: out[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	q8 := QuantizeTransposed(w, Q8)
+	got8 := QMatMul(x, q8)
+	// Per-element error is bounded by sum_k |x| * scale/2 per output column.
+	for i := range want.Data {
+		if math.Abs(got8.Data[i]-want.Data[i]) > 0.25 {
+			t.Fatalf("q8 parity: out[%d] = %v, want %v (err %v)", i, got8.Data[i], want.Data[i],
+				math.Abs(got8.Data[i]-want.Data[i]))
+		}
+	}
+}
+
+// TestDequantizeRoundTrip pins symmetric quantization: dequantized weights
+// stay within half a quantization step of the original, and the zero weight
+// is exact.
+func TestDequantizeRoundTrip(t *testing.T) {
+	w := FromSlice([]float64{
+		0, 0.5,
+		-1.27, 1.27,
+		0.01, -0.64,
+	}, 3, 2) // [In=3, Out=2]
+	q := QuantizeTransposed(w, Q8)
+	d := q.Dequantize()
+	if d.Rows() != 3 || d.Cols() != 2 {
+		t.Fatalf("Dequantize shape = %v, want [3 2]", d.Shape())
+	}
+	for o := 0; o < 2; o++ {
+		// scale = maxabs(column o)/127
+		maxabs := 0.0
+		for i := 0; i < 3; i++ {
+			if a := math.Abs(w.At(i, o)); a > maxabs {
+				maxabs = a
+			}
+		}
+		step := maxabs / 127
+		for i := 0; i < 3; i++ {
+			if err := math.Abs(d.At(i, o) - w.At(i, o)); err > step/2+1e-12 {
+				t.Errorf("w[%d,%d] = %v roundtrips to %v (err %v > step/2 %v)",
+					i, o, w.At(i, o), d.At(i, o), err, step/2)
+			}
+		}
+	}
+	if d.At(0, 0) != 0 {
+		t.Error("zero weight must quantize exactly to zero")
+	}
+}

@@ -6,13 +6,66 @@ import (
 	"repro/internal/parallel"
 )
 
+// Matrix kernels.
+//
+// Each product comes in two forms: an allocating wrapper (MatMul, MatMulTA,
+// MatMulTB) that news the output, and an Into kernel that writes a
+// caller-provided destination so pooled buffers can be reused with zero
+// allocations. The Into kernels fully define the result (accumulating forms
+// zero dst first); dst must not alias either operand.
+//
+// The inner loops are cache-blocked and unrolled, but always accumulate each
+// output element over p in strictly increasing order — the same order the
+// original straight-line kernels used — so results stay bit-identical to
+// serial execution for any worker count and any block size.
+//
+// Kernels that would normally run through parallel.For call their range
+// function directly when parallel.Inline says the work stays serial: a
+// closure passed to For escapes to the heap, and the zero-allocation
+// guarantee of the pooled path covers the kernels themselves.
+
+const (
+	// mmBlockK × mmBlockJ is the panel of b kept hot while streaming rows of
+	// a: 128×256 float64s = 256 KiB, sized to sit in L2 with room to spare.
+	mmBlockK = 128
+	mmBlockJ = 256
+)
+
+// allFinite reports whether every element is finite (no NaN, no ±Inf).
+// v-v is 0 for finite v and NaN otherwise.
+func allFinite(d []float64) bool {
+	for _, v := range d {
+		if v-v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // MatMul returns a @ b for rank-2 tensors [M,K] @ [K,N] -> [M,N].
-// The inner loops are ordered i-k-j so the innermost loop streams over
-// contiguous rows of b and out, which is the cache-friendly layout for
-// row-major storage. Output rows are independent, so the row loop fans out
-// over the worker pool; each row's accumulation order is unchanged, keeping
-// results bit-identical to serial execution.
 func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	if a.Dim(1) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.Shape(), b.Shape()))
+	}
+	out := New(a.Dim(0), b.Dim(1))
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a @ b for a [M,K], b [K,N], dst [M,N].
+// dst is fully overwritten and must not alias a or b.
+//
+// The kernel keeps the classic i-p-j loop (innermost loop streams contiguous
+// rows of b and dst) but tiles p and j so an mmBlockK×mmBlockJ panel of b is
+// reused across every row a worker owns. Rows of a with zero entries skip the
+// corresponding b row — but only when b is entirely finite: 0×Inf and 0×NaN
+// must produce NaN, not silently vanish, or a divergence during training is
+// masked exactly where it starts. The one-pass finiteness scan over b is
+// O(K·N), negligible against the O(M·K·N) product.
+func MatMulInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
 	}
@@ -21,32 +74,87 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v @ %v", a.Shape(), b.Shape()))
 	}
-	out := New(m, n)
-	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
+	checkDst("MatMul", dst, m, n)
+	skipZero := allFinite(b.Data)
+	grain := parallel.RowGrain(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulRange(dst.Data, a.Data, b.Data, k, n, skipZero, 0, m)
+		return
+	}
+	parallel.For(m, grain, func(lo, hi int) {
+		matMulRange(dst.Data, a.Data, b.Data, k, n, skipZero, lo, hi)
+	})
+}
+
+// matMulRange computes rows [lo,hi) of dst = a @ b with p/j tiling.
+func matMulRange(dst, a, b []float64, k, n int, skipZero bool, lo, hi int) {
+	zero(dst[lo*n : hi*n])
+	for j0 := 0; j0 < n; j0 += mmBlockJ {
+		j1 := j0 + mmBlockJ
+		if j1 > n {
+			j1 = n
+		}
+		for p0 := 0; p0 < k; p0 += mmBlockK {
+			p1 := p0 + mmBlockK
+			if p1 > k {
+				p1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := dst[i*n+j0 : i*n+j1]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 && skipZero {
+						continue
+					}
+					brow := b[p*n+j0 : p*n+j1]
+					axpyUnrolled(orow, brow, av)
 				}
 			}
 		}
-	})
+	}
+}
+
+// axpyUnrolled performs orow[j] += av * brow[j] with 4-way unrolling. The
+// four lanes touch distinct elements, so each element still sees one add —
+// bit-identical to the rolled loop — while the CPU overlaps the chains.
+func axpyUnrolled(orow, brow []float64, av float64) {
+	j, w := 0, len(orow)
+	if len(brow) < w {
+		w = len(brow) // bounds hint for the compiler; lengths are equal
+	}
+	for ; j+4 <= w; j += 4 {
+		orow[j] += av * brow[j]
+		orow[j+1] += av * brow[j+1]
+		orow[j+2] += av * brow[j+2]
+		orow[j+3] += av * brow[j+3]
+	}
+	for ; j < w; j++ {
+		orow[j] += av * brow[j]
+	}
+}
+
+// MatMulTA returns aᵀ @ b for a [K,M], b [K,N] -> [M,N], without
+// materializing the transpose.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	if a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatMulTA dimension mismatch %v and %v", a.Shape(), b.Shape()))
+	}
+	out := New(a.Dim(1), b.Dim(1))
+	MatMulTAInto(out, a, b)
 	return out
 }
 
-// MatMulTA returns aᵀ @ b for a [K,M], b [K,N] -> [M,N], without materializing
-// the transpose. The loop stays p-outer so rows of a and b stream
-// contiguously; each worker owns a contiguous range of output rows and skips
-// the others, so for every output element the accumulation still runs over p
-// in increasing order — bit-identical to serial for any worker count.
-func MatMulTA(a, b *Tensor) *Tensor {
+// MatMulTAInto computes dst = aᵀ @ b for a [K,M], b [K,N], dst [M,N].
+// dst is fully overwritten and must not alias a or b. Workers own contiguous
+// ranges of output rows; within a range the p loop stays outermost (rows of a
+// and b stream contiguously) and tiled, so every output element accumulates
+// over p in increasing order. The zero-skip carries the same finiteness guard
+// as MatMulInto.
+func MatMulTAInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTA wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
 	}
@@ -55,29 +163,60 @@ func MatMulTA(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTA dimension mismatch %v and %v", a.Shape(), b.Shape()))
 	}
-	out := New(m, n)
-	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
-		for p := 0; p < k; p++ {
-			arow := a.Data[p*m : (p+1)*m]
-			brow := b.Data[p*n : (p+1)*n]
+	checkDst("MatMulTA", dst, m, n)
+	skipZero := allFinite(b.Data)
+	grain := parallel.RowGrain(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulTARange(dst.Data, a.Data, b.Data, k, m, n, skipZero, 0, m)
+		return
+	}
+	parallel.For(m, grain, func(lo, hi int) {
+		matMulTARange(dst.Data, a.Data, b.Data, k, m, n, skipZero, lo, hi)
+	})
+}
+
+// matMulTARange computes rows [lo,hi) of dst = aᵀ @ b with p tiling.
+func matMulTARange(dst, a, b []float64, k, m, n int, skipZero bool, lo, hi int) {
+	zero(dst[lo*n : hi*n])
+	for p0 := 0; p0 < k; p0 += mmBlockK {
+		p1 := p0 + mmBlockK
+		if p1 > k {
+			p1 = k
+		}
+		for p := p0; p < p1; p++ {
+			arow := a[p*m : (p+1)*m]
+			brow := b[p*n : (p+1)*n]
 			for i := lo; i < hi; i++ {
 				av := arow[i]
-				if av == 0 {
+				if av == 0 && skipZero {
 					continue
 				}
-				orow := out.Data[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
+				axpyUnrolled(dst[i*n:(i+1)*n], brow, av)
 			}
 		}
-	})
+	}
+}
+
+// MatMulTB returns a @ bᵀ for a [M,K], b [N,K] -> [M,N], without
+// materializing the transpose.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
+	}
+	if a.Dim(1) != b.Dim(1) {
+		panic(fmt.Sprintf("tensor: MatMulTB dimension mismatch %v and %v", a.Shape(), b.Shape()))
+	}
+	out := New(a.Dim(0), b.Dim(0))
+	MatMulTBInto(out, a, b)
 	return out
 }
 
-// MatMulTB returns a @ bᵀ for a [M,K], b [N,K] -> [M,N], without materializing
-// the transpose.
-func MatMulTB(a, b *Tensor) *Tensor {
+// MatMulTBInto computes dst = a @ bᵀ for a [M,K], b [N,K], dst [M,N].
+// dst is fully overwritten and must not alias a or b. Each output element is
+// an independent dot product with a single sequential accumulator (bit-exact
+// with the original kernel); the j loop is 4-way unrolled so four dot chains
+// run concurrently over the same streamed row of a.
+func MatMulTBInto(dst, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTB wants rank-2 operands, got %v and %v", a.Shape(), b.Shape()))
 	}
@@ -86,22 +225,54 @@ func MatMulTB(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTB dimension mismatch %v and %v", a.Shape(), b.Shape()))
 	}
-	out := New(m, n)
-	parallel.For(m, parallel.RowGrain(2*k*n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float64
-				for p := 0; p < k; p++ {
-					s += arow[p] * brow[p]
-				}
-				orow[j] = s
-			}
-		}
+	checkDst("MatMulTB", dst, m, n)
+	grain := parallel.RowGrain(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulTBRange(dst.Data, a.Data, b.Data, k, n, 0, m)
+		return
+	}
+	parallel.For(m, grain, func(lo, hi int) {
+		matMulTBRange(dst.Data, a.Data, b.Data, k, n, lo, hi)
 	})
-	return out
+}
+
+// matMulTBRange computes rows [lo,hi) of dst = a @ bᵀ.
+func matMulTBRange(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// checkDst panics unless dst is a rank-2 [m,n] tensor.
+func checkDst(op string, dst *Tensor, m, n int) {
+	if dst.Rank() != 2 || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: %sInto dst has shape %v, want [%d %d]", op, dst.Shape(), m, n))
+	}
 }
 
 // Transpose returns the transpose of a rank-2 tensor.

@@ -61,14 +61,22 @@ func Add(a, b *Tensor) *Tensor {
 	return out
 }
 
-// AddInPlace accumulates b into a.
+// AddInPlace accumulates b into a. Gradient accumulation calls this every
+// backward step, so the serial path avoids constructing the For closure (see
+// into.go for the pattern).
 func AddInPlace(a, b *Tensor) {
 	assertSameShape("AddInPlace", a, b)
-	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += b.Data[i]
-		}
-	})
+	if parallel.Inline(len(a.Data), elemGrain) {
+		addInPlaceRange(a.Data, b.Data, 0, len(a.Data))
+		return
+	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) { addInPlaceRange(a.Data, b.Data, lo, hi) })
+}
+
+func addInPlaceRange(a, b []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a[i] += b[i]
+	}
 }
 
 // Sub returns a - b elementwise.
@@ -120,21 +128,33 @@ func Scale(t *Tensor, s float64) *Tensor {
 
 // ScaleInPlace multiplies t by s.
 func ScaleInPlace(t *Tensor, s float64) {
-	parallel.For(len(t.Data), elemGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			t.Data[i] *= s
-		}
-	})
+	if parallel.Inline(len(t.Data), elemGrain) {
+		scaleInPlaceRange(t.Data, s, 0, len(t.Data))
+		return
+	}
+	parallel.For(len(t.Data), elemGrain, func(lo, hi int) { scaleInPlaceRange(t.Data, s, lo, hi) })
+}
+
+func scaleInPlaceRange(t []float64, s float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t[i] *= s
+	}
 }
 
 // AddScaled accumulates s*b into a (a += s*b).
 func AddScaled(a *Tensor, s float64, b *Tensor) {
 	assertSameShape("AddScaled", a, b)
-	parallel.For(len(a.Data), elemGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += s * b.Data[i]
-		}
-	})
+	if parallel.Inline(len(a.Data), elemGrain) {
+		addScaledRange(a.Data, b.Data, s, 0, len(a.Data))
+		return
+	}
+	parallel.For(len(a.Data), elemGrain, func(lo, hi int) { addScaledRange(a.Data, b.Data, s, lo, hi) })
+}
+
+func addScaledRange(a, b []float64, s float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a[i] += s * b[i]
+	}
 }
 
 // AddScalar returns t + s elementwise.

@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Buffer pool: a size-class keyed free list for tensor backing buffers.
+//
+// Every tensor op in the original engine allocated a fresh backing slice, so
+// steady-state training and serving churned the heap exactly where the
+// paper's kernel-launch overhead sat. The pool turns that churn into
+// constant-space reuse: Get hands out a zeroed tensor whose buffer comes from
+// the free list of the smallest power-of-two class that fits, and Release
+// returns a buffer for reuse. A steady-state training or serving step whose
+// Gets are balanced by Releases performs zero heap allocations.
+//
+// Rules:
+//
+//   - Get returns a zeroed tensor, exactly like New. Kernels may therefore
+//     accumulate into it without clearing first.
+//   - Release must only be called by the owner of the tensor, after its last
+//     read. Releasing twice panics; reading after Release is undefined (the
+//     buffer may be handed to another Get). Tests enable poisoning
+//     (SetPoolPoison) so a read after Release surfaces as a poison NaN
+//     instead of silently reading recycled data.
+//   - Views share storage (Row, Reshape, FromSlice): releasing a tensor
+//     invalidates every view of it. The gnnvet use-after-release check
+//     enforces the obvious cases statically.
+//
+// The pool is safe for concurrent use; each size class has its own lock.
+
+const (
+	// poolMinBits is the smallest pooled class: buffers under 8 floats are
+	// not worth recycling.
+	poolMinBits = 3
+	// poolMaxBits caps pooled buffers at 2^26 floats (512 MiB); anything
+	// larger is handed back to the garbage collector on Release.
+	poolMaxBits = 26
+	// poolClassRetain bounds how many free buffers one size class keeps;
+	// beyond it, Release discards to the garbage collector.
+	poolClassRetain = 64
+)
+
+// poolPoisonBits is the quiet-NaN bit pattern released buffers are filled
+// with under SetPoolPoison: any computation that reads a released buffer
+// turns NaN, which the bit-identity and property tests catch immediately.
+const poolPoisonBits = 0x7ff8dead_dead_dead
+
+type sizeClass struct {
+	mu   sync.Mutex
+	free []*Tensor
+}
+
+var (
+	poolClasses [poolMaxBits + 1]sizeClass
+
+	poolHits     atomic.Int64
+	poolMisses   atomic.Int64
+	poolReleases atomic.Int64
+	poolDiscards atomic.Int64
+	poolFloats   atomic.Int64 // floats currently parked on free lists
+
+	poolPoison atomic.Bool
+)
+
+// classFor returns the smallest power-of-two class holding n floats.
+func classFor(n int) int {
+	if n <= 1<<poolMinBits {
+		return poolMinBits
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a zeroed tensor of the given shape whose backing buffer is
+// recycled from the pool when a large-enough one is free, and freshly
+// allocated otherwise. The caller owns the tensor and should Release it
+// after its last read to keep the steady state allocation-free.
+func Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	c := classFor(n)
+	if c <= poolMaxBits {
+		sc := &poolClasses[c]
+		sc.mu.Lock()
+		if l := len(sc.free); l > 0 {
+			t := sc.free[l-1]
+			sc.free[l-1] = nil
+			sc.free = sc.free[:l-1]
+			sc.mu.Unlock()
+			poolFloats.Add(-int64(cap(t.Data)))
+			poolHits.Add(1)
+			t.Data = t.Data[:n]
+			zero(t.Data)
+			t.setShape(shape)
+			t.released = false
+			return t
+		}
+		sc.mu.Unlock()
+	}
+	poolMisses.Add(1)
+	capacity := n
+	if c <= poolMaxBits {
+		// Round the fresh buffer up to its class size so it is maximally
+		// reusable once released.
+		capacity = 1 << c
+	}
+	t := &Tensor{Data: make([]float64, n, capacity)}
+	t.setShape(shape)
+	return t
+}
+
+// GetLike returns a pooled zero tensor with t's shape.
+func GetLike(t *Tensor) *Tensor { return Get(t.shape...) }
+
+// Release returns tensors to the pool for reuse. nil entries are skipped.
+// The tensors (and any views sharing their storage) must not be touched
+// afterwards; releasing the same tensor twice panics.
+func Release(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		if t.released {
+			panic("tensor: double Release")
+		}
+		t.released = true
+		poolReleases.Add(1)
+		buf := t.Data[:cap(t.Data)]
+		if poolPoison.Load() {
+			p := math.Float64frombits(poolPoisonBits)
+			for i := range buf {
+				buf[i] = p
+			}
+		}
+		c := bits.Len(uint(cap(t.Data))) - 1 // floor class: every buffer in free[c] has cap >= 2^c
+		if c < poolMinBits || c > poolMaxBits {
+			poolDiscards.Add(1)
+			continue
+		}
+		sc := &poolClasses[c]
+		sc.mu.Lock()
+		if len(sc.free) >= poolClassRetain {
+			sc.mu.Unlock()
+			poolDiscards.Add(1)
+			continue
+		}
+		t.Data = buf
+		sc.free = append(sc.free, t)
+		sc.mu.Unlock()
+		poolFloats.Add(int64(cap(buf)))
+	}
+}
+
+// zero clears a slice (compiled to memclr).
+func zero(d []float64) {
+	for i := range d {
+		d[i] = 0
+	}
+}
+
+// PoolStats is a snapshot of the buffer pool counters.
+type PoolStats struct {
+	Hits     int64 // Gets served from a free list
+	Misses   int64 // Gets that had to allocate
+	Releases int64 // tensors handed back
+	Discards int64 // releases the pool declined to keep
+	Bytes    int64 // bytes currently parked on free lists
+}
+
+// Pool returns a snapshot of the pool counters (exported to the obs layer as
+// tensor_pool_* metrics).
+func Pool() PoolStats {
+	return PoolStats{
+		Hits:     poolHits.Load(),
+		Misses:   poolMisses.Load(),
+		Releases: poolReleases.Load(),
+		Discards: poolDiscards.Load(),
+		Bytes:    poolFloats.Load() * 8,
+	}
+}
+
+// SetPoolPoison toggles poisoning of released buffers and reports the
+// previous setting. Tests enable it to prove no kernel reads a tensor after
+// Release: every float of a released buffer is set to a tagged quiet NaN, so
+// any read poisons downstream results.
+func SetPoolPoison(on bool) bool { return poolPoison.Swap(on) }
+
+// IsPoolPoison reports whether v is the exact poison pattern written by
+// Release under SetPoolPoison.
+func IsPoolPoison(v float64) bool { return math.Float64bits(v) == poolPoisonBits }
+
+// DrainPool empties every free list (the buffers fall to the garbage
+// collector) and returns how many tensors were dropped. Tests use it to
+// isolate pool state; production code never needs it.
+func DrainPool() int {
+	n := 0
+	for c := range poolClasses {
+		sc := &poolClasses[c]
+		sc.mu.Lock()
+		for _, t := range sc.free {
+			poolFloats.Add(-int64(cap(t.Data)))
+			_ = t
+			n++
+		}
+		sc.free = nil
+		sc.mu.Unlock()
+	}
+	return n
+}
+
+// poolCheckShape is a compile-time reminder that Get mirrors New's shape
+// contract; both panic through checkShape on invalid shapes.
+var _ = func() bool {
+	if poolMinBits >= poolMaxBits {
+		panic(fmt.Sprintf("tensor: invalid pool class range [%d,%d]", poolMinBits, poolMaxBits))
+	}
+	return true
+}()

@@ -1,0 +1,159 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// poolReset drains the free lists so each test observes its own hits/misses
+// deltas without interference from other tests' pooled buffers.
+func poolReset() { DrainPool() }
+
+func TestPoolGetReleaseReuse(t *testing.T) {
+	poolReset()
+	before := Pool()
+	a := Get(16, 8)
+	if a.Rank() != 2 || a.Dim(0) != 16 || a.Dim(1) != 8 {
+		t.Fatalf("Get shape = %v", a.Shape())
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Get must return a zeroed tensor")
+		}
+	}
+	a.Data[0] = 42
+	buf := &a.Data[0]
+	Release(a)
+	b := Get(100) // 100 <= 128 = cap class of 16*8 rounded up
+	if &b.Data[0] != buf {
+		t.Error("Get after Release did not recycle the buffer")
+	}
+	if b.Data[0] != 0 {
+		t.Error("recycled buffer was not re-zeroed")
+	}
+	after := Pool()
+	if hits := after.Hits - before.Hits; hits != 1 {
+		t.Errorf("pool hits = %d, want 1", hits)
+	}
+	if misses := after.Misses - before.Misses; misses != 1 {
+		t.Errorf("pool misses = %d, want 1", misses)
+	}
+	Release(b)
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	poolReset()
+	a := Get(8)
+	Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release of the same tensor must panic")
+		}
+	}()
+	Release(a)
+}
+
+func TestPoolReleaseNilSkipped(t *testing.T) {
+	Release(nil, nil) // must not panic
+}
+
+func TestPoolPoisonMarksReleasedBuffers(t *testing.T) {
+	poolReset()
+	prev := SetPoolPoison(true)
+	defer SetPoolPoison(prev)
+	a := Get(32)
+	data := a.Data
+	Release(a)
+	for i, v := range data {
+		if !IsPoolPoison(v) {
+			t.Fatalf("released buffer element %d = %v, want poison NaN", i, v)
+		}
+		if !math.IsNaN(v) {
+			t.Fatalf("poison pattern at %d is not NaN", i)
+		}
+	}
+	// A fresh Get of the same class must hand the buffer back zeroed, so the
+	// poison never leaks into live computation.
+	b := Get(32)
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("recycled element %d = %v, want 0", i, v)
+		}
+	}
+	Release(b)
+}
+
+func TestPoolStatsAndDrain(t *testing.T) {
+	poolReset()
+	before := Pool()
+	ts := make([]*Tensor, 4)
+	for i := range ts {
+		ts[i] = Get(1024)
+	}
+	Release(ts...)
+	after := Pool()
+	if d := after.Releases - before.Releases; d != 4 {
+		t.Errorf("releases delta = %d, want 4", d)
+	}
+	if after.Bytes-before.Bytes != 4*1024*8 {
+		t.Errorf("parked bytes delta = %d, want %d", after.Bytes-before.Bytes, 4*1024*8)
+	}
+	if n := DrainPool(); n != 4 {
+		t.Errorf("DrainPool dropped %d tensors, want 4", n)
+	}
+	if got := Pool().Bytes; got != before.Bytes {
+		t.Errorf("parked bytes after drain = %d, want %d", got, before.Bytes)
+	}
+}
+
+func TestPoolTinyBuffersAreDiscarded(t *testing.T) {
+	poolReset()
+	before := Pool()
+	// New does not round capacity up, so a 4-float buffer sits below the
+	// smallest pooled class and Release must hand it to the GC.
+	tiny := New(4)
+	Release(tiny)
+	after := Pool()
+	if d := after.Discards - before.Discards; d != 1 {
+		t.Errorf("discards delta = %d, want 1 (sub-class buffer)", d)
+	}
+	if after.Bytes != before.Bytes {
+		t.Error("sub-class buffer was parked on a free list")
+	}
+}
+
+func TestPoolClassRetainBound(t *testing.T) {
+	poolReset()
+	n := poolClassRetain + 8
+	ts := make([]*Tensor, n)
+	for i := range ts {
+		ts[i] = Get(64)
+	}
+	before := Pool()
+	Release(ts...)
+	after := Pool()
+	if d := after.Discards - before.Discards; d != 8 {
+		t.Errorf("discards delta = %d, want 8 (beyond the per-class retain bound)", d)
+	}
+	poolReset()
+}
+
+// TestPoolZeroAllocSteadyState is the tentpole property at the tensor layer:
+// once warm, a Get/use/Release cycle does not touch the heap.
+func TestPoolZeroAllocSteadyState(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race instrumentation allocates; AllocsPerRun is meaningless under -race")
+	}
+	poolReset()
+	shape := []int{64, 32}
+	warm := Get(shape...)
+	Release(warm)
+	allocs := testing.AllocsPerRun(100, func() {
+		x := Get(shape...)
+		x.Data[0] = 1
+		Release(x)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Get/Release = %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Zero-allocation assertions skip under race: the instrumentation itself
+// allocates, so testing.AllocsPerRun cannot measure the production path.
+const RaceEnabled = true

@@ -62,10 +62,19 @@ func (g *RNG) Uniform(lo, hi float64, shape ...int) *Tensor {
 // Bernoulli returns a tensor of 0/1 values, each 1 with probability p.
 func (g *RNG) Bernoulli(p float64, shape ...int) *Tensor {
 	t := New(shape...)
-	for i := range t.Data {
+	g.BernoulliInto(t, p)
+	return t
+}
+
+// BernoulliInto fills dst with 0/1 values, each 1 with probability p, drawing
+// exactly the same stream Bernoulli would. Replayed dropout masks regenerate
+// into their pooled buffer through this.
+func (g *RNG) BernoulliInto(dst *Tensor, p float64) {
+	for i := range dst.Data {
 		if g.r.Float64() < p {
-			t.Data[i] = 1
+			dst.Data[i] = 1
+		} else {
+			dst.Data[i] = 0
 		}
 	}
-	return t
 }

@@ -221,6 +221,84 @@ func MeanStd(t *Tensor) (mean, std *Tensor) {
 	return mean, std
 }
 
+// SumRowsInto reduces an [N,F] tensor over rows into dst (size F), matching
+// SumRows' serial accumulation order exactly. dst is fully overwritten; only
+// its size must match, so [F] and [1,F] destinations both work.
+func SumRowsInto(dst, t *Tensor) {
+	n, f := t.Rows(), t.Cols()
+	if dst.Size() != f {
+		panic(fmt.Sprintf("tensor: SumRowsInto dst size %d, want %d", dst.Size(), f))
+	}
+	zero(dst.Data)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			dst.Data[j] += row[j]
+		}
+	}
+}
+
+// SumColsInto reduces an [N,F] tensor over columns into dst (size N).
+func SumColsInto(dst, t *Tensor) {
+	n, f := t.Rows(), t.Cols()
+	if dst.Size() != n {
+		panic(fmt.Sprintf("tensor: SumColsInto dst size %d, want %d", dst.Size(), n))
+	}
+	grain := parallel.RowGrain(f)
+	if parallel.Inline(n, grain) {
+		sumColsRange(dst.Data, t.Data, f, 0, n)
+		return
+	}
+	parallel.For(n, grain, func(lo, hi int) { sumColsRange(dst.Data, t.Data, f, lo, hi) })
+}
+
+func sumColsRange(dst, t []float64, f, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := t[i*f : (i+1)*f]
+		var s float64
+		for j := 0; j < f; j++ {
+			s += row[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MeanStdInto computes the per-column mean and population standard deviation
+// of an [N,F] tensor into the provided [F] buffers, with exactly MeanStd's
+// accumulation order (column sums in row order, then scale; then squared
+// deviations in row order, then sqrt).
+func MeanStdInto(mean, std, t *Tensor) {
+	n, f := t.Rows(), t.Cols()
+	if mean.Size() != f || std.Size() != f {
+		panic(fmt.Sprintf("tensor: MeanStdInto buffers sized %d/%d, want %d", mean.Size(), std.Size(), f))
+	}
+	zero(mean.Data)
+	zero(std.Data)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			mean.Data[j] += row[j]
+		}
+	}
+	if n == 0 {
+		return
+	}
+	s := 1 / float64(n)
+	for j := 0; j < f; j++ {
+		mean.Data[j] *= s
+	}
+	for i := 0; i < n; i++ {
+		row := t.Data[i*f : (i+1)*f]
+		for j := 0; j < f; j++ {
+			d := row[j] - mean.Data[j]
+			std.Data[j] += d * d
+		}
+	}
+	for j := 0; j < f; j++ {
+		std.Data[j] = math.Sqrt(std.Data[j] / float64(n))
+	}
+}
+
 func assertRank2(op string, t *Tensor) {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: %s wants rank 2, got %v", op, t.Shape()))

@@ -10,21 +10,51 @@ package tensor
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
 // Tensor is a dense row-major float64 tensor. Rank 1 and 2 cover everything a
 // GNN needs ([N] vectors, [N,F] feature matrices); a few ops accept rank-0
 // scalars represented as shape [1].
+//
+// Tensors whose backing buffer came from the buffer pool (see Get/Release)
+// carry a released flag so reads after Release can be caught in tests.
 type Tensor struct {
 	Data  []float64
 	shape []int
+
+	// shapeArr inlines the shape storage for rank <= 4 so pooled tensors can
+	// be reshaped without allocating. shape points into it (or, for deeper
+	// ranks, into a heap slice).
+	shapeArr [4]int
+	released bool
+}
+
+// setShape copies shape into the tensor's inline shape storage (heap for the
+// rare rank > 4 case). The argument slice is never retained.
+func (t *Tensor) setShape(shape []int) {
+	if len(shape) <= len(t.shapeArr) {
+		n := copy(t.shapeArr[:], shape)
+		t.shape = t.shapeArr[:n]
+		return
+	}
+	t.shape = append([]int(nil), shape...)
 }
 
 // New returns a zero tensor with the given shape.
 func New(shape ...int) *Tensor {
 	n := checkShape(shape)
-	return &Tensor{Data: make([]float64, n), shape: append([]int(nil), shape...)}
+	t := &Tensor{Data: make([]float64, n)}
+	t.setShape(shape)
+	return t
+}
+
+// NewLike returns a zero tensor with t's shape.
+func NewLike(t *Tensor) *Tensor {
+	c := &Tensor{Data: make([]float64, len(t.Data))}
+	c.setShape(t.shape)
+	return c
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
@@ -34,7 +64,9 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	if len(data) != n {
 		panic(fmt.Sprintf("tensor: FromSlice got %d elements for shape %v (want %d)", len(data), shape, n))
 	}
-	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+	t := &Tensor{Data: data}
+	t.setShape(shape)
+	return t
 }
 
 // Scalar returns a rank-1 tensor of length 1 holding v.
@@ -61,13 +93,22 @@ func checkShape(shape []int) int {
 		if d < 0 {
 			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
 		}
+		// Guard the element-count product against wrap-around: adversarial
+		// shapes (fuzzed checkpoints, corrupt graph input) must fail loudly
+		// here, not alias a tiny buffer after silent overflow.
+		if d > 0 && n > math.MaxInt/d {
+			panic(fmt.Sprintf("tensor: shape %v overflows element count", shape))
+		}
 		n *= d
 	}
 	return n
 }
 
-// Shape returns the tensor's shape. The returned slice must not be mutated.
-func (t *Tensor) Shape() []int { return t.shape }
+// Shape returns a copy of the tensor's shape. Callers may freely keep or
+// mutate the returned slice; the tensor's own shape storage is never exposed,
+// which matters once buffers are pooled and recycled. Hot paths that only
+// need dimensions should use Rank/Dim/Rows/Cols, which do not allocate.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
 
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.shape) }
@@ -110,7 +151,7 @@ func (t *Tensor) Row(i int) []float64 {
 
 // Clone returns a deep copy.
 func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+	c := NewLike(t)
 	copy(c.Data, t.Data)
 	return c
 }
@@ -143,7 +184,9 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	if n != len(t.Data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v (size %d) to %v (size %d)", t.shape, len(t.Data), shape, n))
 	}
-	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+	r := &Tensor{Data: t.Data}
+	r.setShape(shape)
+	return r
 }
 
 // SameShape reports whether a and b have identical shapes.
