@@ -23,12 +23,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/datasets"
 	"repro/internal/device"
+	"repro/internal/fleet"
 	"repro/internal/fw"
 	"repro/internal/fw/dglb"
 	"repro/internal/fw/pygeo"
@@ -54,6 +56,7 @@ func main() {
 	dtype := flag.String("dtype", "", "compiled serving at this weight precision: f64|f32|q8 (empty = eager reference path)")
 	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
 	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable GNNCKPT2 file supplies the weights, and /admin/reload or SIGHUP re-reads it")
+	workers := flag.String("workers", "", "comma-separated gnnworker addresses; enables coordinator mode (batches dispatch to the fleet instead of local replicas)")
 	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
 	flag.Parse()
 	if *checkpoint != "" && *checkpointDir != "" {
@@ -121,34 +124,64 @@ func main() {
 	obs.RegisterRuntimeMetrics(reg)
 	obs.RegisterPoolMetrics(reg)
 	obs.RegisterTensorPoolMetrics(reg)
-	var wdt tensor.DType
-	if *dtype != "" {
-		wdt, err = tensor.ParseDType(*dtype)
-		if err != nil {
-			fatal(err)
-		}
-	}
-	reps := make([]serve.Replica, *replicas)
-	devs := make([]*device.Device, *replicas)
-	for i := range reps {
-		devs[i] = device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti())
-		if *dtype != "" {
-			// Compiled replicas record each batch shape's forward tape once
-			// and replay it allocation-free, with weights held at wdt.
-			reps[i] = serve.NewCompiledModelReplica(m, devs[i], wdt)
-		} else {
-			reps[i] = serve.NewModelReplica(m, devs[i])
-		}
-	}
-	obs.RegisterDeviceMetrics(reg, devs...)
-	srv := serve.New(reps, serve.Options{
+	opt := serve.Options{
 		MaxBatch:    *batch,
 		QueueDepth:  *queueDepth,
 		BatchWindow: *window,
 		Timeout:     *timeout,
 		NumFeatures: d.NumFeatures,
 		Registry:    reg,
-	})
+	}
+	var srv *serve.Server
+	var mgr *fleet.Manager
+	var modeDesc string
+	if *workers != "" {
+		// Coordinator mode: the local model exists only to fingerprint the
+		// weights every worker must serve; batches dispatch to the fleet.
+		hash, err := fleet.ModelHash(m.Params())
+		if err != nil {
+			fatal(err)
+		}
+		mgr = fleet.NewManager(strings.Split(*workers, ","), fleet.Options{
+			ExpectHash: hash,
+			Registry:   reg,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = mgr.Connect(ctx)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+		srv = serve.NewDispatch(mgr, mgr.TotalPods(), opt)
+		modeDesc = fmt.Sprintf("coordinator over %d workers (%d pods, model hash %s)",
+			len(strings.Split(*workers, ",")), mgr.TotalPods(), fleet.HashString(hash))
+	} else {
+		var wdt tensor.DType
+		if *dtype != "" {
+			wdt, err = tensor.ParseDType(*dtype)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		reps := make([]serve.Replica, *replicas)
+		devs := make([]*device.Device, *replicas)
+		for i := range reps {
+			devs[i] = device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti())
+			if *dtype != "" {
+				// Compiled replicas record each batch shape's forward tape once
+				// and replay it allocation-free, with weights held at wdt.
+				reps[i] = serve.NewCompiledModelReplica(m, devs[i], wdt)
+			} else {
+				reps[i] = serve.NewModelReplica(m, devs[i])
+			}
+		}
+		obs.RegisterDeviceMetrics(reg, devs...)
+		srv = serve.New(reps, opt)
+		modeDesc = fmt.Sprintf("%d replicas (eager f64)", *replicas)
+		if *dtype != "" {
+			modeDesc = fmt.Sprintf("%d replicas (compiled %s)", *replicas, wdt)
+		}
+	}
 
 	// reload builds a fresh model, fills it from the checkpoint source, and
 	// swaps it behind every replica — zero downtime: in-flight batches finish
@@ -189,17 +222,18 @@ func main() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		// Stop the listener first, then drain accepted prediction requests.
+		// Stop the listener first, then drain accepted prediction requests
+		// (in coordinator mode that waits for worker responses to stream
+		// back), and only then drop the worker connections.
 		httpSrv.Shutdown(shutdownCtx)
 		srv.Shutdown(shutdownCtx)
+		if mgr != nil {
+			mgr.Close()
+		}
 	}()
 
-	mode := "eager f64"
-	if *dtype != "" {
-		mode = "compiled " + wdt.String()
-	}
-	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %d replicas (%s), batch<=%d, queue %d, window %s\n",
-		*modelName, be.Name(), d.Name, *addr, *replicas, mode, *batch, *queueDepth, *window)
+	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %s, batch<=%d, queue %d, window %s\n",
+		*modelName, be.Name(), d.Name, *addr, modeDesc, *batch, *queueDepth, *window)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

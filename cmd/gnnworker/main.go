@@ -1,0 +1,196 @@
+// Command gnnworker hosts one fleet worker: a pool of forward-only model
+// replicas served over the fleet RPC protocol to a gnnserve coordinator.
+//
+//	gnnworker -addr :9090 -model GCN -framework PyG -dataset ENZYMES -replicas 2
+//
+// The worker registers with the coordinator by protocol version and model
+// checkpoint hash — a worker started with the wrong weights (or a skewed
+// binary) is refused at connection time, loudly. Weight updates are done by
+// restarting the worker with the new checkpoint: the coordinator evicts the
+// dead worker, retries its in-flight jobs on survivors, and re-admits the
+// restarted process after re-verifying its hash. -dtype selects compiled
+// serving tapes at reduced precision (f32, q8) exactly as gnnserve does in
+// single-process mode; the hash is always computed over the f64 checkpoint,
+// before any compression.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/ckpt"
+	"repro/internal/datasets"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "fleet RPC listen address")
+	id := flag.String("id", "", "worker id reported to the coordinator (default the listen address)")
+	metricsAddr := flag.String("metrics-addr", "", "optional HTTP address serving GET /metrics and /healthz")
+	modelName := flag.String("model", "GCN", "architecture: GCN|GAT|GraphSAGE|GIN|MoNet|GatedGCN")
+	framework := flag.String("framework", "PyG", "framework: PyG|DGL")
+	dataset := flag.String("dataset", "ENZYMES", "dataset fixing feature/class widths: ENZYMES|DD|MNIST")
+	scale := flag.Float64("scale", 0.1, "dataset scale for the width probe")
+	replicas := flag.Int("replicas", 2, "forward-only model replicas")
+	pods := flag.Int("pods", 0, "max concurrent jobs (default one per replica); excess jobs are refused, not queued")
+	dtype := flag.String("dtype", "", "compiled serving at this weight precision: f64|f32|q8 (empty = eager reference path)")
+	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
+	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable checkpoint supplies the weights")
+	flag.Parse()
+	if *checkpoint != "" && *checkpointDir != "" {
+		fatal(errors.New("-checkpoint and -checkpoint-dir are mutually exclusive"))
+	}
+
+	be, err := pickBackend(*framework)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := pickDataset(*dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := models.New(*modelName, be, models.Config{
+		Task: models.GraphClassification, In: d.NumFeatures, Hidden: 64, Out: 64,
+		Classes: d.NumClasses, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
+	})
+	switch {
+	case *checkpointDir != "":
+		dir, err := ckpt.Open(*checkpointDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := dir.Load(&ckpt.State{Params: m.Params()})
+		if err != nil {
+			fatal(fmt.Errorf("load checkpoint directory %s: %w", *checkpointDir, err))
+		}
+		fmt.Printf("gnnworker: loaded weights from %s\n", path)
+	case *checkpoint != "":
+		f, err := os.Open(*checkpoint)
+		if err != nil {
+			fatal(err)
+		}
+		err = nn.Load(f, m.Params())
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("load checkpoint %s: %w", *checkpoint, err))
+		}
+	}
+
+	// The fleet identity is the f64 checkpoint: hash before any dtype
+	// compression mutates the layers.
+	hash, err := fleet.ModelHash(m.Params())
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.Default()
+	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterTensorPoolMetrics(reg)
+	var wdt tensor.DType
+	if *dtype != "" {
+		wdt, err = tensor.ParseDType(*dtype)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	reps := make([]serve.Replica, *replicas)
+	devs := make([]*device.Device, *replicas)
+	for i := range reps {
+		devs[i] = device.New(fmt.Sprintf("cuda:%d", i), device.RTX2080Ti())
+		if *dtype != "" {
+			reps[i] = serve.NewCompiledModelReplica(m, devs[i], wdt)
+		} else {
+			reps[i] = serve.NewModelReplica(m, devs[i])
+		}
+	}
+	obs.RegisterDeviceMetrics(reg, devs...)
+
+	w := fleet.NewWorker(reps, fleet.WorkerOptions{
+		ID:        *id,
+		MaxPods:   *pods,
+		ModelHash: hash,
+		Registry:  reg,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(rw)
+		})
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+			fmt.Fprintln(rw, "ok")
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "gnnworker: metrics server: %v\n", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		w.Close()
+	}()
+
+	mode := "eager f64"
+	if *dtype != "" {
+		mode = "compiled " + wdt.String()
+	}
+	fmt.Printf("gnnworker: %s/%s (%s widths) on %s — %d replicas (%s), pods<=%d, model hash %s\n",
+		*modelName, be.Name(), d.Name, ln.Addr(), *replicas, mode, max(*pods, *replicas), fleet.HashString(hash))
+	if err := w.Serve(ln); err != nil {
+		fatal(err)
+	}
+}
+
+func pickBackend(name string) (fw.Backend, error) {
+	switch name {
+	case "PyG":
+		return pygeo.New(), nil
+	case "DGL":
+		return dglb.New(), nil
+	}
+	return nil, fmt.Errorf("unknown framework %q (want PyG or DGL)", name)
+}
+
+func pickDataset(name string, scale float64) (*datasets.Dataset, error) {
+	opt := datasets.Options{Seed: 1, Scale: scale}
+	switch name {
+	case "ENZYMES":
+		return datasets.Enzymes(opt), nil
+	case "DD":
+		return datasets.DD(opt), nil
+	case "MNIST":
+		return datasets.MNISTSuperpixels(opt), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q (want ENZYMES, DD or MNIST)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gnnworker: %v\n", err)
+	os.Exit(1)
+}

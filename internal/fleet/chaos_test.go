@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/serve"
+)
+
+// TestFleetChaos is the distributed-serving proof: a coordinator over three
+// in-process workers under concurrent traffic while a killer goroutine
+// crashes and restarts workers on a schedule. The assertions are the whole
+// contract at once:
+//
+//   - zero dropped accepted requests: every request the coordinator admits
+//     is answered (crashes fail jobs over to surviving workers);
+//   - exactly-once responses: the server's accounting shows one response
+//     per accepted request, never zero, never two;
+//   - bit-identical predictions: every answer matches the single-process
+//     server's float64 bit patterns for the same graph;
+//   - the fleet actually healed: evictions and re-joins both happened, and
+//     the restarted workers served jobs.
+func TestFleetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test needs wall-clock time")
+	}
+	hash := testHash(t)
+
+	// Reference truth: the single-process server, same model, same graphs.
+	single := serve.New([]serve.Replica{serve.NewModelReplica(testModel(), device.Default())},
+		serve.Options{NumFeatures: testFeatures, Timeout: 30 * time.Second})
+	defer single.Shutdown(context.Background())
+	const minNodes, maxNodes = 3, 14
+	want := map[int]serve.Prediction{}
+	for n := minNodes; n <= maxNodes; n++ {
+		p, err := single.Predict(context.Background(), ringGraph(n, testFeatures))
+		if err != nil {
+			t.Fatalf("reference predict(%d): %v", n, err)
+		}
+		want[n] = p
+	}
+
+	// The fleet: three workers, two replicas each. Workers are tracked in
+	// slots so the killer can crash one and bring a fresh instance up on the
+	// same address — a worker process restart.
+	const workers = 3
+	type slot struct {
+		mu     sync.Mutex
+		w      *Worker
+		addr   string
+		served int64 // JobsServed accumulated across dead instances
+	}
+	slots := make([]*slot, workers)
+	addrs := make([]string, workers)
+	for i := range slots {
+		w, addr := startWorker(t, "", 2, 2*time.Millisecond, WorkerOptions{ModelHash: hash})
+		slots[i] = &slot{w: w, addr: addr}
+		addrs[i] = addr
+	}
+
+	opt := fastFleetOptions(t)
+	opt.HealthInterval = 20 * time.Millisecond
+	opt.MaxFailures = 2
+	mgr := connectManager(t, addrs, opt)
+	coord := serve.NewDispatch(mgr, mgr.TotalPods(), serve.Options{
+		NumFeatures: testFeatures, MaxBatch: 4, QueueDepth: 256,
+		BatchWindow: time.Millisecond, Timeout: 30 * time.Second,
+	})
+	shutdownOnce := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := coord.Shutdown(ctx); err != nil {
+			t.Errorf("coordinator shutdown: %v", err)
+		}
+	}
+
+	// Chaos: a fixed schedule of kill → dwell → restart rounds, rotating
+	// through the workers. Traffic outlives the schedule by construction
+	// (clients keep sending until it completes), so every crash and every
+	// re-join happens under load.
+	const chaosRounds = 6
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		for round := 0; round < chaosRounds; round++ {
+			s := slots[round%workers]
+			time.Sleep(40 * time.Millisecond)
+			s.mu.Lock()
+			s.w.Close() // crash: listener and connections die mid-job
+			s.served += s.w.JobsServed()
+			s.mu.Unlock()
+			time.Sleep(40 * time.Millisecond)
+			s.mu.Lock()
+			w, _ := startWorker(t, s.addr, 2, 2*time.Millisecond, WorkerOptions{ModelHash: hash})
+			s.w = w
+			s.mu.Unlock()
+		}
+	}()
+
+	// Traffic: concurrent clients hammering Predict until the chaos
+	// schedule has run its course (and at least perClient requests each).
+	const clients = 8
+	const perClient = 25
+	var accepted, rejected atomic.Int64
+	errs := make(chan error, 1024)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				if k >= perClient {
+					select {
+					case <-chaosDone:
+						return
+					default:
+					}
+				}
+				n := minNodes + (c*perClient+k)%(maxNodes-minNodes+1)
+				p, err := coord.Predict(context.Background(), ringGraph(n, testFeatures))
+				if err != nil {
+					if errors.Is(err, serve.ErrQueueFull) {
+						rejected.Add(1) // backpressure is allowed, drops are not
+						continue
+					}
+					errs <- err
+					continue
+				}
+				accepted.Add(1)
+				ref := want[n]
+				if p.Class != ref.Class || len(p.Logits) != len(ref.Logits) {
+					errs <- fmt.Errorf("graph %d: class %d (%d logits), reference %d (%d)",
+						n, p.Class, len(p.Logits), ref.Class, len(ref.Logits))
+					continue
+				}
+				for i := range p.Logits {
+					if math.Float64bits(p.Logits[i]) != math.Float64bits(ref.Logits[i]) {
+						errs <- fmt.Errorf("graph %d logit %d: %x != reference %x (bit identity broken under chaos)",
+							n, i, math.Float64bits(p.Logits[i]), math.Float64bits(ref.Logits[i]))
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait() // traffic only ends after the chaos schedule completes
+
+	// Let the last restarted worker finish re-joining before the books are
+	// audited — the redial loop is asynchronous by design.
+	waitFor(t, 10*time.Second, "every eviction to be paired with a re-join", func() bool {
+		_, evictions, rejoins := mgr.Stats()
+		return evictions > 0 && rejoins == evictions
+	})
+	shutdownOnce()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Exactly-once accounting: the coordinator answered every request it
+	// accepted, once — Predict returning is one response, and the server's
+	// own counters must agree.
+	st := coord.Stats()
+	if st.Accepted != st.Responded {
+		t.Fatalf("coordinator accepted %d but responded %d", st.Accepted, st.Responded)
+	}
+	if got := accepted.Load(); st.Responded != got {
+		t.Fatalf("clients saw %d answers, coordinator claims %d", got, st.Responded)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("chaos schedule rejected all traffic; nothing was tested")
+	}
+
+	// The chaos must have actually bitten, and the fleet actually healed.
+	_, evictions, rejoins := mgr.Stats()
+	if evictions == 0 {
+		t.Error("no evictions — the killer never hurt the fleet")
+	}
+	if rejoins == 0 {
+		t.Error("no re-joins — crashed workers never came back")
+	}
+	var served int64
+	for _, s := range slots {
+		s.mu.Lock()
+		served += s.served + s.w.JobsServed()
+		s.mu.Unlock()
+	}
+	if served == 0 {
+		t.Error("no worker served any job")
+	}
+	t.Logf("chaos summary: accepted=%d rejected=%d evictions=%d rejoins=%d jobs served=%d",
+		accepted.Load(), rejected.Load(), evictions, rejoins, served)
+}

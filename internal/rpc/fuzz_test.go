@@ -1,0 +1,119 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzRPCDecodeFrame throws arbitrary bytes at the frame decoder and every
+// payload decoder behind it. The invariants:
+//
+//   - no input panics;
+//   - DecodeFrame and ReadFrame agree on what the bytes mean;
+//   - an accepted frame re-encodes to the exact bytes it was decoded from
+//     (the wire format has one canonical encoding);
+//   - length fields cannot force allocations beyond the bytes actually
+//     present — truncation, bit flips and oversized counts must all error.
+func FuzzRPCDecodeFrame(f *testing.F) {
+	// Seed with one well-formed frame of each interesting type, plus the
+	// classic corruptions (also committed under testdata/fuzz).
+	hello, _ := AppendFrame(nil, Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtocolVersion})})
+	f.Add(hello)
+	var hash [HashLen]byte
+	wpl, _ := AppendWelcome(nil, Welcome{Version: ProtocolVersion, MaxPods: 2, ModelHash: hash, WorkerID: "w"})
+	welcome, _ := AppendFrame(nil, Frame{Type: FrameWelcome, Payload: wpl})
+	f.Add(welcome)
+	jpl, _ := AppendJob(nil, []*graph.Graph{testGraph(3, 2, 1)})
+	job, _ := AppendFrame(nil, Frame{Type: FrameJob, Job: 1, Payload: jpl})
+	f.Add(job)
+	rpl, _ := AppendRow(nil, Row{Index: 0, Class: 1, Logits: []float64{0.5, 1.5}})
+	row, _ := AppendFrame(nil, Frame{Type: FrameRow, Job: 1, Payload: rpl})
+	f.Add(row)
+	f.Add(job[:HeaderLen+3])                  // truncated payload
+	f.Add(append([]byte("XXXX"), job[4:]...)) // bad magic
+	huge := append([]byte(nil), hello...)
+	huge[14], huge[15], huge[16], huge[17] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(huge) // length field far beyond MaxPayload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		sfr, serr := ReadFrame(bytes.NewReader(data))
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("DecodeFrame err %v but ReadFrame err %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if n < HeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if sfr.Type != fr.Type || sfr.Job != fr.Job || !bytes.Equal(sfr.Payload, fr.Payload) {
+			t.Fatal("DecodeFrame and ReadFrame disagree on an accepted frame")
+		}
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encoding differs from wire bytes\ngot  %x\nwant %x", re, data[:n])
+		}
+
+		// Whatever the decoder accepted, the payload codecs must handle
+		// without panicking; on success their re-encodings round-trip.
+		switch fr.Type {
+		case FrameHello:
+			if h, err := DecodeHello(fr.Payload); err == nil {
+				if !bytes.Equal(AppendHello(nil, h), fr.Payload) {
+					t.Fatal("Hello payload not canonical")
+				}
+			}
+		case FrameWelcome:
+			if w, err := DecodeWelcome(fr.Payload); err == nil {
+				re, err := AppendWelcome(nil, w)
+				if err != nil || !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("Welcome payload not canonical (%v)", err)
+				}
+			}
+		case FrameRefuse:
+			if r, err := DecodeRefuse(fr.Payload); err == nil {
+				if !bytes.Equal(AppendRefuse(nil, r), fr.Payload) {
+					t.Fatal("Refuse payload not canonical")
+				}
+			}
+		case FrameJob:
+			if graphs, err := DecodeJob(fr.Payload); err == nil {
+				re, err := AppendJob(nil, graphs)
+				if err != nil || !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("Job payload not canonical (%v)", err)
+				}
+			}
+		case FrameRow:
+			if r, err := DecodeRow(fr.Payload); err == nil {
+				re, err := AppendRow(nil, r)
+				if err != nil || !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("Row payload not canonical (%v)", err)
+				}
+			}
+		case FrameJobDone:
+			if jd, err := DecodeJobDone(fr.Payload); err == nil {
+				if !bytes.Equal(AppendJobDone(nil, jd), fr.Payload) {
+					t.Fatal("JobDone payload not canonical")
+				}
+			}
+		case FrameJobErr:
+			if je, err := DecodeJobErr(fr.Payload); err == nil {
+				if !bytes.Equal(AppendJobErr(nil, je), fr.Payload) {
+					t.Fatal("JobErr payload not canonical")
+				}
+			}
+		case FramePong:
+			if p, err := DecodePong(fr.Payload); err == nil {
+				if !bytes.Equal(AppendPong(nil, p), fr.Payload) {
+					t.Fatal("Pong payload not canonical")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestFrameLayoutGolden pins the wire byte layout of every frame type,
+// handshake payloads included, to a reviewed hex dump. Any protocol change —
+// field order, widths, new frame types, header size — shows up as a golden
+// diff that has to be committed deliberately (and must bump ProtocolVersion
+// when it is not backward compatible).
+func TestFrameLayoutGolden(t *testing.T) {
+	var hash [HashLen]byte
+	for i := range hash {
+		hash[i] = byte(i)
+	}
+	welcome, err := AppendWelcome(nil, Welcome{Version: ProtocolVersion, MaxPods: 4, ModelHash: hash, WorkerID: "w0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := AppendJob(nil, []*graph.Graph{testGraph(3, 2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := AppendRow(nil, Row{Index: 1, Class: 2, Logits: []float64{0.5, -0.25, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := []struct {
+		name string
+		f    Frame
+	}{
+		{"hello", Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtocolVersion})}},
+		{"welcome", Frame{Type: FrameWelcome, Payload: welcome}},
+		{"refuse", Frame{Type: FrameRefuse, Payload: AppendRefuse(nil, Refuse{Message: "rpc: protocol version 9 not supported (worker speaks 1)"})}},
+		{"job", Frame{Type: FrameJob, Job: 0x0102030405060708, Payload: job}},
+		{"row", Frame{Type: FrameRow, Job: 0x0102030405060708, Payload: row}},
+		{"jobdone", Frame{Type: FrameJobDone, Job: 0x0102030405060708, Payload: AppendJobDone(nil, JobDone{Rows: 1})}},
+		{"joberr", Frame{Type: FrameJobErr, Job: 0x0102030405060708, Payload: AppendJobErr(nil, JobErr{Code: ErrCodeBusy, Message: "at pod cap"})}},
+		{"cancel", Frame{Type: FrameCancel, Job: 0x0102030405060708}},
+		{"ping", Frame{Type: FramePing, Job: 99}},
+		{"pong", Frame{Type: FramePong, Job: 99, Payload: AppendPong(nil, Pong{RunningPods: 2})}},
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "rpc wire layout, protocol version %d, header %d bytes\n", ProtocolVersion, HeaderLen)
+	for _, tc := range frames {
+		wire, err := AppendFrame(nil, tc.f)
+		if err != nil {
+			t.Fatalf("%s: AppendFrame: %v", tc.name, err)
+		}
+		fmt.Fprintf(&buf, "\n== %s (%d bytes) ==\n%s", tc.name, len(wire), hex.Dump(wire))
+
+		// The encoding must still decode to itself — a golden that encodes
+		// what the decoder rejects would pin a broken layout.
+		f, n, err := DecodeFrame(wire)
+		if err != nil || n != len(wire) {
+			t.Fatalf("%s: re-decode: n=%d err=%v", tc.name, n, err)
+		}
+		if f.Type != tc.f.Type || f.Job != tc.f.Job || !bytes.Equal(f.Payload, tc.f.Payload) {
+			t.Fatalf("%s: re-decode mismatch", tc.name)
+		}
+	}
+
+	golden := filepath.Join("testdata", "frames.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("wire layout drifted from golden; if the protocol change is intentional, bump ProtocolVersion as needed and run `go test -update ./internal/rpc`\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

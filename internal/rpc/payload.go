@@ -1,0 +1,435 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Payload caps. Every count decoded off the wire is validated against these
+// (and against the bytes actually present) before the dependent allocation.
+const (
+	// MaxGraphsPerJob bounds the graphs in one Job frame.
+	MaxGraphsPerJob = 4096
+	// MaxNodesPerGraph bounds one graph's node count on the wire.
+	MaxNodesPerGraph = 1 << 22
+	// MaxEdgesPerGraph bounds one graph's edge count on the wire.
+	MaxEdgesPerGraph = 1 << 24
+	// MaxFeatureDim bounds the node-feature width on the wire.
+	MaxFeatureDim = 1 << 16
+	// MaxLogits bounds one Row's logit count (class count of the model).
+	MaxLogits = 1 << 16
+	// MaxStringLen bounds worker ids and error/refusal messages.
+	MaxStringLen = 1 << 12
+)
+
+// HashLen is the byte length of the model checkpoint hash exchanged in the
+// handshake (SHA-256).
+const HashLen = 32
+
+// Hello is the client half of the handshake.
+type Hello struct {
+	// Version is the client's ProtocolVersion.
+	Version uint32
+}
+
+// Welcome is the worker half of the handshake.
+type Welcome struct {
+	// Version is the worker's ProtocolVersion.
+	Version uint32
+	// MaxPods is the worker's concurrent-job cap; the coordinator must not
+	// keep more jobs in flight on this worker.
+	MaxPods uint32
+	// ModelHash is the SHA-256 of the worker's model checkpoint (nn.Save
+	// serialization of its parameters). The coordinator refuses workers whose
+	// hash disagrees with its own, so a fleet can never silently mix weights.
+	ModelHash [HashLen]byte
+	// WorkerID names the worker for logs and metrics.
+	WorkerID string
+}
+
+// Refuse is the worker's rejection of a Hello.
+type Refuse struct {
+	// Message is the human-readable refusal reason.
+	Message string
+}
+
+// Row is one graph's streamed prediction.
+type Row struct {
+	// Index is the graph's position in its job's batch.
+	Index int
+	// Class is the argmax class.
+	Class int
+	// Logits are the per-class scores, bit-exact float64s.
+	Logits []float64
+}
+
+// JobDone closes a job's row stream.
+type JobDone struct {
+	// Rows is the number of Row frames the worker sent, for verification.
+	Rows int
+}
+
+// JobErr codes.
+const (
+	// ErrCodeFailed marks a job that failed in the worker (decode error,
+	// forward-pass failure, panic).
+	ErrCodeFailed uint8 = 0
+	// ErrCodeBusy marks a job refused because the worker is at its pod cap.
+	// The coordinator retries it on another worker.
+	ErrCodeBusy uint8 = 1
+	// ErrCodeCancelled marks a job the worker dropped after a Cancel frame.
+	ErrCodeCancelled uint8 = 2
+)
+
+// JobErr aborts a job.
+type JobErr struct {
+	// Code is one of the ErrCode* constants.
+	Code uint8
+	// Message is the human-readable failure reason.
+	Message string
+}
+
+// Pong answers a health probe.
+type Pong struct {
+	// RunningPods is the worker's current in-flight job count.
+	RunningPods uint32
+}
+
+// decoder is a cursor over a payload with a sticky error; every read
+// validates the remaining byte count first, so a malformed payload can never
+// force an allocation larger than the bytes actually present.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrBadFrame}, args...)...)
+	}
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 1 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// count reads a u32 and validates it against both max and the bytes that a
+// value of that count would occupy (elemSize bytes each).
+func (d *decoder) count(what string, max, elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n > max {
+		d.fail("%s count %d exceeds cap %d", what, n, max)
+		return 0
+	}
+	if d.remaining() < n*elemSize {
+		d.fail("%s count %d overruns payload (%d bytes left)", what, n, d.remaining())
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) str(what string) string {
+	n := d.count(what, MaxStringLen, 1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// finish returns the sticky error, or complains about trailing garbage.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, d.remaining())
+	}
+	return nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// AppendHello appends h's encoding to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	return binary.LittleEndian.AppendUint32(dst, h.Version)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	d := &decoder{b: payload}
+	h := Hello{Version: d.u32()}
+	return h, d.finish()
+}
+
+// AppendWelcome appends w's encoding to dst.
+func AppendWelcome(dst []byte, w Welcome) ([]byte, error) {
+	if len(w.WorkerID) > MaxStringLen {
+		return dst, fmt.Errorf("%w: worker id of %d bytes", ErrBadFrame, len(w.WorkerID))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, w.Version)
+	dst = binary.LittleEndian.AppendUint32(dst, w.MaxPods)
+	dst = append(dst, w.ModelHash[:]...)
+	return appendStr(dst, w.WorkerID), nil
+}
+
+// DecodeWelcome parses a Welcome payload.
+func DecodeWelcome(payload []byte) (Welcome, error) {
+	d := &decoder{b: payload}
+	var w Welcome
+	w.Version = d.u32()
+	w.MaxPods = d.u32()
+	if d.err == nil {
+		if d.remaining() < HashLen {
+			d.fail("truncated model hash")
+		} else {
+			copy(w.ModelHash[:], d.b[d.off:])
+			d.off += HashLen
+		}
+	}
+	w.WorkerID = d.str("worker id")
+	return w, d.finish()
+}
+
+// AppendRefuse appends r's encoding to dst, truncating oversized messages.
+func AppendRefuse(dst []byte, r Refuse) []byte {
+	msg := r.Message
+	if len(msg) > MaxStringLen {
+		msg = msg[:MaxStringLen]
+	}
+	return appendStr(dst, msg)
+}
+
+// DecodeRefuse parses a Refuse payload.
+func DecodeRefuse(payload []byte) (Refuse, error) {
+	d := &decoder{b: payload}
+	r := Refuse{Message: d.str("refusal message")}
+	return r, d.finish()
+}
+
+// AppendJob appends a Job payload — the batch of graphs — to dst. Graphs must
+// be validated (non-nil features, consistent edge lists) before encoding;
+// this is the coordinator's side of the contract Predict already enforces.
+func AppendJob(dst []byte, graphs []*graph.Graph) ([]byte, error) {
+	if len(graphs) == 0 || len(graphs) > MaxGraphsPerJob {
+		return dst, fmt.Errorf("%w: %d graphs per job (want 1..%d)", ErrBadFrame, len(graphs), MaxGraphsPerJob)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(graphs)))
+	for i, g := range graphs {
+		if g == nil || g.X == nil {
+			return dst, fmt.Errorf("%w: graph %d is nil or carries no features", ErrBadFrame, i)
+		}
+		n, e, f := g.NumNodes, g.NumEdges(), g.NumFeatures()
+		if n <= 0 || n > MaxNodesPerGraph || e > MaxEdgesPerGraph || f <= 0 || f > MaxFeatureDim {
+			return dst, fmt.Errorf("%w: graph %d dims %d nodes / %d edges / %d features out of range", ErrBadFrame, i, n, e, f)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(e))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f))
+		for _, s := range g.Src {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(s))
+		}
+		for _, t := range g.Dst {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(t))
+		}
+		for _, v := range g.X.Data {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// DecodeJob parses a Job payload back into validated graphs.
+func DecodeJob(payload []byte) ([]*graph.Graph, error) {
+	d := &decoder{b: payload}
+	ng := d.count("graph", MaxGraphsPerJob, 12) // 12 = the three dim fields
+	if d.err != nil {
+		return nil, d.err
+	}
+	graphs := make([]*graph.Graph, 0, ng)
+	for i := 0; i < ng; i++ {
+		n := int(d.u32())
+		e := int(d.u32())
+		f := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if n <= 0 || n > MaxNodesPerGraph {
+			return nil, fmt.Errorf("%w: graph %d has %d nodes", ErrBadFrame, i, n)
+		}
+		if e < 0 || e > MaxEdgesPerGraph {
+			return nil, fmt.Errorf("%w: graph %d has %d edges", ErrBadFrame, i, e)
+		}
+		if f <= 0 || f > MaxFeatureDim {
+			return nil, fmt.Errorf("%w: graph %d has feature width %d", ErrBadFrame, i, f)
+		}
+		if need := 4*2*e + 8*n*f; d.remaining() < need {
+			return nil, fmt.Errorf("%w: graph %d needs %d payload bytes, %d left", ErrBadFrame, i, need, d.remaining())
+		}
+		src := make([]int, e)
+		for j := range src {
+			src[j] = int(d.u32())
+		}
+		dstIdx := make([]int, e)
+		for j := range dstIdx {
+			dstIdx[j] = int(d.u32())
+		}
+		x := tensor.New(n, f)
+		for j := range x.Data {
+			x.Data[j] = d.f64()
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		g := &graph.Graph{NumNodes: n, Src: src, Dst: dstIdx, X: x}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: graph %d: %v", ErrBadFrame, i, err)
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs, d.finish()
+}
+
+// AppendRow appends r's encoding to dst.
+func AppendRow(dst []byte, r Row) ([]byte, error) {
+	if r.Index < 0 || r.Index >= MaxGraphsPerJob {
+		return dst, fmt.Errorf("%w: row index %d", ErrBadFrame, r.Index)
+	}
+	if r.Class < 0 || len(r.Logits) == 0 || len(r.Logits) > MaxLogits {
+		return dst, fmt.Errorf("%w: row with class %d and %d logits", ErrBadFrame, r.Class, len(r.Logits))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Index))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.Class))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Logits)))
+	for _, v := range r.Logits {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst, nil
+}
+
+// DecodeRow parses a Row payload.
+func DecodeRow(payload []byte) (Row, error) {
+	d := &decoder{b: payload}
+	var r Row
+	r.Index = int(d.u32())
+	r.Class = int(d.u32())
+	nl := d.count("logit", MaxLogits, 8)
+	if d.err != nil {
+		return Row{}, d.err
+	}
+	if r.Index >= MaxGraphsPerJob {
+		return Row{}, fmt.Errorf("%w: row index %d", ErrBadFrame, r.Index)
+	}
+	if nl == 0 {
+		return Row{}, fmt.Errorf("%w: row with no logits", ErrBadFrame)
+	}
+	r.Logits = make([]float64, nl)
+	for i := range r.Logits {
+		r.Logits[i] = d.f64()
+	}
+	return r, d.finish()
+}
+
+// AppendJobDone appends jd's encoding to dst.
+func AppendJobDone(dst []byte, jd JobDone) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(jd.Rows))
+}
+
+// DecodeJobDone parses a JobDone payload.
+func DecodeJobDone(payload []byte) (JobDone, error) {
+	d := &decoder{b: payload}
+	jd := JobDone{Rows: int(d.u32())}
+	if err := d.finish(); err != nil {
+		return JobDone{}, err
+	}
+	if jd.Rows < 0 || jd.Rows > MaxGraphsPerJob {
+		return JobDone{}, fmt.Errorf("%w: done with %d rows", ErrBadFrame, jd.Rows)
+	}
+	return jd, nil
+}
+
+// AppendJobErr appends je's encoding to dst, truncating oversized messages.
+func AppendJobErr(dst []byte, je JobErr) []byte {
+	msg := je.Message
+	if len(msg) > MaxStringLen {
+		msg = msg[:MaxStringLen]
+	}
+	dst = append(dst, je.Code)
+	return appendStr(dst, msg)
+}
+
+// DecodeJobErr parses a JobErr payload.
+func DecodeJobErr(payload []byte) (JobErr, error) {
+	d := &decoder{b: payload}
+	var je JobErr
+	je.Code = d.u8()
+	je.Message = d.str("error message")
+	if err := d.finish(); err != nil {
+		return JobErr{}, err
+	}
+	if je.Code > ErrCodeCancelled {
+		return JobErr{}, fmt.Errorf("%w: error code %d", ErrBadFrame, je.Code)
+	}
+	return je, nil
+}
+
+// AppendPong appends p's encoding to dst.
+func AppendPong(dst []byte, p Pong) []byte {
+	return binary.LittleEndian.AppendUint32(dst, p.RunningPods)
+}
+
+// DecodePong parses a Pong payload.
+func DecodePong(payload []byte) (Pong, error) {
+	d := &decoder{b: payload}
+	p := Pong{RunningPods: d.u32()}
+	return p, d.finish()
+}

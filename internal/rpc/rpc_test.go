@@ -1,0 +1,239 @@
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// testGraph builds a small ring graph with index-derived features so two
+// graphs with different seeds differ byte-for-byte.
+func testGraph(n, width, seed int) *graph.Graph {
+	src := make([]int, n)
+	dst := make([]int, n)
+	for i := 0; i < n; i++ {
+		src[i] = i
+		dst[i] = (i + 1) % n
+	}
+	x := tensor.New(n, width)
+	for i := range x.Data {
+		x.Data[i] = float64((i*7+seed)%11) / 11
+	}
+	return &graph.Graph{NumNodes: n, Src: src, Dst: dst, X: x}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtocolVersion})},
+		{Type: FrameCancel, Job: 42},
+		{Type: FramePing, Job: 7},
+		{Type: FrameJobErr, Job: 3, Payload: AppendJobErr(nil, JobErr{Code: ErrCodeBusy, Message: "at pod cap"})},
+	}
+	var wire []byte
+	for _, f := range frames {
+		var err error
+		wire, err = AppendFrame(wire, f)
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+
+	// DecodeFrame walks the concatenated stream frame by frame.
+	rest := wire
+	for i, want := range frames {
+		f, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeFrame: %v", i, err)
+		}
+		if f.Type != want.Type || f.Job != want.Job || !bytes.Equal(f.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, f, want)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d undecoded bytes", len(rest))
+	}
+
+	// ReadFrame agrees with DecodeFrame over a stream.
+	r := bytes.NewReader(wire)
+	for i, want := range frames {
+		f, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if f.Type != want.Type || f.Job != want.Job || !bytes.Equal(f.Payload, want.Payload) {
+			t.Fatalf("frame %d: ReadFrame got %+v, want %+v", i, f, want)
+		}
+	}
+	if _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("ReadFrame at stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	valid, err := AppendFrame(nil, Frame{Type: FramePing, Job: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]struct {
+		data []byte
+		want error
+	}{
+		"empty":            {nil, ErrTruncated},
+		"short header":     {valid[:HeaderLen-1], ErrTruncated},
+		"bad magic":        {append([]byte("XXXX"), valid[4:]...), ErrBadMagic},
+		"unknown type":     {mutate(valid, 4, 0xEE), ErrBadFrame},
+		"reserved nonzero": {mutate(valid, 5, 1), ErrBadFrame},
+		"huge length":      {mutate(mutate(mutate(mutate(valid, 14, 0xFF), 15, 0xFF), 16, 0xFF), 17, 0xFF), ErrFrameTooLarge},
+		"truncated body":   {mutate(valid, 14, 9), ErrTruncated},
+	}
+	for name, tc := range cases {
+		if _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("DecodeFrame %s: err %v, want %v", name, err, tc.want)
+		}
+		if _, err := ReadFrame(bytes.NewReader(tc.data)); !errors.Is(err, tc.want) && err != io.EOF {
+			t.Errorf("ReadFrame %s: err %v, want %v", name, err, tc.want)
+		}
+	}
+
+	if _, err := AppendFrame(nil, Frame{Type: 0}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("AppendFrame with type 0: %v", err)
+	}
+}
+
+func mutate(b []byte, i int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[i] = v
+	return out
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	h, err := DecodeHello(AppendHello(nil, Hello{Version: 3}))
+	if err != nil || h.Version != 3 {
+		t.Fatalf("Hello round trip: %+v, %v", h, err)
+	}
+
+	var hash [HashLen]byte
+	for i := range hash {
+		hash[i] = byte(i * 3)
+	}
+	in := Welcome{Version: ProtocolVersion, MaxPods: 8, ModelHash: hash, WorkerID: "worker-1"}
+	enc, err := AppendWelcome(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := DecodeWelcome(enc)
+	if err != nil {
+		t.Fatalf("DecodeWelcome: %v", err)
+	}
+	if !reflect.DeepEqual(w, in) {
+		t.Fatalf("Welcome round trip: got %+v, want %+v", w, in)
+	}
+	if _, err := DecodeWelcome(enc[:len(enc)-3]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated Welcome: %v", err)
+	}
+
+	r, err := DecodeRefuse(AppendRefuse(nil, Refuse{Message: "version skew"}))
+	if err != nil || r.Message != "version skew" {
+		t.Fatalf("Refuse round trip: %+v, %v", r, err)
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	graphs := []*graph.Graph{testGraph(5, 3, 1), testGraph(2, 3, 9), testGraph(8, 3, 4)}
+	enc, err := AppendJob(nil, graphs)
+	if err != nil {
+		t.Fatalf("AppendJob: %v", err)
+	}
+	got, err := DecodeJob(enc)
+	if err != nil {
+		t.Fatalf("DecodeJob: %v", err)
+	}
+	if len(got) != len(graphs) {
+		t.Fatalf("decoded %d graphs, want %d", len(got), len(graphs))
+	}
+	for i, g := range got {
+		want := graphs[i]
+		if g.NumNodes != want.NumNodes || !reflect.DeepEqual(g.Src, want.Src) || !reflect.DeepEqual(g.Dst, want.Dst) {
+			t.Fatalf("graph %d topology mismatch", i)
+		}
+		for j, v := range g.X.Data {
+			if math.Float64bits(v) != math.Float64bits(want.X.Data[j]) {
+				t.Fatalf("graph %d feature %d not bit-identical", i, j)
+			}
+		}
+	}
+
+	// Corruptions must error, not panic or mis-decode.
+	if _, err := DecodeJob(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated job decoded")
+	}
+	if _, err := DecodeJob(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("job with trailing garbage decoded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 0xFF // first graph's node count low byte
+	bad[5] = 0xFF
+	bad[6] = 0xFF
+	bad[7] = 0x7F
+	if _, err := DecodeJob(bad); err == nil {
+		t.Fatal("job with absurd node count decoded")
+	}
+	if _, err := AppendJob(nil, nil); err == nil {
+		t.Fatal("empty job encoded")
+	}
+	if _, err := AppendJob(nil, []*graph.Graph{{NumNodes: 1}}); err == nil {
+		t.Fatal("featureless graph encoded")
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	in := Row{Index: 3, Class: 1, Logits: []float64{0.25, -1.5, math.Pi}}
+	enc, err := AppendRow(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRow(enc)
+	if err != nil {
+		t.Fatalf("DecodeRow: %v", err)
+	}
+	if got.Index != in.Index || got.Class != in.Class {
+		t.Fatalf("row round trip: %+v", got)
+	}
+	for i, v := range got.Logits {
+		if math.Float64bits(v) != math.Float64bits(in.Logits[i]) {
+			t.Fatalf("logit %d not bit-identical", i)
+		}
+	}
+	if _, err := DecodeRow(enc[:5]); err == nil {
+		t.Fatal("truncated row decoded")
+	}
+	if _, err := AppendRow(nil, Row{Index: -1, Class: 0, Logits: []float64{1}}); err == nil {
+		t.Fatal("negative index encoded")
+	}
+}
+
+func TestJobDoneErrPongRoundTrip(t *testing.T) {
+	jd, err := DecodeJobDone(AppendJobDone(nil, JobDone{Rows: 17}))
+	if err != nil || jd.Rows != 17 {
+		t.Fatalf("JobDone round trip: %+v, %v", jd, err)
+	}
+	je, err := DecodeJobErr(AppendJobErr(nil, JobErr{Code: ErrCodeCancelled, Message: "cancelled"}))
+	if err != nil || je.Code != ErrCodeCancelled || je.Message != "cancelled" {
+		t.Fatalf("JobErr round trip: %+v, %v", je, err)
+	}
+	if _, err := DecodeJobErr([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown error code decoded")
+	}
+	p, err := DecodePong(AppendPong(nil, Pong{RunningPods: 5}))
+	if err != nil || p.RunningPods != 5 {
+		t.Fatalf("Pong round trip: %+v, %v", p, err)
+	}
+}

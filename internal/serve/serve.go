@@ -165,12 +165,26 @@ type serveMetrics struct {
 	reloadErr *obs.Counter
 }
 
+// Runner executes one coalesced dispatch group somewhere other than a local
+// replica — the extension point behind coordinator mode, where groups travel
+// to worker processes over RPC. RunBatch must return exactly one Prediction
+// per graph, in order; ctx carries the group's latest request deadline and is
+// cancelled when the server no longer wants the answer (per-job cancellation
+// propagates to the wire). Implementations are called from up to the
+// configured number of concurrent dispatch goroutines and must be safe for
+// that.
+type Runner interface {
+	RunBatch(ctx context.Context, graphs []*graph.Graph) ([]Prediction, error)
+}
+
 // Server coalesces single-graph prediction requests into batched
-// forward-only passes over a replica pool. Create one with New; it is safe
-// for concurrent use.
+// forward-only passes over a replica pool (New) or into dispatch groups for
+// a remote Runner (NewDispatch, the coordinator mode). Create one with New
+// or NewDispatch; it is safe for concurrent use.
 type Server struct {
 	replicas []Replica
 	be       fw.Backend
+	runner   Runner
 	opt      Options
 	reg      *obs.Registry
 	met      serveMetrics
@@ -197,18 +211,55 @@ func New(replicas []Replica, opt Options) *Server {
 			panic(fmt.Sprintf("serve: replica backends disagree: %s vs %s", be.Name(), r.Backend().Name()))
 		}
 	}
+	s := newServer(opt)
+	s.replicas = replicas
+	s.be = be
+	go s.coalesce()
+	s.workers.Add(len(replicas))
+	for _, r := range replicas {
+		go s.worker(r)
+	}
+	return s
+}
+
+// NewDispatch starts a server in coordinator mode: the same admission
+// control, bounded queue and coalescer as New, but dispatch groups are handed
+// to run (typically a fleet manager shipping them to worker processes) from
+// concurrency parallel dispatch goroutines instead of local replicas.
+// Collation happens wherever the Runner executes, so the coordinator never
+// touches a framework backend; Backend() reports nil and SwapModel fails
+// (reload the workers, not the coordinator). Set Options.NumFeatures so
+// malformed requests are still rejected at admission.
+func NewDispatch(run Runner, concurrency int, opt Options) *Server {
+	if run == nil {
+		panic("serve: dispatch with nil runner")
+	}
+	if concurrency <= 0 {
+		panic(fmt.Sprintf("serve: dispatch needs positive concurrency, got %d", concurrency))
+	}
+	s := newServer(opt)
+	s.runner = run
+	go s.coalesce()
+	s.workers.Add(concurrency)
+	for i := 0; i < concurrency; i++ {
+		go s.dispatchWorker(run)
+	}
+	return s
+}
+
+// newServer builds the shared core: defaulted options, registry-backed
+// metrics, queue and job channels.
+func newServer(opt Options) *Server {
 	opt.defaults()
 	reg := opt.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		replicas: replicas,
-		be:       be,
-		opt:      opt,
-		reg:      reg,
-		queue:    make(chan *request, opt.QueueDepth),
-		jobs:     make(chan []*request),
+		opt:   opt,
+		reg:   reg,
+		queue: make(chan *request, opt.QueueDepth),
+		jobs:  make(chan []*request),
 	}
 	requests := reg.CounterVec("gnnserve_requests_total", "Prediction requests by admission outcome.", "outcome")
 	s.met = serveMetrics{
@@ -228,11 +279,6 @@ func New(replicas []Replica, opt Options) *Server {
 	s.met.reloadErr = reloads.With("error")
 	reg.GaugeFunc("gnnserve_queue_depth", "Requests queued but not yet dispatched.",
 		func() float64 { return float64(len(s.queue)) })
-	go s.coalesce()
-	s.workers.Add(len(replicas))
-	for _, r := range replicas {
-		go s.worker(r)
-	}
 	return s
 }
 
@@ -248,7 +294,8 @@ func batchBounds(maxBatch int) []float64 {
 // Options returns the server's effective (defaulted) options.
 func (s *Server) Options() Options { return s.opt }
 
-// Backend returns the framework backend requests are collated through.
+// Backend returns the framework backend requests are collated through, or
+// nil for a dispatch-mode server (collation happens in the workers).
 func (s *Server) Backend() fw.Backend { return s.be }
 
 // Predict submits one graph for classification and blocks until its batch
@@ -351,14 +398,19 @@ func (s *Server) worker(rep Replica) {
 	}
 }
 
-// runBatch answers one dispatch group: expired requests get their context
-// error, the rest are collated through the backend, run through the replica,
-// and answered row by row. A panicking replica answers its whole group with
-// an error instead of killing the worker — one poisonous batch must not take
-// the server down.
-func (s *Server) runBatch(rep Replica, group []*request) {
-	var expired int64
-	live := make([]*request, 0, len(group))
+// dispatchWorker serves dispatch groups through the remote runner until the
+// job stream closes.
+func (s *Server) dispatchWorker(run Runner) {
+	defer s.workers.Done()
+	for group := range s.jobs {
+		s.runRemote(run, group)
+	}
+}
+
+// splitExpired answers already-expired requests with their context error and
+// returns the still-live remainder.
+func splitExpired(group []*request) (live []*request, expired int64) {
+	live = make([]*request, 0, len(group))
 	for _, r := range group {
 		if err := r.ctx.Err(); err != nil {
 			r.respond(result{err: err})
@@ -367,6 +419,88 @@ func (s *Server) runBatch(rep Replica, group []*request) {
 			live = append(live, r)
 		}
 	}
+	return live, expired
+}
+
+// groupContext derives the context a dispatch group travels under: cancelled
+// once the latest per-request deadline in the group has passed, so a group
+// nobody is waiting for anymore is cancelled on the wire instead of occupying
+// a worker pod.
+func groupContext(live []*request) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range live {
+		dl, ok := r.ctx.Deadline()
+		if !ok {
+			return context.WithCancel(context.Background())
+		}
+		if dl.After(latest) {
+			latest = dl
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// runRemote answers one dispatch group through the runner. The runner's
+// round-trip (remote collation + forward + response streaming) is accounted
+// under the forward phase; a panicking or failing runner answers the whole
+// group with an error — the coordinator must survive any fleet failure.
+func (s *Server) runRemote(run Runner, group []*request) {
+	live, expired := splitExpired(group)
+	var bd profile.Breakdown
+	if len(live) > 0 {
+		span := s.opt.Tracer.Start("serve-dispatch", obs.Int("graphs", len(live)))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err := fmt.Errorf("serve: dispatch failure: %v", p)
+					for _, r := range live {
+						r.respond(result{err: err})
+					}
+				}
+			}()
+			graphs := make([]*graph.Graph, len(live))
+			for i, r := range live {
+				graphs[i] = r.g
+			}
+			ctx, cancel := groupContext(live)
+			defer cancel()
+			var preds []Prediction
+			var err error
+			bd.Time(profile.PhaseForward, func() { preds, err = run.RunBatch(ctx, graphs) })
+			bd.Time(profile.PhaseOther, func() {
+				if err == nil && len(preds) != len(live) {
+					err = fmt.Errorf("serve: runner answered %d of %d graphs", len(preds), len(live))
+				}
+				if err != nil {
+					for _, r := range live {
+						r.respond(result{err: err})
+					}
+					return
+				}
+				for i, r := range live {
+					r.respond(result{pred: preds[i]})
+				}
+			})
+		}()
+		span.End()
+	}
+	s.met.expired.Add(float64(expired))
+	s.met.responded.Add(float64(len(group)))
+	if len(live) > 0 {
+		s.met.batches.Inc()
+		s.met.batchSize.Observe(float64(len(live)))
+		s.met.phaseForward.Add(bd.Get(profile.PhaseForward).Seconds())
+		s.met.phaseOther.Add(bd.Get(profile.PhaseOther).Seconds())
+	}
+}
+
+// runBatch answers one dispatch group: expired requests get their context
+// error, the rest are collated through the backend, run through the replica,
+// and answered row by row. A panicking replica answers its whole group with
+// an error instead of killing the worker — one poisonous batch must not take
+// the server down.
+func (s *Server) runBatch(rep Replica, group []*request) {
+	live, expired := splitExpired(group)
 	var bd profile.Breakdown
 	if len(live) > 0 {
 		span := s.opt.Tracer.Start("serve-batch", obs.Int("graphs", len(live)))
@@ -445,6 +579,9 @@ func (s *Server) SwapModel(m models.Model) error {
 }
 
 func (s *Server) swapModel(m models.Model) error {
+	if len(s.replicas) == 0 {
+		return errors.New("serve: dispatch-mode server holds no local replicas; reload the workers instead")
+	}
 	if m == nil {
 		return errors.New("serve: reload with nil model")
 	}
