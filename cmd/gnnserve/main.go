@@ -57,6 +57,8 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
 	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable GNNCKPT2 file supplies the weights, and /admin/reload or SIGHUP re-reads it")
 	workers := flag.String("workers", "", "comma-separated gnnworker addresses; enables coordinator mode (batches dispatch to the fleet instead of local replicas)")
+	sloTarget := flag.Duration("slo-target", 0, "p99 latency objective over /predict; a rolling-window breach dumps the flight recorder (0 = SLO tracking off)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder dumps on eviction or SLO breach (empty = dumps disabled, GET /debug/flightrecorder still live)")
 	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
 	flag.Parse()
 	if *checkpoint != "" && *checkpointDir != "" {
@@ -124,6 +126,15 @@ func main() {
 	obs.RegisterRuntimeMetrics(reg)
 	obs.RegisterPoolMetrics(reg)
 	obs.RegisterTensorPoolMetrics(reg)
+	// The observability spine: spans (stitched across the fleet in
+	// coordinator mode), lifecycle events, and a flight recorder dumped on
+	// eviction or SLO breach and served at GET /debug/flightrecorder.
+	tracer := obs.NewTracer(0)
+	events := obs.NewEventLog(0, nil)
+	flight := obs.NewFlightRecorder(tracer, events, reg, obs.FlightOptions{
+		Dir:         *flightDir,
+		MinInterval: time.Second,
+	})
 	opt := serve.Options{
 		MaxBatch:    *batch,
 		QueueDepth:  *queueDepth,
@@ -131,6 +142,10 @@ func main() {
 		Timeout:     *timeout,
 		NumFeatures: d.NumFeatures,
 		Registry:    reg,
+		Tracer:      tracer,
+		Events:      events,
+		Flight:      flight,
+		SLOTarget:   *sloTarget,
 	}
 	var srv *serve.Server
 	var mgr *fleet.Manager
@@ -142,9 +157,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Register the device metric families even though the coordinator
+		// hosts no devices: both modes then expose the identical collector
+		// set, so dashboards and alerts never care which mode answered the
+		// scrape.
+		obs.RegisterDeviceMetrics(reg)
 		mgr = fleet.NewManager(strings.Split(*workers, ","), fleet.Options{
 			ExpectHash: hash,
 			Registry:   reg,
+			Tracer:     tracer,
+			Events:     events,
+			Flight:     flight,
 		})
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		err = mgr.Connect(ctx)

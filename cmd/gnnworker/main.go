@@ -52,6 +52,7 @@ func main() {
 	dtype := flag.String("dtype", "", "compiled serving at this weight precision: f64|f32|q8 (empty = eager reference path)")
 	checkpoint := flag.String("checkpoint", "", "optional parameter checkpoint to load (nn.Save format)")
 	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable checkpoint supplies the weights")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder dumps on replica panic (empty = dumps disabled)")
 	flag.Parse()
 	if *checkpoint != "" && *checkpointDir != "" {
 		fatal(errors.New("-checkpoint and -checkpoint-dir are mutually exclusive"))
@@ -122,11 +123,21 @@ func main() {
 	}
 	obs.RegisterDeviceMetrics(reg, devs...)
 
+	// The worker carries the same observability spine as the coordinator:
+	// a tracer whose per-job spans ship back over the wire for stitching, an
+	// event log, and a flight recorder dumped on replica panics.
+	tracer := obs.NewTracer(0)
+	events := obs.NewEventLog(0, nil)
+	flight := obs.NewFlightRecorder(tracer, events, reg, obs.FlightOptions{Dir: *flightDir})
+
 	w := fleet.NewWorker(reps, fleet.WorkerOptions{
 		ID:        *id,
 		MaxPods:   *pods,
 		ModelHash: hash,
 		Registry:  reg,
+		Tracer:    tracer,
+		Events:    events,
+		Flight:    flight,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -142,6 +153,9 @@ func main() {
 		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(rw, "ok")
 		})
+		// Same debug surface as the coordinator: pprof, registry snapshot,
+		// flight recorder.
+		serve.MountDebug(mux, reg, tracer, flight)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "gnnworker: metrics server: %v\n", err)

@@ -39,6 +39,7 @@ func All() []*Check {
 		deferCloseExitCheck,
 		atomicRenameCheck,
 		spanEndCheck,
+		tracePropagationCheck,
 		lockBalanceCheck,
 		metricNamesCheck,
 		useAfterReleaseCheck,

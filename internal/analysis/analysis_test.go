@@ -69,6 +69,7 @@ func TestCheckGolden(t *testing.T) {
 		{"defer-close-exit", []string{"./deferclose"}},
 		{"atomic-rename", []string{"./atomicrename"}},
 		{"span-end", []string{"./spanend"}},
+		{"trace-propagation", []string{"./traceprop"}},
 		{"lock-balance", []string{"./lockbalance"}},
 		{"metric-names", []string{"./metricnames"}},
 		{"use-after-release", []string{"./usereleased"}},

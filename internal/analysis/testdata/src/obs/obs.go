@@ -51,6 +51,20 @@ type Tracer struct{}
 // Start mirrors obs.(*Tracer).Start.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span { return &Span{} }
 
+// TraceContext mirrors obs.TraceContext: the cross-process trace identity
+// carried in rpc Job frames.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// StartRemote mirrors obs.(*Tracer).StartRemote. Like the real one it reads
+// the context (so the trace-propagation check sees a lawful consumer).
+func (t *Tracer) StartRemote(tc TraceContext, name string, attrs ...Attr) *Span {
+	_ = tc.TraceID
+	return &Span{}
+}
+
 // Span mirrors obs.Span.
 type Span struct{}
 

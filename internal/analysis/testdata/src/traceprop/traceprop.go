@@ -1,0 +1,70 @@
+// Package traceprop exercises the trace-propagation check against the
+// fixture obs stubs: a function accepting an obs.TraceContext must open a
+// span under it, hand it onward, encode it, or store it — dropping it severs
+// the distributed trace at the process boundary.
+package traceprop
+
+import "fixture/obs"
+
+// BadDroppedContext accepts the inbound trace context and never touches it:
+// the span it opens is a local root, so the coordinator's dispatch span and
+// this worker's spans can never stitch into one trace.
+func BadDroppedContext(tr *obs.Tracer, tc obs.TraceContext) {
+	sp := tr.Start("job")
+	defer sp.End()
+}
+
+// BadBlankDiscard discards the context with the blank identifier — the
+// explicit form of the same severed trace.
+func BadBlankDiscard(tr *obs.Tracer, tc obs.TraceContext) {
+	_ = tc
+	sp := tr.Start("job")
+	defer sp.End()
+}
+
+// BadBlankParam binds the context to _, which can never be propagated.
+func BadBlankParam(tr *obs.Tracer, _ obs.TraceContext) {
+	tr.Start("job").End()
+}
+
+// BadUnnamedParam drops the context before the body even starts.
+func BadUnnamedParam(obs.TraceContext) {}
+
+// GoodStartRemote is the worker idiom: the handler opens its root span under
+// the inbound context, so the records it ships back stitch under the
+// coordinator's dispatch span.
+func GoodStartRemote(tr *obs.Tracer, tc obs.TraceContext) {
+	sp := tr.StartRemote(tc, "job")
+	defer sp.End()
+}
+
+// GoodForwarded delegates the context to a helper, which owns it now.
+func GoodForwarded(tr *obs.Tracer, tc obs.TraceContext) {
+	handle(tr, tc)
+}
+
+// GoodEncoded reads the context's fields to put them on the wire — the
+// coordinator-side propagation path.
+func GoodEncoded(buf []byte, tc obs.TraceContext) []byte {
+	return append(buf, byte(tc.TraceID), byte(tc.SpanID))
+}
+
+// GoodStored parks the context on a pending job for a later span.
+func GoodStored(tc obs.TraceContext) *pending {
+	return &pending{tc: tc}
+}
+
+// GoodClosureCapture hands the context to a goroutine — capture is a
+// legitimate hand-off.
+func GoodClosureCapture(tr *obs.Tracer, tc obs.TraceContext, done chan struct{}) {
+	go func() {
+		tr.StartRemote(tc, "job").End()
+		close(done)
+	}()
+}
+
+type pending struct{ tc obs.TraceContext }
+
+func handle(tr *obs.Tracer, tc obs.TraceContext) {
+	tr.StartRemote(tc, "job").End()
+}

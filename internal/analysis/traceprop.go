@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The trace-propagation check keeps the PR 8 distributed-trace surface
+// lawful: an obs.TraceContext is the only thread connecting a coordinator's
+// dispatch span to the worker-side spans of the same request, so a handler
+// that accepts one and drops it severs the trace exactly at the process
+// boundary the context exists to cross. Every function with a TraceContext
+// parameter must propagate it — open a span under it (Tracer.StartRemote),
+// hand it to another function, encode its fields onto the wire, or store it
+// for a later span. A parameter that is unnamed, blank, or only ever
+// discarded with `_ = tc` is reported.
+var tracePropagationCheck = &Check{
+	Name: "trace-propagation",
+	Doc:  "obs.TraceContext accepted but never propagated (severed distributed trace)",
+	Run:  runTracePropagation,
+}
+
+func runTracePropagation(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			name := "func literal"
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body, name = n.Type, n.Body, n.Name.Name
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil || ft.Params == nil {
+				return true
+			}
+			for _, field := range ft.Params.List {
+				if !traceContextType(info, field.Type) {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field.Pos(), "%s accepts an unnamed obs.TraceContext it can never propagate; name it and open a span under it (Tracer.StartRemote) or hand it onward",
+						name)
+					continue
+				}
+				for _, id := range field.Names {
+					if id.Name == "_" {
+						pass.Reportf(id.Pos(), "%s accepts a blank obs.TraceContext it can never propagate; name it and open a span under it (Tracer.StartRemote) or hand it onward",
+							name)
+						continue
+					}
+					obj := info.Defs[id]
+					if obj != nil && !contextUsed(info, body, obj) {
+						pass.Reportf(id.Pos(), "%s accepts trace context %s but never propagates it; open a span under it (Tracer.StartRemote) or hand it onward — dropping it severs the distributed trace",
+							name, id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// traceContextType reports whether e names obs.TraceContext.
+func traceContextType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && namedType(tv.Type, "obs", "TraceContext")
+}
+
+// contextUsed reports whether obj is used anywhere in body — including
+// inside nested function literals, since capturing the context in a goroutine
+// is a legitimate hand-off — other than as the right side of a blank discard
+// (`_ = tc`), which is precisely the drop the check exists to catch.
+func contextUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok && blankDiscard(as) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// blankDiscard matches `_ = <ident>`: a single blank assignment of a bare
+// identifier. Anything richer on the right side (`_ = f(tc)`) is a real use
+// and is not skipped.
+func blankDiscard(as *ast.AssignStmt) bool {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return false
+	}
+	_, ok = ast.Unparen(as.Rhs[0]).(*ast.Ident)
+	return ok
+}

@@ -94,8 +94,12 @@ type SpanEvent struct {
 	// Start is the offset from trace start.
 	Start time.Duration
 	Dur   time.Duration
-	Tid   int
-	Args  map[string]string
+	// Pid is the Chrome-trace process lane; 0 renders as pid 1, the local
+	// process the kernel tracks live on. Spans stitched in from worker
+	// processes carry their own pid so Perfetto groups them per worker.
+	Pid  int
+	Tid  int
+	Args map[string]string
 }
 
 // WriteChromeTraceEvents writes the given kernel events in Chrome's
@@ -131,10 +135,14 @@ func WriteChromeTraceSpans(w io.Writer, events []KernelEvent, spans []SpanEvent)
 		simCursor += e.SimDur
 	}
 	for _, s := range spans {
+		pid := s.Pid
+		if pid == 0 {
+			pid = 1
+		}
 		out = append(out, chromeEvent{
 			Name: s.Name, Ph: "X",
 			Ts: s.Start.Seconds() * 1e6, Dur: s.Dur.Seconds() * 1e6,
-			Pid: 1, Tid: s.Tid, Args: s.Args,
+			Pid: pid, Tid: s.Tid, Args: s.Args,
 		})
 	}
 	enc := json.NewEncoder(w)

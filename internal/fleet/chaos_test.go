@@ -1,16 +1,22 @@
 package fleet
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -26,7 +32,12 @@ import (
 //   - bit-identical predictions: every answer matches the single-process
 //     server's float64 bit patterns for the same graph;
 //   - the fleet actually healed: evictions and re-joins both happened, and
-//     the restarted workers served jobs.
+//     the restarted workers served jobs;
+//   - the run is explainable: after the chaos settles, a traced request's
+//     merged Chrome trace nests the worker-side spans under the
+//     coordinator's dispatch span on a separate pid lane, the event log
+//     holds the join/evict/re-join lifecycle, and every eviction left a
+//     readable flight-recorder dump.
 func TestFleetChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test needs wall-clock time")
@@ -60,14 +71,28 @@ func TestFleetChaos(t *testing.T) {
 	slots := make([]*slot, workers)
 	addrs := make([]string, workers)
 	for i := range slots {
-		w, addr := startWorker(t, "", 2, 2*time.Millisecond, WorkerOptions{ModelHash: hash})
+		w, addr := startWorker(t, "", 2, 2*time.Millisecond,
+			WorkerOptions{ModelHash: hash, Tracer: obs.NewTracer(0)})
 		slots[i] = &slot{w: w, addr: addr}
 		addrs[i] = addr
 	}
 
+	// The observability spine under chaos: every dispatched job is traced
+	// (worker spans stitched in over the wire), lifecycle transitions land in
+	// the event log, and each eviction dumps the flight recorder.
+	tracer := obs.NewTracer(1 << 15)
+	events := obs.NewEventLog(0, nil)
+	flightDir := t.TempDir()
+	reg := obs.NewRegistry()
+	flight := obs.NewFlightRecorder(tracer, events, reg, obs.FlightOptions{Dir: flightDir})
+
 	opt := fastFleetOptions(t)
 	opt.HealthInterval = 20 * time.Millisecond
 	opt.MaxFailures = 2
+	opt.Registry = reg
+	opt.Tracer = tracer
+	opt.Events = events
+	opt.Flight = flight
 	mgr := connectManager(t, addrs, opt)
 	coord := serve.NewDispatch(mgr, mgr.TotalPods(), serve.Options{
 		NumFeatures: testFeatures, MaxBatch: 4, QueueDepth: 256,
@@ -98,7 +123,8 @@ func TestFleetChaos(t *testing.T) {
 			s.mu.Unlock()
 			time.Sleep(40 * time.Millisecond)
 			s.mu.Lock()
-			w, _ := startWorker(t, s.addr, 2, 2*time.Millisecond, WorkerOptions{ModelHash: hash})
+			w, _ := startWorker(t, s.addr, 2, 2*time.Millisecond,
+				WorkerOptions{ModelHash: hash, Tracer: obs.NewTracer(0)})
 			s.w = w
 			s.mu.Unlock()
 		}
@@ -158,6 +184,20 @@ func TestFleetChaos(t *testing.T) {
 		_, evictions, rejoins := mgr.Stats()
 		return evictions > 0 && rejoins == evictions
 	})
+
+	// Post-heal traced burst. Six rounds over three slots killed every slot
+	// twice, so every live worker instance is a restart — any worker-lane
+	// span stitched from here on can only have come from a restarted worker.
+	// Resetting the tracer first gives the assertions a trace holding just
+	// this burst.
+	tracer.Reset()
+	for k := 0; k < 8; k++ {
+		n := minNodes + k%(maxNodes-minNodes+1)
+		if _, err := coord.Predict(context.Background(), ringGraph(n, testFeatures)); err != nil {
+			t.Fatalf("post-heal predict(%d): %v", n, err)
+		}
+		accepted.Add(1) // the books below count these answers too
+	}
 	shutdownOnce()
 	close(errs)
 	for err := range errs {
@@ -198,6 +238,114 @@ func TestFleetChaos(t *testing.T) {
 	if served == 0 {
 		t.Error("no worker served any job")
 	}
-	t.Logf("chaos summary: accepted=%d rejected=%d evictions=%d rejoins=%d jobs served=%d",
-		accepted.Load(), rejected.Load(), evictions, rejoins, served)
+
+	// The merged Chrome trace of the post-heal burst: every worker-lane span
+	// must sit inside the coordinator dispatch span carrying the same trace
+	// id — one request, nested across pid lanes, shipped back by workers
+	// that are all restarts.
+	var buf bytes.Buffer
+	if err := tracer.WriteMergedChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteMergedChromeTrace: %v", err)
+	}
+	type chromeEvent struct {
+		Name string            `json:"name"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("merged trace is not valid Chrome-trace JSON: %v", err)
+	}
+	dispatch := map[string]chromeEvent{} // trace id → coordinator fleet-job span
+	for _, e := range evs {
+		if e.Pid == 1 && e.Name == "fleet-job" {
+			dispatch[e.Args["trace"]] = e
+		}
+	}
+	if len(dispatch) == 0 {
+		t.Fatal("merged trace holds no coordinator dispatch spans on pid 1")
+	}
+	workerRoots := 0
+	workerPids := map[int]bool{}
+	for _, e := range evs {
+		if e.Pid < 2 {
+			continue
+		}
+		workerPids[e.Pid] = true
+		d, ok := dispatch[e.Args["trace"]]
+		if !ok {
+			t.Fatalf("worker span %q (pid %d) carries trace %s with no matching dispatch span",
+				e.Name, e.Pid, e.Args["trace"])
+		}
+		if e.Ts < d.Ts || e.Ts+e.Dur > d.Ts+d.Dur {
+			t.Fatalf("worker span %q [%.1f,%.1f]µs escapes its dispatch span [%.1f,%.1f]µs",
+				e.Name, e.Ts, e.Ts+e.Dur, d.Ts, d.Ts+d.Dur)
+		}
+		if e.Name == "fleet-worker-job" {
+			workerRoots++
+		}
+	}
+	if workerRoots == 0 {
+		t.Error("no restarted worker shipped spans back after the heal")
+	}
+
+	// The event log recorded the whole lifecycle.
+	counts := map[string]int{}
+	for _, ev := range events.Events() {
+		counts[ev.Msg]++
+	}
+	for _, msg := range []string{"fleet-worker-join", "fleet-worker-evicted", "fleet-worker-rejoin"} {
+		if counts[msg] == 0 {
+			t.Errorf("event log holds no %q event (saw %v)", msg, counts)
+		}
+	}
+
+	// Every eviction dumped the flight recorder; the dump must be readable
+	// forensics: the eviction event, recent spans, and a metrics snapshot.
+	entries, err := os.ReadDir(flightDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dumps []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flight-eviction-") {
+			dumps = append(dumps, e.Name())
+		}
+	}
+	if len(dumps) == 0 {
+		t.Fatal("evictions left no flight-recorder dump")
+	}
+	data, err := os.ReadFile(filepath.Join(flightDir, dumps[len(dumps)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("flight dump is not valid JSON: %v", err)
+	}
+	if snap.Reason != "eviction" {
+		t.Errorf("flight dump reason %q, want eviction", snap.Reason)
+	}
+	evicted2 := false
+	for _, ev := range snap.Events {
+		if ev.Msg == "fleet-worker-evicted" {
+			evicted2 = true
+		}
+	}
+	if !evicted2 {
+		t.Error("flight dump is missing the eviction event")
+	}
+	if len(snap.Spans) == 0 {
+		t.Error("flight dump captured no spans")
+	}
+	if !strings.Contains(snap.Metrics, "gnnlab_fleet_") {
+		t.Error("flight dump is missing the fleet metrics snapshot")
+	}
+
+	t.Logf("chaos summary: accepted=%d rejected=%d evictions=%d rejoins=%d jobs served=%d "+
+		"(merged trace: %d dispatches, %d worker roots on lanes %v; %d flight dumps)",
+		accepted.Load(), rejected.Load(), evictions, rejoins, served,
+		len(dispatch), workerRoots, workerPids, len(dumps))
 }

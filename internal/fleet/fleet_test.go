@@ -320,12 +320,14 @@ func TestFleetVersionSkew(t *testing.T) {
 
 	// New worker, old coordinator (the other direction): the worker names
 	// both versions in its refusal so the operator knows which side to roll.
-	_, addr2 := startWorker(t, "", 1, 0, WorkerOptions{ModelHash: hash, forceVersion: 2})
+	skewed := uint32(rpc.ProtocolVersion + 1)
+	_, addr2 := startWorker(t, "", 1, 0, WorkerOptions{ModelHash: hash, forceVersion: skewed})
 	m2 := NewManager([]string{addr2}, fastFleetOptions(t))
 	err = m2.Connect(context.Background())
 	m2.Close()
-	if err == nil || !strings.Contains(err.Error(), "refused") || !strings.Contains(err.Error(), "worker speaks 2") {
-		t.Fatalf("coordinator connecting to a version-2 worker: %v, want a refusal naming both versions", err)
+	want := fmt.Sprintf("worker speaks %d", skewed)
+	if err == nil || !strings.Contains(err.Error(), "refused") || !strings.Contains(err.Error(), want) {
+		t.Fatalf("coordinator connecting to a version-%d worker: %v, want a refusal naming both versions", skewed, err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -85,8 +86,18 @@ type Options struct {
 	// Registry receives gnnlab_fleet_* metrics; nil creates a private
 	// registry. One registry backs at most one manager.
 	Registry *obs.Registry
-	// Tracer, when non-nil, records one span per dispatched job.
+	// Tracer, when non-nil, records one span per dispatched job — and
+	// stitches each worker's shipped span records under it, one Chrome-trace
+	// pid lane per worker, so a merged WriteChromeTrace shows dispatch, wire
+	// time and worker-side execution as one nested tree.
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives fleet lifecycle events (worker join,
+	// eviction, re-join).
+	Events *obs.EventLog
+	// Flight, when non-nil, captures a flight-recorder dump on every worker
+	// eviction — the forensic record of what the coordinator saw leading up
+	// to it.
+	Flight *obs.FlightRecorder
 
 	// helloVersion, when nonzero, overrides the protocol version the
 	// manager announces — the version-skew test hook.
@@ -139,6 +150,10 @@ type link struct {
 // remote is one configured worker address across all its connection epochs.
 type remote struct {
 	addr string
+	// idx is the worker's position in the configured address list; its
+	// stitched spans render on Chrome-trace pid workerPidBase+idx, stable
+	// across restarts of the worker process.
+	idx int
 
 	mu       sync.Mutex
 	state    State
@@ -146,12 +161,19 @@ type remote struct {
 	failures int   // consecutive missed health checks
 }
 
+// workerPidBase is the Chrome-trace pid of the first worker's lane; the
+// coordinator itself (and its kernel tracks) own pid 1.
+const workerPidBase = 2
+
 // job is one dispatched group awaiting its streamed response.
 type job struct {
 	rows []serve.Prediction
 	got  []bool
 	n    int
 	done chan error // buffered(1); exactly one completion wins
+	// span is the coordinator-side span the worker's shipped records stitch
+	// under; nil when the manager is not tracing.
+	span *obs.Span
 }
 
 // Manager owns the coordinator's side of the fleet: connections, health,
@@ -200,8 +222,8 @@ func NewManager(addrs []string, opt Options) *Manager {
 		stop: make(chan struct{}),
 		wake: make(chan struct{}, 1),
 	}
-	for _, a := range addrs {
-		m.workers = append(m.workers, &remote{addr: a, state: StateJoining})
+	for i, a := range addrs {
+		m.workers = append(m.workers, &remote{addr: a, idx: i, state: StateJoining})
 	}
 	m.registerMetrics()
 	return m
@@ -312,6 +334,9 @@ func (m *Manager) connectWorker(r *remote) error {
 	go m.reader(r, l)
 	go m.healthLoop(r, l)
 	m.signal()
+	m.opt.Events.Info("fleet-worker-join",
+		obs.String("addr", r.addr), obs.String("worker", w.WorkerID),
+		obs.Int("pods", int(w.MaxPods)))
 	return nil
 }
 
@@ -479,12 +504,20 @@ func (m *Manager) evict(r *remote, l *link) {
 		return
 	}
 	m.lifeMu.Lock()
-	if !m.closed {
+	closing := m.closed
+	if !closing {
 		m.met.evictions.Inc()
 		m.wg.Add(1)
 		go m.redial(r)
 	}
 	m.lifeMu.Unlock()
+	if !closing {
+		// The forensic record of what the coordinator saw leading up to the
+		// eviction: recent spans, lifecycle events and a metrics snapshot.
+		m.opt.Events.Log(slog.LevelWarn, 0, "fleet-worker-evicted",
+			obs.String("addr", r.addr))
+		m.opt.Flight.Dump("eviction")
+	}
 }
 
 // redial re-establishes an evicted worker with exponential backoff. It runs
@@ -503,6 +536,7 @@ func (m *Manager) redial(r *remote) {
 		}
 		if err := m.connectWorker(r); err == nil {
 			m.met.rejoins.Inc()
+			m.opt.Events.Info("fleet-worker-rejoin", obs.String("addr", r.addr))
 			return
 		}
 		backoff *= 2
@@ -562,6 +596,20 @@ func (m *Manager) reader(r *remote, l *link) {
 				default:
 					j.done <- fmt.Errorf("fleet: worker %s: %s", r.addr, je.Message)
 				}
+			}
+		case rpc.FrameSpans:
+			recs, derr := rpc.DecodeSpans(f.Payload)
+			if derr != nil {
+				m.evict(r, l)
+				return
+			}
+			// Spans arrive before the job's JobDone on this same goroutine,
+			// so the job (and its coordinator-side span) is still registered.
+			r.mu.Lock()
+			j := l.inflight[f.Job]
+			r.mu.Unlock()
+			if j != nil && j.span != nil {
+				j.span.ImportRemote(workerPidBase+r.idx, recs)
 			}
 		case rpc.FramePong:
 			// The sequence number rides the job field; record the highest.
@@ -698,11 +746,19 @@ func (m *Manager) forget(r *remote, l *link, id uint64) {
 // errWorkerBusy; anything else is authoritative.
 func (m *Manager) runJob(ctx context.Context, r *remote, l *link, graphs []*graph.Graph) ([]serve.Prediction, error) {
 	id := m.jobSeq.Add(1)
+	// The trace id is derived deterministically from the job id, so a fixed
+	// dispatch order yields a byte-identical merged trace — and the worker,
+	// deriving nothing, simply inherits the context off the wire.
+	tc := obs.TraceContext{TraceID: obs.TraceIDForJob(id)}
+	span := m.opt.Tracer.StartRemote(tc, "fleet-job",
+		obs.String("worker", r.addr), obs.Int("graphs", len(graphs)))
+	defer span.End()
 	j := &job{
 		rows: make([]serve.Prediction, len(graphs)),
 		got:  make([]bool, len(graphs)),
 		n:    len(graphs),
 		done: make(chan error, 1),
+		span: span,
 	}
 	r.mu.Lock()
 	if r.link != l {
@@ -713,15 +769,12 @@ func (m *Manager) runJob(ctx context.Context, r *remote, l *link, graphs []*grap
 	l.inflight[id] = j
 	r.mu.Unlock()
 
-	payload, err := rpc.AppendJob(nil, graphs)
+	payload, err := rpc.AppendJob(nil, span.Context(), graphs)
 	if err != nil {
 		// Unencodable group: authoritative, retrying cannot help.
 		m.forget(r, l, id)
 		return nil, fmt.Errorf("fleet: encode job: %w", err)
 	}
-	span := m.opt.Tracer.Start("fleet-job",
-		obs.String("worker", r.addr), obs.Int("graphs", len(graphs)))
-	defer span.End()
 	if m.send(r, l, rpc.Frame{Type: rpc.FrameJob, Job: id, Payload: payload}) != nil {
 		// send evicted the link; teardown completed j via done.
 		return nil, errWorkerDown

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// families scrapes a registry and returns the set of exposed metric family
+// names — empty families still announce themselves through HELP/TYPE lines,
+// which is exactly what makes zero-device coordinator registration visible.
+func families(t *testing.T, reg *obs.Registry) map[string]bool {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+			out[fields[2]] = true
+		}
+	}
+	return out
+}
+
+// registerCommon mirrors cmd/gnnserve's process-wide collector set — the
+// part both modes must share.
+func registerCommon(reg *obs.Registry) {
+	obs.RegisterRuntimeMetrics(reg)
+	obs.RegisterPoolMetrics(reg)
+	obs.RegisterTensorPoolMetrics(reg)
+	obs.NewFlightRecorder(nil, nil, reg, obs.FlightOptions{})
+}
+
+// TestModeMetricFamilyParity pins the satellite contract from the gnnserve
+// audit: single-process mode and coordinator mode expose the identical
+// collector set (coordinator mode registers the device families with zero
+// devices), so dashboards and alerts never care which mode answered the
+// scrape. The only families allowed to differ are the coordinator's
+// gnnlab_fleet_* ones — single-process mode has no fleet.
+func TestModeMetricFamilyParity(t *testing.T) {
+	hash := testHash(t)
+
+	// Single-process mode, as cmd/gnnserve builds it.
+	singleReg := obs.NewRegistry()
+	registerCommon(singleReg)
+	dev := device.New("cuda:0", device.RTX2080Ti())
+	obs.RegisterDeviceMetrics(singleReg, dev)
+	single := serve.New([]serve.Replica{serve.NewModelReplica(testModel(), dev)},
+		serve.Options{NumFeatures: testFeatures, Registry: singleReg, Timeout: 5 * time.Second})
+	defer single.Shutdown(context.Background())
+
+	// Coordinator mode over one real worker.
+	coordReg := obs.NewRegistry()
+	registerCommon(coordReg)
+	obs.RegisterDeviceMetrics(coordReg) // zero devices: families only
+	_, addr := startWorker(t, "", 1, 0, WorkerOptions{ModelHash: hash})
+	opt := fastFleetOptions(t)
+	opt.Registry = coordReg
+	mgr := connectManager(t, []string{addr}, opt)
+	coord := serve.NewDispatch(mgr, mgr.TotalPods(),
+		serve.Options{NumFeatures: testFeatures, Registry: coordReg, Timeout: 5 * time.Second})
+	defer coord.Shutdown(context.Background())
+
+	fs, fc := families(t, singleReg), families(t, coordReg)
+	for name := range fs {
+		if !fc[name] {
+			t.Errorf("family %s exposed in single-process mode but missing in coordinator mode", name)
+		}
+	}
+	for name := range fc {
+		if !fs[name] && !strings.HasPrefix(name, "gnnlab_fleet_") {
+			t.Errorf("family %s exposed only in coordinator mode (not a gnnlab_fleet_* family)", name)
+		}
+	}
+	if len(fs) == 0 || !fs["gnnlab_device_kernels_total"] || !fc["gnnlab_device_kernels_total"] {
+		t.Fatalf("device families missing from the scrape: single=%d coord=%d families", len(fs), len(fc))
+	}
+	// Both registries must also pass the same lint CI runs on /metrics.
+	if err := singleReg.Lint(); err != nil {
+		t.Errorf("single-process registry lint: %v", err)
+	}
+	if err := coordReg.Lint(); err != nil {
+		t.Errorf("coordinator registry lint: %v", err)
+	}
+}

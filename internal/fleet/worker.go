@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -59,8 +60,16 @@ type WorkerOptions struct {
 	// private registry.
 	Registry *obs.Registry
 	// Tracer, when non-nil, records one span per served job with
-	// collate/forward/stream children.
+	// collate/forward/stream children. Jobs arriving with a trace context
+	// open their span under that context, and the completed records ship
+	// back to the coordinator in a Spans frame for stitching.
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives worker lifecycle events (serving,
+	// replica panics).
+	Events *obs.EventLog
+	// Flight, when non-nil, captures a flight-recorder dump when a replica
+	// panics mid-job.
+	Flight *obs.FlightRecorder
 
 	// forceVersion, when nonzero, overrides the protocol version the worker
 	// advertises and accepts — the version-skew test hook.
@@ -161,6 +170,8 @@ func (w *Worker) Serve(ln net.Listener) error {
 	}
 	w.mu.Unlock()
 	w.registerMetrics()
+	w.opt.Events.Info("fleet-worker-serving",
+		obs.String("worker", w.opt.ID), obs.Int("pods", w.opt.MaxPods))
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -380,14 +391,20 @@ func (wc *wconn) cancelAll() {
 }
 
 // runJob executes one job end to end: decode, collate, forward, stream one
-// Row per graph, JobDone. Any failure — decode error, replica panic, row
-// count mismatch — becomes a JobErr instead of a dead worker.
+// Row per graph, ship the job's trace spans, JobDone. Any failure — decode
+// error, replica panic, row count mismatch — becomes a JobErr instead of a
+// dead worker.
 func (w *Worker) runJob(ctx context.Context, wc *wconn, id uint64, payload []byte) {
 	defer w.wg.Done()
 	defer w.releasePod()
 	defer wc.unregister(id)
-	span := w.opt.Tracer.Start("fleet-worker-job", obs.String("worker", w.opt.ID))
-	defer span.End()
+
+	// The trace context rides at the front of the payload, so the job's root
+	// span can only open after the decode; a decode failure is reported
+	// without a span (there is no trace to attach it to).
+	tc, graphs, err := rpc.DecodeJob(payload)
+	span := w.opt.Tracer.StartRemote(tc, "fleet-worker-job", obs.String("worker", w.opt.ID))
+	defer span.End() // idempotent safety net; the success path Ends earlier
 
 	fail := func(code uint8, msg string) {
 		switch code {
@@ -400,7 +417,6 @@ func (w *Worker) runJob(ctx context.Context, wc *wconn, id uint64, payload []byt
 		w.send(wc, rpc.Frame{Type: rpc.FrameJobErr, Job: id, Payload: pl})
 	}
 
-	graphs, err := rpc.DecodeJob(payload)
 	if err != nil {
 		fail(rpc.ErrCodeFailed, err.Error())
 		return
@@ -450,6 +466,22 @@ func (w *Worker) runJob(ctx context.Context, wc *wconn, id uint64, payload []byt
 			return // connection dead; coordinator re-runs the job elsewhere
 		}
 	}
+
+	// End the whole span tree now, so Collected sees the complete job, and
+	// ship it before JobDone — the coordinator's job state (which owns the
+	// stitching) is discarded the moment JobDone lands. A tree the wire cap
+	// refuses (a normal job's is 4 spans) is silently kept local: spans are
+	// telemetry, never worth failing a served job over.
+	sp.End()
+	span.End()
+	if recs := span.Collected(); len(recs) > 0 && len(recs) <= rpc.MaxSpansPerJob {
+		if pl, err := rpc.AppendSpans(nil, recs); err == nil {
+			if w.send(wc, rpc.Frame{Type: rpc.FrameSpans, Job: id, Payload: pl}) != nil {
+				return
+			}
+		}
+	}
+
 	if w.send(wc, rpc.Frame{Type: rpc.FrameJobDone, Job: id, Payload: rpc.AppendJobDone(nil, rpc.JobDone{Rows: len(graphs)})}) != nil {
 		return
 	}
@@ -464,6 +496,9 @@ func (w *Worker) forward(span *obs.Span, rep serve.Replica, graphs []*graph.Grap
 	defer func() {
 		if p := recover(); p != nil {
 			logits, err = nil, fmt.Errorf("fleet: replica failure: %v", p)
+			w.opt.Events.Log(slog.LevelError, span.Context().TraceID, "fleet-replica-panic",
+				obs.String("worker", w.opt.ID), obs.String("panic", fmt.Sprint(p)))
+			w.opt.Flight.Dump("replica-panic")
 		}
 	}()
 	dev := rep.Device()

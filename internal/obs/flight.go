@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The flight recorder answers the question every post-mortem starts with:
+// what was the process doing right before it went wrong? It holds no state
+// of its own — the tracer's span ring, the event log's ring and the metrics
+// registry already are bounded recordings of the recent past — and snapshots
+// all three into one JSON document on demand, on worker eviction, on a
+// replica panic, or on a p99-SLO breach. Dumps commit with the same
+// temp+fsync+rename discipline as checkpoints, so a crash mid-dump can never
+// leave a torn file under a committed name.
+
+// FlightOptions configures a FlightRecorder.
+type FlightOptions struct {
+	// Dir is where Dump writes its JSON files; empty disables disk dumps
+	// (Snapshot and WriteJSON still work, e.g. for /debug/flightrecorder).
+	Dir string
+	// Spans bounds the spans captured per snapshot, newest win (default 256).
+	Spans int
+	// Events bounds the events captured per snapshot, newest win
+	// (default 256).
+	Events int
+	// MinInterval rate-limits disk dumps: a Dump within MinInterval of the
+	// previous one is skipped (default 0 — every Dump writes). A breach storm
+	// then costs one file, not thousands.
+	MinInterval time.Duration
+}
+
+func (o *FlightOptions) defaults() {
+	if o.Spans <= 0 {
+		o.Spans = 256
+	}
+	if o.Events <= 0 {
+		o.Events = 256
+	}
+}
+
+// FlightSpan is one span in a flight-recorder snapshot.
+type FlightSpan struct {
+	Trace   string            `json:"trace,omitempty"`
+	ID      uint64            `json:"id"`
+	Parent  uint64            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Pid     int               `json:"pid,omitempty"`
+	Lane    int               `json:"lane"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightEvent is one event in a flight-recorder snapshot.
+type FlightEvent struct {
+	Seq   uint64            `json:"seq"`
+	Time  string            `json:"time"`
+	Level string            `json:"level"`
+	Msg   string            `json:"msg"`
+	Trace string            `json:"trace,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// FlightSnapshot is one flight-recorder capture: the reason it was taken,
+// the most recent spans and events, and a full Prometheus-text metrics
+// snapshot.
+type FlightSnapshot struct {
+	Reason string        `json:"reason"`
+	Seq    uint64        `json:"seq"`
+	Time   string        `json:"time"`
+	Spans  []FlightSpan  `json:"spans"`
+	Events []FlightEvent `json:"events"`
+	// Metrics is the registry's Prometheus text exposition at capture time.
+	Metrics string `json:"metrics"`
+}
+
+// FlightRecorder snapshots a tracer, an event log and a metrics registry
+// into forensic JSON dumps. Any of the three sources may be nil (that
+// section is simply empty), and a nil *FlightRecorder is a valid disabled
+// recorder: Snapshot returns a zero snapshot and Dump no-ops.
+type FlightRecorder struct {
+	tracer *Tracer
+	events *EventLog
+	reg    *Registry
+	opt    FlightOptions
+
+	mu   sync.Mutex
+	seq  uint64
+	last time.Time
+
+	dumps   *CounterVec // by reason; nil when reg is nil
+	skipped *Counter
+}
+
+// NewFlightRecorder builds a recorder over the process's tracer, event log
+// and registry. When reg is non-nil, dump activity registers as
+// gnnlab_flight_dumps_total{reason} and gnnlab_flight_dumps_skipped_total.
+func NewFlightRecorder(t *Tracer, ev *EventLog, reg *Registry, opt FlightOptions) *FlightRecorder {
+	opt.defaults()
+	f := &FlightRecorder{tracer: t, events: ev, reg: reg, opt: opt}
+	if reg != nil {
+		f.dumps = reg.CounterVec("gnnlab_flight_dumps_total",
+			"Flight-recorder dumps written to disk, by trigger reason.", "reason")
+		f.skipped = reg.Counter("gnnlab_flight_dumps_skipped_total",
+			"Flight-recorder dumps suppressed by the rate limit.")
+	}
+	return f
+}
+
+// Snapshot captures the recorder's sources: the last Spans spans, the last
+// Events events, and the registry's full exposition text.
+func (f *FlightRecorder) Snapshot(reason string) FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{Reason: reason}
+	}
+	f.mu.Lock()
+	f.seq++
+	seq := f.seq
+	f.mu.Unlock()
+	snap := FlightSnapshot{
+		Reason: reason,
+		Seq:    seq,
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		Spans:  []FlightSpan{},
+		Events: []FlightEvent{},
+	}
+	spans := f.tracer.Spans()
+	if len(spans) > f.opt.Spans {
+		spans = spans[len(spans)-f.opt.Spans:]
+	}
+	for _, s := range spans {
+		fs := FlightSpan{
+			ID: s.ID, Parent: s.ParentID, Name: s.Name, Pid: s.Pid, Lane: s.Lane,
+			StartNs: s.Start.Nanoseconds(), DurNs: s.Dur.Nanoseconds(),
+		}
+		if s.TraceID != 0 {
+			fs.Trace = fmt.Sprintf("%016x", s.TraceID)
+		}
+		if len(s.Attrs) > 0 {
+			fs.Attrs = attrMap(s.Attrs)
+		}
+		snap.Spans = append(snap.Spans, fs)
+	}
+	events := f.events.Events()
+	if len(events) > f.opt.Events {
+		events = events[len(events)-f.opt.Events:]
+	}
+	for _, e := range events {
+		fe := FlightEvent{
+			Seq: e.Seq, Time: e.Time.UTC().Format(time.RFC3339Nano),
+			Level: e.Level.String(), Msg: e.Msg,
+		}
+		if e.TraceID != 0 {
+			fe.Trace = fmt.Sprintf("%016x", e.TraceID)
+		}
+		if len(e.Attrs) > 0 {
+			fe.Attrs = attrMap(e.Attrs)
+		}
+		snap.Events = append(snap.Events, fe)
+	}
+	if f.reg != nil {
+		var sb strings.Builder
+		f.reg.WritePrometheus(&sb)
+		snap.Metrics = sb.String()
+	}
+	return snap
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// WriteJSON writes a snapshot to w as indented JSON — the body of
+// GET /debug/flightrecorder.
+func (f *FlightRecorder) WriteJSON(w io.Writer, reason string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot(reason))
+}
+
+// Dump atomically writes a snapshot to Dir as
+// flight-<reason>-<seq>.json and returns the committed path. It returns
+// ("", nil) when the recorder is nil, Dir is unset, or the rate limit
+// suppressed the dump — a skipped dump is never an error, because every
+// caller is already on a failure path with something better to report.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil || f.opt.Dir == "" {
+		return "", nil
+	}
+	f.mu.Lock()
+	if f.opt.MinInterval > 0 && !f.last.IsZero() && time.Since(f.last) < f.opt.MinInterval {
+		f.mu.Unlock()
+		if f.skipped != nil {
+			f.skipped.Inc()
+		}
+		return "", nil
+	}
+	f.last = time.Now()
+	f.mu.Unlock()
+
+	snap := f.Snapshot(reason)
+	final := filepath.Join(f.opt.Dir, fmt.Sprintf("flight-%s-%d.json", sanitizeReason(reason), snap.Seq))
+	tmp := final + ".tmp"
+	file, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	enc := json.NewEncoder(file)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(snap)
+	if werr == nil {
+		werr = file.Sync()
+	}
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("obs: flight dump %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("obs: flight dump commit %s: %w", final, err)
+	}
+	// Persist the rename itself; directory fsync is advisory on some
+	// filesystems, so a failure here does not invalidate the committed file.
+	if df, err := os.Open(f.opt.Dir); err == nil {
+		df.Sync()
+		df.Close()
+	}
+	if f.dumps != nil {
+		f.dumps.With(sanitizeReason(reason)).Inc()
+	}
+	return final, nil
+}
+
+// sanitizeReason maps an arbitrary reason string onto the filename- and
+// label-safe alphabet [a-z0-9-].
+func sanitizeReason(reason string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(reason) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('-')
+		}
+	}
+	if sb.Len() == 0 {
+		return "manual"
+	}
+	return sb.String()
+}

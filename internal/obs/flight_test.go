@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flightFixture builds a recorder over a tracer, event log and registry that
+// have each seen some traffic.
+func flightFixture(t *testing.T, opt FlightOptions) *FlightRecorder {
+	t.Helper()
+	tr := NewTracer(0)
+	sp := tr.Start("fleet-job", String("worker", "w0"))
+	sp.Child("stream").End()
+	sp.End()
+	ev := NewEventLog(0, nil)
+	ev.Warn("fleet-worker-evicted", String("addr", "w0:9090"))
+	reg := NewRegistry()
+	reg.Counter("gnnlab_flight_fixture_total", "Fixture counter.").Inc()
+	return NewFlightRecorder(tr, ev, reg, opt)
+}
+
+func TestFlightSnapshotContents(t *testing.T) {
+	f := flightFixture(t, FlightOptions{})
+	snap := f.Snapshot("eviction")
+	if snap.Reason != "eviction" || snap.Seq != 1 {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("%d spans captured, want 2", len(snap.Spans))
+	}
+	names := map[string]bool{}
+	for _, s := range snap.Spans {
+		names[s.Name] = true
+	}
+	if !names["fleet-job"] || !names["stream"] {
+		t.Fatalf("span names missing: %v", names)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Msg != "fleet-worker-evicted" {
+		t.Fatalf("events: %+v", snap.Events)
+	}
+	if snap.Events[0].Level != "WARN" {
+		t.Fatalf("event level %q, want WARN", snap.Events[0].Level)
+	}
+	if !strings.Contains(snap.Metrics, "gnnlab_flight_fixture_total 1") {
+		t.Fatal("metrics exposition missing the fixture counter")
+	}
+}
+
+func TestFlightSnapshotBounds(t *testing.T) {
+	tr := NewTracer(0)
+	ev := NewEventLog(0, nil)
+	for i := 0; i < 20; i++ {
+		tr.Start("s").End()
+		ev.Info("e")
+	}
+	f := NewFlightRecorder(tr, ev, nil, FlightOptions{Spans: 5, Events: 3})
+	snap := f.Snapshot("manual")
+	if len(snap.Spans) != 5 || len(snap.Events) != 3 {
+		t.Fatalf("captured %d spans / %d events, want 5 / 3", len(snap.Spans), len(snap.Events))
+	}
+	// Newest win: the kept events are the tail of the ring.
+	if snap.Events[2].Seq != 20 {
+		t.Fatalf("last kept event seq %d, want 20", snap.Events[2].Seq)
+	}
+}
+
+func TestFlightDumpAtomicAndParseable(t *testing.T) {
+	dir := t.TempDir()
+	f := flightFixture(t, FlightOptions{Dir: dir})
+	path, err := f.Dump("eviction")
+	if err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	if filepath.Dir(path) != dir || !strings.HasPrefix(filepath.Base(path), "flight-eviction-") {
+		t.Fatalf("dump landed at %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if snap.Reason != "eviction" || len(snap.Spans) == 0 || len(snap.Events) == 0 {
+		t.Fatalf("dump content: %+v", snap)
+	}
+	// No temp file may survive a committed dump.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestFlightDumpRateLimitAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(0)
+	ev := NewEventLog(0, nil)
+	reg := NewRegistry()
+	f := NewFlightRecorder(tr, ev, reg, FlightOptions{Dir: dir, MinInterval: time.Hour})
+
+	first, err := f.Dump("slo-breach")
+	if err != nil || first == "" {
+		t.Fatalf("first dump: %q, %v", first, err)
+	}
+	second, err := f.Dump("slo-breach")
+	if err != nil {
+		t.Fatalf("rate-limited dump errored: %v", err)
+	}
+	if second != "" {
+		t.Fatalf("second dump within MinInterval wrote %q", second)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	if !strings.Contains(exp, `gnnlab_flight_dumps_total{reason="slo-breach"} 1`) {
+		t.Fatalf("dump counter missing:\n%s", exp)
+	}
+	if !strings.Contains(exp, "gnnlab_flight_dumps_skipped_total 1") {
+		t.Fatalf("skip counter missing:\n%s", exp)
+	}
+}
+
+func TestFlightReasonSanitized(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFlightRecorder(nil, nil, nil, FlightOptions{Dir: dir})
+	path, err := f.Dump("../../etc/passwd X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("dump escaped its directory: %q", path)
+	}
+	base := filepath.Base(path)
+	if strings.ContainsAny(base, "/ X.") && !strings.HasSuffix(base, ".json") {
+		t.Fatalf("unsanitized dump name %q", base)
+	}
+}
+
+func TestFlightNilRecorder(t *testing.T) {
+	var f *FlightRecorder
+	if path, err := f.Dump("x"); path != "" || err != nil {
+		t.Fatalf("nil recorder Dump: %q, %v", path, err)
+	}
+	snap := f.Snapshot("x")
+	if snap.Reason != "x" || len(snap.Spans) != 0 {
+		t.Fatalf("nil recorder Snapshot: %+v", snap)
+	}
+	// Nil sources inside a real recorder are also fine.
+	real := NewFlightRecorder(nil, nil, nil, FlightOptions{})
+	if snap := real.Snapshot("y"); len(snap.Spans) != 0 || len(snap.Events) != 0 || snap.Metrics != "" {
+		t.Fatalf("nil-source snapshot: %+v", snap)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/datasets"
 	"repro/internal/device"
@@ -23,8 +24,12 @@ func TestProjectMetricsLint(t *testing.T) {
 	reg := obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(reg)
 	obs.RegisterPoolMetrics(reg)
+	obs.RegisterTensorPoolMetrics(reg)
 	dev := device.New("cuda:0", device.RTX2080Ti())
 	obs.RegisterDeviceMetrics(reg, dev)
+	// The flight recorder's dump counters live on the process registry, as
+	// cmd/gnnserve and cmd/gnnworker wire them.
+	obs.NewFlightRecorder(nil, nil, reg, obs.FlightOptions{})
 
 	d := datasets.Cora(datasets.Options{Seed: 1, Scale: 0.08})
 	m := models.New("GCN", pygeo.New(), models.Config{
@@ -49,7 +54,7 @@ func TestProjectMetricsLint(t *testing.T) {
 	})
 	sreg := obs.NewRegistry()
 	srv := serve.New([]serve.Replica{serve.NewModelReplica(gm, device.Default())},
-		serve.Options{Registry: sreg})
+		serve.Options{Registry: sreg, SLOTarget: time.Second})
 	defer srv.Shutdown(context.Background())
 
 	for name, r := range map[string]*obs.Registry{"process": reg, "serve": sreg} {
@@ -64,6 +69,14 @@ func TestProjectMetricsLint(t *testing.T) {
 	requireFamilies(t, "process", reg,
 		"ckpt_saves_total", "ckpt_saved_bytes_total", "ckpt_save_seconds_total", "ckpt_last_save_age_seconds")
 	requireFamilies(t, "serve", sreg, "gnnserve_reloads_total")
+
+	// The PR 8 observability families: flight-recorder dump accounting on
+	// the process registry, SLO burn series on the serving registry.
+	requireFamilies(t, "process", reg,
+		"gnnlab_flight_dumps_total", "gnnlab_flight_dumps_skipped_total")
+	requireFamilies(t, "serve", sreg,
+		"gnnlab_slo_target_seconds", "gnnlab_slo_requests_total", "gnnlab_slo_over_target_total",
+		"gnnlab_slo_breaches_total", "gnnlab_slo_latency_seconds", "gnnlab_slo_burn_ratio")
 }
 
 // requireFamilies asserts each named metric family renders in r's exposition.

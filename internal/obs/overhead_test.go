@@ -63,3 +63,43 @@ func TestInstrumentationOverhead(t *testing.T) {
 	}
 	t.Errorf("instrumentation overhead %.1f%% exceeds 5%% after %d attempts", (ratio-1)*100, attempts)
 }
+
+// The BENCH_obs.json pair: the identical tiny training run with the
+// observability spine off and on, measured in the same process so the ratio
+// is load-comparable. The committed trajectory point records this overhead.
+func BenchmarkTrainingRunBare(b *testing.B)         { benchOverheadRun(b, false) }
+func BenchmarkTrainingRunInstrumented(b *testing.B) { benchOverheadRun(b, true) }
+
+func benchOverheadRun(b *testing.B, instrumented bool) {
+	d := datasets.Cora(datasets.Options{Seed: 1, Scale: 0.08})
+	overheadRun(d, instrumented) // warm caches outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		overheadRun(d, instrumented)
+	}
+}
+
+// Primitive costs of the PR 8 observability surface, for the same file.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := obs.NewTracer(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start("bench", obs.String("k", "v")).End()
+	}
+}
+
+func BenchmarkEventLogAppend(b *testing.B) {
+	l := obs.NewEventLog(1024, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Info("bench", obs.String("k", "v"))
+	}
+}
+
+func BenchmarkSLOObserve(b *testing.B) {
+	s := obs.NewSLOTracker(obs.SLOOptions{Target: time.Millisecond})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(time.Duration(i%2000) * time.Microsecond)
+	}
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSLOQuantiles(t *testing.T) {
+	s := NewSLOTracker(SLOOptions{Target: 100 * time.Millisecond})
+	for i := 1; i <= 100; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Quantile(0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v, want 50ms", got)
+	}
+	if got := s.Quantile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v, want 99ms", got)
+	}
+	if got := s.Quantile(1); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v, want 100ms", got)
+	}
+	if s.Breached() {
+		t.Fatal("exactly 0 over-target samples reported as breach")
+	}
+}
+
+func TestSLOBreachAndRecovery(t *testing.T) {
+	var fired []time.Duration
+	s := NewSLOTracker(SLOOptions{
+		Target:   10 * time.Millisecond,
+		Window:   200,
+		OnBreach: func(p99 time.Duration) { fired = append(fired, p99) },
+	})
+	// 100 fast samples arm the detector without breaching.
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if s.Breached() || len(fired) != 0 {
+		t.Fatal("breached with zero over-target samples")
+	}
+	// Two slow samples put the window over the 1% budget (2/102 > 1%).
+	s.Observe(50 * time.Millisecond)
+	if s.Breached() {
+		t.Fatal("breached at exactly one over-target sample in 101")
+	}
+	s.Observe(50 * time.Millisecond)
+	if !s.Breached() {
+		t.Fatal("not breached at 2 over-target samples in 102")
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnBreach fired %d times, want 1", len(fired))
+	}
+	if fired[0] < 10*time.Millisecond {
+		t.Fatalf("breach callback got p99 %v, want over the target", fired[0])
+	}
+	// Fast samples dilute the window back under half the budget (hysteresis):
+	// recovery at overN*200 <= n means 2 over-target needs n >= 400 — but the
+	// window caps at 200, so recovery happens when the slow samples evict.
+	for i := 0; i < 200; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if s.Breached() {
+		t.Fatal("still breached after the slow samples left the window")
+	}
+	if len(fired) != 1 {
+		t.Fatal("recovery fired the breach callback")
+	}
+}
+
+func TestSLOBreachRateLimit(t *testing.T) {
+	fired := 0
+	s := NewSLOTracker(SLOOptions{
+		Target:      time.Millisecond,
+		Window:      100,
+		MinInterval: time.Hour,
+		OnBreach:    func(time.Duration) { fired++ },
+	})
+	slow := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Observe(10 * time.Millisecond)
+		}
+	}
+	fast := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Observe(time.Microsecond)
+		}
+	}
+	fast(99)
+	slow(3) // breach one
+	if fired != 1 {
+		t.Fatalf("first breach fired %d times, want 1", fired)
+	}
+	fast(100) // recover (slow samples evicted from the 100-window)
+	if s.Breached() {
+		t.Fatal("window of pure fast samples still breached")
+	}
+	slow(3) // breach two, inside MinInterval: counted but silent
+	if !s.Breached() {
+		t.Fatal("second breach not detected")
+	}
+	if fired != 1 {
+		t.Fatalf("rate-limited breach still fired (%d times)", fired)
+	}
+}
+
+func TestSLOMetrics(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLOTracker(SLOOptions{Target: 10 * time.Millisecond, Window: 100, Registry: reg})
+	for i := 0; i < 98; i++ {
+		s.Observe(time.Millisecond)
+	}
+	s.Observe(20 * time.Millisecond)
+	s.Observe(20 * time.Millisecond)
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	for _, frag := range []string{
+		"gnnlab_slo_target_seconds 0.01",
+		"gnnlab_slo_requests_total 100",
+		"gnnlab_slo_over_target_total 2",
+		"gnnlab_slo_breaches_total 1",
+		`gnnlab_slo_latency_seconds{quantile="p99"} 0.02`,
+		"gnnlab_slo_burn_ratio 2",
+	} {
+		if !strings.Contains(exp, frag) {
+			t.Fatalf("exposition missing %q:\n%s", frag, exp)
+		}
+	}
+	if err := reg.Lint(); err != nil {
+		t.Fatalf("SLO metrics fail the registry lint: %v", err)
+	}
+}
+
+func TestSLONilAndConcurrent(t *testing.T) {
+	var s *SLOTracker
+	s.Observe(time.Second)
+	if s.Breached() || s.Quantile(0.99) != 0 || s.Target() != 0 {
+		t.Fatal("nil SLO tracker not inert")
+	}
+
+	real := NewSLOTracker(SLOOptions{Target: time.Millisecond, Window: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				real.Observe(time.Duration(i%5) * time.Millisecond)
+				real.Quantile(0.99)
+				real.Breached()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSLORequiresTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSLOTracker accepted a zero target")
+		}
+	}()
+	NewSLOTracker(SLOOptions{})
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDForJob(t *testing.T) {
+	if TraceIDForJob(1) == 0 || TraceIDForJob(2) == 0 {
+		t.Fatal("trace id 0 derived — 0 is reserved for untraced spans")
+	}
+	if TraceIDForJob(1) != TraceIDForJob(1) {
+		t.Fatal("trace id derivation is not deterministic")
+	}
+	if TraceIDForJob(1) == TraceIDForJob(2) {
+		t.Fatal("distinct jobs share a trace id")
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	tr := NewTracer(0)
+	tc := TraceContext{TraceID: TraceIDForJob(7)}
+	root := tr.StartRemote(tc, "fleet-worker-job")
+	child := root.Child("stream")
+
+	if got := root.Context().TraceID; got != tc.TraceID {
+		t.Fatalf("root trace id %x, want %x", got, tc.TraceID)
+	}
+	if got := child.Context().TraceID; got != tc.TraceID {
+		t.Fatalf("child did not inherit the trace id: %x", got)
+	}
+	child.End()
+	root.End()
+	for _, rec := range tr.Spans() {
+		if rec.TraceID != tc.TraceID {
+			t.Fatalf("recorded span %q carries trace %x, want %x", rec.Name, rec.TraceID, tc.TraceID)
+		}
+	}
+
+	// A zero trace context degrades to an untraced local root.
+	plain := tr.StartRemote(TraceContext{}, "local")
+	plain.End()
+	if plain.Collected() != nil {
+		t.Fatal("untraced root collected spans")
+	}
+}
+
+func TestCollectedRenumbersAndRebases(t *testing.T) {
+	tr := NewTracer(0)
+	// An unrelated earlier span pushes the local id counter past 1, so the
+	// test catches a Collected that forgets to renumber.
+	pre := tr.Start("earlier")
+	pre.End()
+
+	root := tr.StartRemote(TraceContext{TraceID: TraceIDForJob(3)}, "job", String("worker", "w0"))
+	a := root.Child("stream")
+	b := a.Child("replica")
+	b.End()
+	a.End()
+	root.End()
+
+	recs := root.Collected()
+	if len(recs) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for i, r := range recs {
+		if r.ID != uint64(i+1) {
+			t.Fatalf("record %d has id %d — ids must be renumbered 1..n in End order", i, r.ID)
+		}
+		byName[r.Name] = r
+	}
+	// End order was b, a, root: the root is last, with wire id 3.
+	if byName["job"].ParentID != 0 {
+		t.Fatalf("root's wire parent is %d, want 0", byName["job"].ParentID)
+	}
+	if byName["stream"].ParentID != byName["job"].ID {
+		t.Fatal("child not re-parented onto the renumbered root")
+	}
+	if byName["replica"].ParentID != byName["stream"].ID {
+		t.Fatal("grandchild not re-parented onto the renumbered child")
+	}
+	if byName["job"].Start != 0 {
+		t.Fatalf("root start %v, want 0 after rebasing", byName["job"].Start)
+	}
+	if len(byName["job"].Attrs) != 1 || byName["job"].Attrs[0].Value != "w0" {
+		t.Fatal("attributes lost in collection")
+	}
+
+	// Collected on a live root is nil: the tree is not complete yet.
+	live := tr.StartRemote(TraceContext{TraceID: TraceIDForJob(4)}, "live")
+	if live.Collected() != nil {
+		t.Fatal("un-ended root collected spans")
+	}
+	live.End()
+}
+
+// fixedRemoteRecs is a hand-built worker span tree, as DecodeSpans would
+// return it: wire ids 1..n, root parent 0, starts relative to the root.
+func fixedRemoteRecs(traceID uint64) []SpanRecord {
+	return []SpanRecord{
+		{ID: 2, ParentID: 1, TraceID: traceID, Name: "stream", Start: time.Millisecond, Dur: 3 * time.Millisecond},
+		{ID: 1, ParentID: 0, TraceID: traceID, Name: "fleet-worker-job", Start: 0, Dur: 5 * time.Millisecond,
+			Attrs: []Attr{String("worker", "w0")}},
+	}
+}
+
+func TestImportRemoteStitching(t *testing.T) {
+	tr := NewTracer(0)
+	traceID := TraceIDForJob(9)
+	span := tr.StartRemote(TraceContext{TraceID: traceID}, "fleet-job")
+	span.ImportRemote(2, fixedRemoteRecs(traceID))
+	span.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans recorded, want 3 (local root + 2 imported)", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range spans {
+		byName[r.Name] = r
+	}
+	local := byName["fleet-job"]
+	remoteRoot := byName["fleet-worker-job"]
+	remoteChild := byName["stream"]
+	if remoteRoot.ParentID != local.ID {
+		t.Fatal("imported root not re-parented onto the dispatching span")
+	}
+	if remoteChild.ParentID != remoteRoot.ID {
+		t.Fatal("imported child not parented onto the imported root")
+	}
+	if remoteRoot.Pid != 2 || remoteChild.Pid != 2 {
+		t.Fatalf("imported spans on pid %d/%d, want the worker lane 2", remoteRoot.Pid, remoteChild.Pid)
+	}
+	if local.Pid != 0 {
+		t.Fatalf("local span on pid %d, want 0 (the local process)", local.Pid)
+	}
+	if remoteRoot.ID&(1<<63) == 0 {
+		t.Fatal("imported span id lacks the high collision-guard bit")
+	}
+	if remoteRoot.Start < local.Start {
+		t.Fatal("imported spans rebased before the dispatch moment")
+	}
+}
+
+func TestMergedChromeTraceByteDeterministic(t *testing.T) {
+	// Two tracers record the same logical two-worker trace but receive the
+	// workers' span frames in opposite arrival orders — the network race.
+	// Local span records are committed directly and the dispatch spans'
+	// begins are pinned to fixed epoch offsets (white-box: this is the
+	// in-package view of what a fixed job sequence produces), so the merged
+	// Chrome-trace bytes must come out identical.
+	build := func(flip bool) *Tracer {
+		tr := NewTracer(0)
+		t1 := TraceIDForJob(1)
+		t2 := TraceIDForJob(2)
+		tr.record(SpanRecord{ID: 1, Name: "fleet-job", Lane: 0, TraceID: t1,
+			Start: time.Millisecond, Dur: 10 * time.Millisecond, Attrs: []Attr{String("worker", "a")}})
+		tr.record(SpanRecord{ID: 2, Name: "fleet-job", Lane: 1, TraceID: t2,
+			Start: 2 * time.Millisecond, Dur: 9 * time.Millisecond, Attrs: []Attr{String("worker", "b")}})
+		s1 := &Span{t: tr, id: 1, lane: 0, traceID: t1, begin: tr.epoch.Add(time.Millisecond)}
+		s2 := &Span{t: tr, id: 2, lane: 1, traceID: t2, begin: tr.epoch.Add(2 * time.Millisecond)}
+		if flip {
+			s2.ImportRemote(3, fixedRemoteRecs(t2))
+			s1.ImportRemote(2, fixedRemoteRecs(t1))
+		} else {
+			s1.ImportRemote(2, fixedRemoteRecs(t1))
+			s2.ImportRemote(3, fixedRemoteRecs(t2))
+		}
+		return tr
+	}
+
+	render := func(tr *Tracer) string {
+		var buf bytes.Buffer
+		if err := tr.WriteMergedChromeTrace(&buf, nil); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	a := render(build(false))
+	b := render(build(true))
+	if a != b {
+		t.Fatalf("merged trace depends on import arrival order:\n%s\n---\n%s", a, b)
+	}
+	for _, frag := range []string{`"pid":2`, `"pid":3`, `"trace"`, `"fleet-worker-job"`} {
+		if !strings.Contains(a, frag) {
+			t.Fatalf("merged trace missing %s:\n%s", frag, a)
+		}
+	}
+}
+
+func TestImportRemoteIdempotent(t *testing.T) {
+	tr := NewTracer(0)
+	traceID := TraceIDForJob(5)
+	span := tr.StartRemote(TraceContext{TraceID: traceID}, "fleet-job")
+	span.ImportRemote(2, fixedRemoteRecs(traceID))
+	span.End()
+	first := tr.Spans()
+
+	// Importing the same records again must mint the same ids (a pure
+	// function of trace id and wire id), not a second family of spans.
+	span.ImportRemote(2, fixedRemoteRecs(traceID))
+	second := tr.Spans()
+	ids := map[uint64]bool{}
+	for _, r := range first {
+		ids[r.ID] = true
+	}
+	for _, r := range second {
+		if !ids[r.ID] {
+			t.Fatalf("re-import minted new span id %d", r.ID)
+		}
+	}
+}

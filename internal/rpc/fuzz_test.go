@@ -3,8 +3,10 @@ package rpc
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // FuzzRPCDecodeFrame throws arbitrary bytes at the frame decoder and every
@@ -25,12 +27,20 @@ func FuzzRPCDecodeFrame(f *testing.F) {
 	wpl, _ := AppendWelcome(nil, Welcome{Version: ProtocolVersion, MaxPods: 2, ModelHash: hash, WorkerID: "w"})
 	welcome, _ := AppendFrame(nil, Frame{Type: FrameWelcome, Payload: wpl})
 	f.Add(welcome)
-	jpl, _ := AppendJob(nil, []*graph.Graph{testGraph(3, 2, 1)})
+	jpl, _ := AppendJob(nil, obs.TraceContext{TraceID: obs.TraceIDForJob(1), SpanID: 1}, []*graph.Graph{testGraph(3, 2, 1)})
 	job, _ := AppendFrame(nil, Frame{Type: FrameJob, Job: 1, Payload: jpl})
 	f.Add(job)
 	rpl, _ := AppendRow(nil, Row{Index: 0, Class: 1, Logits: []float64{0.5, 1.5}})
 	row, _ := AppendFrame(nil, Frame{Type: FrameRow, Job: 1, Payload: rpl})
 	f.Add(row)
+	spl, _ := AppendSpans(nil, []obs.SpanRecord{
+		{ID: 1, TraceID: obs.TraceIDForJob(1), Name: "fleet-worker-job", Dur: time.Millisecond,
+			Attrs: []obs.Attr{obs.String("worker", "w")}},
+		{ID: 2, ParentID: 1, TraceID: obs.TraceIDForJob(1), Name: "stream"},
+	})
+	spans, _ := AppendFrame(nil, Frame{Type: FrameSpans, Job: 1, Payload: spl})
+	f.Add(spans)
+	f.Add(spans[:HeaderLen+5])                // truncated span list
 	f.Add(job[:HeaderLen+3])                  // truncated payload
 	f.Add(append([]byte("XXXX"), job[4:]...)) // bad magic
 	huge := append([]byte(nil), hello...)
@@ -83,10 +93,17 @@ func FuzzRPCDecodeFrame(f *testing.F) {
 				}
 			}
 		case FrameJob:
-			if graphs, err := DecodeJob(fr.Payload); err == nil {
-				re, err := AppendJob(nil, graphs)
+			if tc, graphs, err := DecodeJob(fr.Payload); err == nil {
+				re, err := AppendJob(nil, tc, graphs)
 				if err != nil || !bytes.Equal(re, fr.Payload) {
 					t.Fatalf("Job payload not canonical (%v)", err)
+				}
+			}
+		case FrameSpans:
+			if recs, err := DecodeSpans(fr.Payload); err == nil {
+				re, err := AppendSpans(nil, recs)
+				if err != nil || !bytes.Equal(re, fr.Payload) {
+					t.Fatalf("Spans payload not canonical (%v)", err)
 				}
 			}
 		case FrameRow:

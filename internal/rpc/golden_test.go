@@ -8,8 +8,10 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -28,11 +30,21 @@ func TestFrameLayoutGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job, err := AppendJob(nil, []*graph.Graph{testGraph(3, 2, 1)})
+	job, err := AppendJob(nil, obs.TraceContext{TraceID: obs.TraceIDForJob(0x0102030405060708), SpanID: 1},
+		[]*graph.Graph{testGraph(3, 2, 1)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	row, err := AppendRow(nil, Row{Index: 1, Class: 2, Logits: []float64{0.5, -0.25, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := AppendSpans(nil, []obs.SpanRecord{
+		{ID: 1, TraceID: obs.TraceIDForJob(0x0102030405060708), Name: "fleet-worker-job",
+			Dur: 5 * time.Millisecond, Attrs: []obs.Attr{obs.String("worker", "w0")}},
+		{ID: 2, ParentID: 1, TraceID: obs.TraceIDForJob(0x0102030405060708), Name: "stream",
+			Start: time.Millisecond, Dur: 3 * time.Millisecond},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +55,7 @@ func TestFrameLayoutGolden(t *testing.T) {
 	}{
 		{"hello", Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtocolVersion})}},
 		{"welcome", Frame{Type: FrameWelcome, Payload: welcome}},
-		{"refuse", Frame{Type: FrameRefuse, Payload: AppendRefuse(nil, Refuse{Message: "rpc: protocol version 9 not supported (worker speaks 1)"})}},
+		{"refuse", Frame{Type: FrameRefuse, Payload: AppendRefuse(nil, Refuse{Message: fmt.Sprintf("rpc: protocol version 9 not supported (worker speaks %d)", ProtocolVersion)})}},
 		{"job", Frame{Type: FrameJob, Job: 0x0102030405060708, Payload: job}},
 		{"row", Frame{Type: FrameRow, Job: 0x0102030405060708, Payload: row}},
 		{"jobdone", Frame{Type: FrameJobDone, Job: 0x0102030405060708, Payload: AppendJobDone(nil, JobDone{Rows: 1})}},
@@ -51,6 +63,7 @@ func TestFrameLayoutGolden(t *testing.T) {
 		{"cancel", Frame{Type: FrameCancel, Job: 0x0102030405060708}},
 		{"ping", Frame{Type: FramePing, Job: 99}},
 		{"pong", Frame{Type: FramePong, Job: 99, Payload: AppendPong(nil, Pong{RunningPods: 2})}},
+		{"spans", Frame{Type: FrameSpans, Job: 0x0102030405060708, Payload: spans}},
 	}
 
 	var buf bytes.Buffer

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -24,6 +26,12 @@ const (
 	MaxLogits = 1 << 16
 	// MaxStringLen bounds worker ids and error/refusal messages.
 	MaxStringLen = 1 << 12
+	// MaxSpansPerJob bounds the span records one Spans frame may carry — far
+	// above what one job's collate/forward/stream tree produces, far below
+	// anything that could be used to balloon the coordinator's span ring.
+	MaxSpansPerJob = 512
+	// MaxAttrsPerSpan bounds one wire span's key/value annotations.
+	MaxAttrsPerSpan = 16
 )
 
 // HashLen is the byte length of the model checkpoint hash exchanged in the
@@ -142,6 +150,19 @@ func (d *decoder) u32() uint32 {
 	return v
 }
 
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
 func (d *decoder) f64() float64 {
 	if d.err != nil {
 		return 0
@@ -256,13 +277,17 @@ func DecodeRefuse(payload []byte) (Refuse, error) {
 	return r, d.finish()
 }
 
-// AppendJob appends a Job payload — the batch of graphs — to dst. Graphs must
-// be validated (non-nil features, consistent edge lists) before encoding;
-// this is the coordinator's side of the contract Predict already enforces.
-func AppendJob(dst []byte, graphs []*graph.Graph) ([]byte, error) {
+// AppendJob appends a Job payload — the job's trace context followed by the
+// batch of graphs — to dst. Graphs must be validated (non-nil features,
+// consistent edge lists) before encoding; this is the coordinator's side of
+// the contract Predict already enforces. A zero trace context is legal and
+// means the dispatcher is not tracing.
+func AppendJob(dst []byte, tc obs.TraceContext, graphs []*graph.Graph) ([]byte, error) {
 	if len(graphs) == 0 || len(graphs) > MaxGraphsPerJob {
 		return dst, fmt.Errorf("%w: %d graphs per job (want 1..%d)", ErrBadFrame, len(graphs), MaxGraphsPerJob)
 	}
+	dst = binary.LittleEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.LittleEndian.AppendUint64(dst, tc.SpanID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(graphs)))
 	for i, g := range graphs {
 		if g == nil || g.X == nil {
@@ -288,12 +313,14 @@ func AppendJob(dst []byte, graphs []*graph.Graph) ([]byte, error) {
 	return dst, nil
 }
 
-// DecodeJob parses a Job payload back into validated graphs.
-func DecodeJob(payload []byte) ([]*graph.Graph, error) {
+// DecodeJob parses a Job payload back into its trace context and validated
+// graphs.
+func DecodeJob(payload []byte) (obs.TraceContext, []*graph.Graph, error) {
 	d := &decoder{b: payload}
+	tc := obs.TraceContext{TraceID: d.u64(), SpanID: d.u64()}
 	ng := d.count("graph", MaxGraphsPerJob, 12) // 12 = the three dim fields
 	if d.err != nil {
-		return nil, d.err
+		return obs.TraceContext{}, nil, d.err
 	}
 	graphs := make([]*graph.Graph, 0, ng)
 	for i := 0; i < ng; i++ {
@@ -301,19 +328,19 @@ func DecodeJob(payload []byte) ([]*graph.Graph, error) {
 		e := int(d.u32())
 		f := int(d.u32())
 		if d.err != nil {
-			return nil, d.err
+			return obs.TraceContext{}, nil, d.err
 		}
 		if n <= 0 || n > MaxNodesPerGraph {
-			return nil, fmt.Errorf("%w: graph %d has %d nodes", ErrBadFrame, i, n)
+			return obs.TraceContext{}, nil, fmt.Errorf("%w: graph %d has %d nodes", ErrBadFrame, i, n)
 		}
 		if e < 0 || e > MaxEdgesPerGraph {
-			return nil, fmt.Errorf("%w: graph %d has %d edges", ErrBadFrame, i, e)
+			return obs.TraceContext{}, nil, fmt.Errorf("%w: graph %d has %d edges", ErrBadFrame, i, e)
 		}
 		if f <= 0 || f > MaxFeatureDim {
-			return nil, fmt.Errorf("%w: graph %d has feature width %d", ErrBadFrame, i, f)
+			return obs.TraceContext{}, nil, fmt.Errorf("%w: graph %d has feature width %d", ErrBadFrame, i, f)
 		}
 		if need := 4*2*e + 8*n*f; d.remaining() < need {
-			return nil, fmt.Errorf("%w: graph %d needs %d payload bytes, %d left", ErrBadFrame, i, need, d.remaining())
+			return obs.TraceContext{}, nil, fmt.Errorf("%w: graph %d needs %d payload bytes, %d left", ErrBadFrame, i, need, d.remaining())
 		}
 		src := make([]int, e)
 		for j := range src {
@@ -328,15 +355,18 @@ func DecodeJob(payload []byte) ([]*graph.Graph, error) {
 			x.Data[j] = d.f64()
 		}
 		if d.err != nil {
-			return nil, d.err
+			return obs.TraceContext{}, nil, d.err
 		}
 		g := &graph.Graph{NumNodes: n, Src: src, Dst: dstIdx, X: x}
 		if err := g.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: graph %d: %v", ErrBadFrame, i, err)
+			return obs.TraceContext{}, nil, fmt.Errorf("%w: graph %d: %v", ErrBadFrame, i, err)
 		}
 		graphs = append(graphs, g)
 	}
-	return graphs, d.finish()
+	if err := d.finish(); err != nil {
+		return obs.TraceContext{}, nil, err
+	}
+	return tc, graphs, nil
 }
 
 // AppendRow appends r's encoding to dst.
@@ -432,4 +462,102 @@ func DecodePong(payload []byte) (Pong, error) {
 	d := &decoder{b: payload}
 	p := Pong{RunningPods: d.u32()}
 	return p, d.finish()
+}
+
+// AppendSpans appends a Spans payload — a job's completed span records, as
+// obs.Span.Collected returns them: ids renumbered 1..n, the root's parent 0,
+// starts relative to the root. Lane and Pid are display-side concerns and do
+// not travel.
+func AppendSpans(dst []byte, spans []obs.SpanRecord) ([]byte, error) {
+	if len(spans) == 0 || len(spans) > MaxSpansPerJob {
+		return dst, fmt.Errorf("%w: %d spans per frame (want 1..%d)", ErrBadFrame, len(spans), MaxSpansPerJob)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(spans)))
+	for i, s := range spans {
+		if s.ID == 0 || s.ID > MaxSpansPerJob || s.ParentID > MaxSpansPerJob {
+			return dst, fmt.Errorf("%w: span %d ids %d/%d out of wire range (collect with Span.Collected)", ErrBadFrame, i, s.ID, s.ParentID)
+		}
+		if s.Start < 0 || s.Dur < 0 {
+			return dst, fmt.Errorf("%w: span %d has negative start or duration", ErrBadFrame, i)
+		}
+		if len(s.Name) == 0 || len(s.Name) > MaxStringLen {
+			return dst, fmt.Errorf("%w: span %d name of %d bytes", ErrBadFrame, i, len(s.Name))
+		}
+		if len(s.Attrs) > MaxAttrsPerSpan {
+			return dst, fmt.Errorf("%w: span %d carries %d attrs", ErrBadFrame, i, len(s.Attrs))
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.ID))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.ParentID))
+		dst = binary.LittleEndian.AppendUint64(dst, s.TraceID)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Start))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Dur))
+		dst = appendStr(dst, s.Name)
+		dst = append(dst, uint8(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			if len(a.Key) > MaxStringLen || len(a.Value) > MaxStringLen {
+				return dst, fmt.Errorf("%w: span %d attr of %d/%d bytes", ErrBadFrame, i, len(a.Key), len(a.Value))
+			}
+			dst = appendStr(dst, a.Key)
+			dst = appendStr(dst, a.Value)
+		}
+	}
+	return dst, nil
+}
+
+// minWireSpan is the smallest possible encoded span: two u32 ids, trace id,
+// start, duration, an empty-name length field and the attr count byte.
+const minWireSpan = 4 + 4 + 8 + 8 + 8 + 4 + 1
+
+// DecodeSpans parses a Spans payload back into span records (Lane and Pid
+// zero; the importing side assigns both).
+func DecodeSpans(payload []byte) ([]obs.SpanRecord, error) {
+	d := &decoder{b: payload}
+	ns := d.count("span", MaxSpansPerJob, minWireSpan)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if ns == 0 {
+		return nil, fmt.Errorf("%w: spans frame with no spans", ErrBadFrame)
+	}
+	spans := make([]obs.SpanRecord, 0, ns)
+	for i := 0; i < ns; i++ {
+		var s obs.SpanRecord
+		s.ID = uint64(d.u32())
+		s.ParentID = uint64(d.u32())
+		s.TraceID = d.u64()
+		start := d.u64()
+		dur := d.u64()
+		s.Name = d.str("span name")
+		na := int(d.u8())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if s.ID == 0 || s.ID > MaxSpansPerJob || s.ParentID > MaxSpansPerJob {
+			return nil, fmt.Errorf("%w: span %d ids %d/%d out of wire range", ErrBadFrame, i, s.ID, s.ParentID)
+		}
+		if start > uint64(1<<62) || dur > uint64(1<<62) {
+			return nil, fmt.Errorf("%w: span %d start or duration overflows", ErrBadFrame, i)
+		}
+		s.Start = time.Duration(start)
+		s.Dur = time.Duration(dur)
+		if s.Name == "" {
+			return nil, fmt.Errorf("%w: span %d has an empty name", ErrBadFrame, i)
+		}
+		if na > MaxAttrsPerSpan {
+			return nil, fmt.Errorf("%w: span %d carries %d attrs", ErrBadFrame, i, na)
+		}
+		if na > 0 {
+			s.Attrs = make([]obs.Attr, 0, na)
+			for j := 0; j < na; j++ {
+				k := d.str("attr key")
+				v := d.str("attr value")
+				if d.err != nil {
+					return nil, d.err
+				}
+				s.Attrs = append(s.Attrs, obs.Attr{Key: k, Value: v})
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans, d.finish()
 }

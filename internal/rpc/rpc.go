@@ -26,7 +26,9 @@
 // worker id} or Refuse{message} — a version or checkpoint mismatch is a clean,
 // human-readable refusal, never a silently wrong prediction. After the
 // handshake the coordinator sends Job frames (a batch of graphs under one job
-// id) and Cancel frames; the worker streams back one Row frame per graph
+// id, led by the job's trace context) and Cancel frames; the worker streams
+// back one Row frame per graph, then its completed span records in a Spans
+// frame (so the coordinator can stitch the worker's timeline under its own),
 // followed by JobDone, or JobErr (carrying a code so "at pod capacity" is
 // distinguishable from "forward pass failed"). Ping/Pong carry the health
 // check, with the job-id field doubling as the sequence number.
@@ -46,7 +48,13 @@ import (
 
 // ProtocolVersion is the wire protocol revision this build speaks. Peers with
 // different versions must refuse each other during the handshake.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1  initial frame set (Hello..Pong)
+//	2  Job payloads carry a leading trace context (trace id + parent span
+//	   id); workers ship completed span records back in a Spans frame
+const ProtocolVersion = 2
 
 // Frame types.
 const (
@@ -77,6 +85,11 @@ const (
 	// FramePong answers a Ping: worker → client, payload Pong, job id echoes
 	// the probe sequence number.
 	FramePong uint8 = 10
+	// FrameSpans ships a job's completed span records back for trace
+	// stitching: worker → client, payload Spans, job id set. Sent after the
+	// job's rows and before its JobDone, so the coordinator's job state is
+	// still alive when the spans arrive.
+	FrameSpans uint8 = 11
 )
 
 // HeaderLen is the fixed frame header size in bytes.
@@ -113,7 +126,7 @@ type Frame struct {
 }
 
 // validType reports whether t is a defined frame type.
-func validType(t uint8) bool { return t >= FrameHello && t <= FramePong }
+func validType(t uint8) bool { return t >= FrameHello && t <= FrameSpans }
 
 // AppendFrame appends f's wire encoding to dst and returns the extended
 // slice. It errors on an unknown type or an oversized payload.

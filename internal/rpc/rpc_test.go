@@ -7,8 +7,10 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -148,13 +150,17 @@ func TestHandshakeRoundTrip(t *testing.T) {
 
 func TestJobRoundTrip(t *testing.T) {
 	graphs := []*graph.Graph{testGraph(5, 3, 1), testGraph(2, 3, 9), testGraph(8, 3, 4)}
-	enc, err := AppendJob(nil, graphs)
+	wantTC := obs.TraceContext{TraceID: obs.TraceIDForJob(42), SpanID: 7}
+	enc, err := AppendJob(nil, wantTC, graphs)
 	if err != nil {
 		t.Fatalf("AppendJob: %v", err)
 	}
-	got, err := DecodeJob(enc)
+	tc, got, err := DecodeJob(enc)
 	if err != nil {
 		t.Fatalf("DecodeJob: %v", err)
+	}
+	if tc != wantTC {
+		t.Fatalf("trace context round trip: got %+v, want %+v", tc, wantTC)
 	}
 	if len(got) != len(graphs) {
 		t.Fatalf("decoded %d graphs, want %d", len(got), len(graphs))
@@ -172,25 +178,77 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 
 	// Corruptions must error, not panic or mis-decode.
-	if _, err := DecodeJob(enc[:len(enc)-1]); err == nil {
+	if _, _, err := DecodeJob(enc[:len(enc)-1]); err == nil {
 		t.Fatal("truncated job decoded")
 	}
-	if _, err := DecodeJob(append(append([]byte(nil), enc...), 0)); err == nil {
+	if _, _, err := DecodeJob(append(append([]byte(nil), enc...), 0)); err == nil {
 		t.Fatal("job with trailing garbage decoded")
 	}
 	bad := append([]byte(nil), enc...)
-	bad[4] = 0xFF // first graph's node count low byte
-	bad[5] = 0xFF
-	bad[6] = 0xFF
-	bad[7] = 0x7F
-	if _, err := DecodeJob(bad); err == nil {
+	// The payload leads with the 16-byte trace context; the graph count and
+	// first graph's node count follow it.
+	bad[20] = 0xFF // first graph's node count low byte
+	bad[21] = 0xFF
+	bad[22] = 0xFF
+	bad[23] = 0x7F
+	if _, _, err := DecodeJob(bad); err == nil {
 		t.Fatal("job with absurd node count decoded")
 	}
-	if _, err := AppendJob(nil, nil); err == nil {
+	if _, err := AppendJob(nil, obs.TraceContext{}, nil); err == nil {
 		t.Fatal("empty job encoded")
 	}
-	if _, err := AppendJob(nil, []*graph.Graph{{NumNodes: 1}}); err == nil {
+	if _, err := AppendJob(nil, obs.TraceContext{}, []*graph.Graph{{NumNodes: 1}}); err == nil {
 		t.Fatal("featureless graph encoded")
+	}
+}
+
+func TestSpansRoundTrip(t *testing.T) {
+	in := []obs.SpanRecord{
+		{ID: 1, ParentID: 0, TraceID: obs.TraceIDForJob(1), Name: "fleet-worker-job",
+			Start: 0, Dur: 5 * time.Millisecond,
+			Attrs: []obs.Attr{obs.String("worker", "w1")}},
+		{ID: 2, ParentID: 1, TraceID: obs.TraceIDForJob(1), Name: "stream",
+			Start: time.Millisecond, Dur: 3 * time.Millisecond},
+	}
+	enc, err := AppendSpans(nil, in)
+	if err != nil {
+		t.Fatalf("AppendSpans: %v", err)
+	}
+	got, err := DecodeSpans(enc)
+	if err != nil {
+		t.Fatalf("DecodeSpans: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("spans round trip:\n got %+v\nwant %+v", got, in)
+	}
+
+	if _, err := DecodeSpans(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated spans decoded")
+	}
+	if _, err := DecodeSpans(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("spans with trailing garbage decoded")
+	}
+	if _, err := AppendSpans(nil, nil); err == nil {
+		t.Fatal("empty span set encoded")
+	}
+	if _, err := AppendSpans(nil, []obs.SpanRecord{{ID: 0, Name: "x"}}); err == nil {
+		t.Fatal("span id 0 encoded")
+	}
+	if _, err := AppendSpans(nil, []obs.SpanRecord{{ID: MaxSpansPerJob + 1, Name: "x"}}); err == nil {
+		t.Fatal("span id above the wire cap encoded")
+	}
+	if _, err := AppendSpans(nil, []obs.SpanRecord{{ID: 1, Name: ""}}); err == nil {
+		t.Fatal("nameless span encoded")
+	}
+	if _, err := AppendSpans(nil, []obs.SpanRecord{{ID: 1, Name: "x", Start: -time.Second}}); err == nil {
+		t.Fatal("negative span start encoded")
+	}
+	big := make([]obs.SpanRecord, MaxSpansPerJob+1)
+	for i := range big {
+		big[i] = obs.SpanRecord{ID: uint64(i + 1), Name: "s"}
+	}
+	if _, err := AppendSpans(nil, big); err == nil {
+		t.Fatal("span set above the wire cap encoded")
 	}
 }
 

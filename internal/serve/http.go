@@ -10,6 +10,7 @@ import (
 	"net/http/pprof"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // maxRequestBytes bounds a /predict request body; graphs the size of the
@@ -34,11 +35,13 @@ type PredictResponse struct {
 
 // Handler returns the server's HTTP interface:
 //
-//	POST /predict      one-graph prediction (PredictRequest -> PredictResponse)
-//	GET  /healthz      200 while serving, 503 once draining
-//	GET  /metrics      Prometheus text exposition of the server's registry
-//	GET  /debug/vars   plain-text "name{labels} value" registry snapshot
-//	GET  /debug/pprof  Go runtime profiles (heap, goroutine, cpu, ...)
+//	POST /predict               one-graph prediction (PredictRequest -> PredictResponse)
+//	GET  /healthz               200 while serving, 503 once draining
+//	GET  /metrics               Prometheus text exposition of the server's registry
+//	GET  /debug/vars            plain-text "name{labels} value" registry snapshot
+//	GET  /debug/pprof           Go runtime profiles (heap, goroutine, cpu, ...)
+//	GET  /debug/trace           merged Chrome-trace JSON of the tracer's buffered spans
+//	GET  /debug/flightrecorder  live flight-recorder snapshot as JSON
 //
 // Backpressure surfaces as 429, a passed deadline as 504, shutdown as 503,
 // malformed input as 400.
@@ -47,13 +50,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /predict", s.handlePredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	MountDebug(mux, s.reg, s.opt.Tracer, s.opt.Flight)
+	return mux
+}
+
+// MountDebug mounts the debug surface shared by every gnnlab process —
+// coordinator and worker alike expose the same pprof, registry, trace and
+// flight-recorder routes, so an operator never has to remember which process
+// speaks which path:
+//
+//	GET /debug/vars            plain-text "name{labels} value" registry snapshot
+//	GET /debug/pprof/...       Go runtime profiles
+//	GET /debug/trace           merged Chrome-trace JSON (open at ui.perfetto.dev)
+//	GET /debug/flightrecorder  live flight-recorder snapshot as JSON
+//
+// reg may not be nil; tr and fr may be (their routes then answer 404). On a
+// coordinator the trace is the stitched multi-process one: pid 1 is this
+// process, pid 2+ one lane per worker.
+func MountDebug(mux *http.ServeMux, reg *obs.Registry, tr *obs.Tracer, fr *obs.FlightRecorder) {
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteSnapshot(w)
+	})
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	return mux
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if tr == nil {
+			http.Error(w, "no tracer configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		tr.WriteMergedChromeTrace(w, nil)
+	})
+	mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		if fr == nil {
+			http.Error(w, "no flight recorder configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fr.WriteJSON(w, "http")
+	})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -115,11 +154,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.WriteMetrics(w)
-}
-
-func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.reg.WriteSnapshot(w)
 }
 
 // WriteMetrics renders the server's metrics registry in Prometheus text

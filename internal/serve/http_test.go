@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fw/pygeo"
 	"repro/internal/models"
+	"repro/internal/obs"
 )
 
 // requestBody builds a /predict JSON body for an n-node ring graph whose
@@ -286,5 +287,76 @@ func TestHTTPMetricsAndHealth(t *testing.T) {
 	}
 	if !strings.Contains(string(body), `gnnserve_requests_total{outcome="accepted"} 1`) {
 		t.Fatalf("metrics body missing accepted counter:\n%s", body)
+	}
+}
+
+// TestDebugSurface pins the shared debug mux both gnnserve and gnnworker
+// mount: the registry snapshot, the merged Chrome trace, and the live
+// flight-recorder snapshot all answer on a configured server, and the obs
+// routes 404 cleanly (instead of panicking on nil) when unconfigured.
+func TestDebugSurface(t *testing.T) {
+	get := func(ts *httptest.Server, path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	tracer := obs.NewTracer(0)
+	events := obs.NewEventLog(0, nil)
+	reg := obs.NewRegistry()
+	flight := obs.NewFlightRecorder(tracer, events, reg, obs.FlightOptions{})
+	s, _ := newFakeServer(t, 3, 0, Options{
+		Registry: reg, Tracer: tracer, Events: events, Flight: flight,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, _, err := postPredict(ts, requestBody(4, 2)); err != nil || code != http.StatusOK {
+		t.Fatalf("predict: code %d err %v", code, err)
+	}
+
+	if code, body := get(ts, "/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "gnnserve_responses_total 1") {
+		t.Fatalf("debug/vars: %d\n%s", code, body)
+	}
+
+	code, body := get(ts, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("debug/trace: %d %s", code, body)
+	}
+	var traceEvents []map[string]any
+	if err := json.Unmarshal([]byte(body), &traceEvents); err != nil {
+		t.Fatalf("debug/trace is not Chrome-trace JSON: %v", err)
+	}
+	if len(traceEvents) == 0 {
+		t.Fatal("debug/trace holds no span events after a served request")
+	}
+
+	code, body = get(ts, "/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("debug/flightrecorder: %d %s", code, body)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("flight snapshot is not JSON: %v", err)
+	}
+	if snap.Reason != "http" || len(snap.Spans) == 0 ||
+		!strings.Contains(snap.Metrics, "gnnserve_responses_total") {
+		t.Fatalf("flight snapshot content: reason %q, %d spans", snap.Reason, len(snap.Spans))
+	}
+
+	// Unconfigured server: 404s, never nil-pointer panics.
+	bare, _ := newFakeServer(t, 3, 0, Options{})
+	tsBare := httptest.NewServer(bare.Handler())
+	defer tsBare.Close()
+	if code, _ := get(tsBare, "/debug/trace"); code != http.StatusNotFound {
+		t.Fatalf("bare debug/trace: %d, want 404", code)
+	}
+	if code, _ := get(tsBare, "/debug/flightrecorder"); code != http.StatusNotFound {
+		t.Fatalf("bare debug/flightrecorder: %d, want 404", code)
 	}
 }

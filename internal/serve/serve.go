@@ -73,6 +73,19 @@ type Options struct {
 	// Tracer, when non-nil, records one span per forward batch (with
 	// collate/forward children) onto the shared trace timeline.
 	Tracer *obs.Tracer
+	// Events, when non-nil, receives serving lifecycle events (model
+	// reload, drain).
+	Events *obs.EventLog
+	// Flight, when non-nil, is dumped when the SLO tracker detects a p99
+	// breach, and rendered by GET /debug/flightrecorder.
+	Flight *obs.FlightRecorder
+	// SLOTarget, when positive, arms a rolling-window p99 latency objective
+	// over Predict: gnnlab_slo_* series appear on the registry and a breach
+	// triggers a flight-recorder dump.
+	SLOTarget time.Duration
+	// SLOWindow overrides the SLO tracker's rolling sample window (default
+	// obs.DefaultSLOWindow).
+	SLOWindow int
 }
 
 func (o *Options) defaults() {
@@ -188,6 +201,7 @@ type Server struct {
 	opt      Options
 	reg      *obs.Registry
 	met      serveMetrics
+	slo      *obs.SLOTracker
 
 	queue chan *request
 	jobs  chan []*request
@@ -279,6 +293,22 @@ func newServer(opt Options) *Server {
 	s.met.reloadErr = reloads.With("error")
 	reg.GaugeFunc("gnnserve_queue_depth", "Requests queued but not yet dispatched.",
 		func() float64 { return float64(len(s.queue)) })
+	if opt.SLOTarget > 0 {
+		s.slo = obs.NewSLOTracker(obs.SLOOptions{
+			Target:      opt.SLOTarget,
+			Window:      opt.SLOWindow,
+			Registry:    reg,
+			MinInterval: time.Second,
+			OnBreach: func(p99 time.Duration) {
+				// The breach itself is the forensic moment: record it, then
+				// freeze the recent spans/events/metrics to disk.
+				opt.Events.Warn("slo-breach",
+					obs.String("p99", p99.String()),
+					obs.String("target", opt.SLOTarget.String()))
+				opt.Flight.Dump("slo-breach")
+			},
+		})
+	}
 	return s
 }
 
@@ -325,6 +355,7 @@ func (s *Server) Predict(ctx context.Context, g *graph.Graph) (Prediction, error
 		defer cancel()
 	}
 	req := &request{ctx: ctx, g: g, done: make(chan result, 1)}
+	start := time.Now()
 
 	s.mu.RLock()
 	if s.closed {
@@ -343,9 +374,13 @@ func (s *Server) Predict(ctx context.Context, g *graph.Graph) (Prediction, error
 
 	select {
 	case res := <-req.done:
+		// Deadline expiries count against the SLO too — a request the
+		// caller gave up on is the worst latency of all.
+		s.slo.Observe(time.Since(start))
 		return res.pred, res.err
 	case <-ctx.Done():
 		// The batch still answers the buffered done channel; nothing leaks.
+		s.slo.Observe(time.Since(start))
 		return Prediction{}, ctx.Err()
 	}
 }
@@ -572,9 +607,11 @@ func (s *Server) SwapModel(m models.Model) error {
 	err := s.swapModel(m)
 	if err != nil {
 		s.met.reloadErr.Inc()
+		s.opt.Events.Warn("model-reload-failed", obs.String("error", err.Error()))
 		return err
 	}
 	s.met.reloadOK.Inc()
+	s.opt.Events.Info("model-reload", obs.Int("replicas", len(s.replicas)))
 	return nil
 }
 
@@ -609,11 +646,15 @@ func (s *Server) swapModel(m models.Model) error {
 // once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.closed {
+	first := !s.closed
+	if first {
 		s.closed = true
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	if first {
+		s.opt.Events.Info("drain-begin", obs.Int("queued", len(s.queue)))
+	}
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -621,6 +662,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if first {
+			s.opt.Events.Info("drain-complete")
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
