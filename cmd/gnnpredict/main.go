@@ -1,0 +1,147 @@
+// Command gnnpredict fits and evaluates the learned cost model: it sweeps a
+// model across the synthetic topology generators, regresses forward latency
+// against graph metrics, and reports predicted-vs-actual accuracy (R²) on a
+// held-out slice of the sweep.
+//
+//	gnnpredict -model GCN -framework PyG                 # fit + report
+//	gnnpredict -o costmodel.json                          # also save the predictor
+//	gnnpredict -min-r2 0.8                                # CI gate: exit 1 below the bar
+//
+// The sweep, the fit and the JSON output are all deterministic: the same
+// flags produce byte-identical predictor files, which is what the CI
+// determinism check pins. The saved predictor arms admission control in
+// gnnserve via its -costmodel flag.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/fw"
+	"repro/internal/fw/dglb"
+	"repro/internal/fw/pygeo"
+	"repro/internal/models"
+)
+
+func main() {
+	modelName := flag.String("model", "GCN", "architecture: GCN|GAT|GraphSAGE|GIN|MoNet|GatedGCN")
+	framework := flag.String("framework", "PyG", "framework: PyG|DGL")
+	features := flag.Int("features", 18, "node-feature width the model is built for")
+	classes := flag.Int("classes", 6, "output classes the model is built for")
+	samples := flag.Int("samples", 96, "sweep measurements to take")
+	seed := flag.Uint64("seed", 1, "sweep seed (drives topologies, sizes and features)")
+	holdEvery := flag.Int("holdout", 4, "hold out every n-th sweep sample for evaluation")
+	steps := flag.Int("steps", 0, "regression steps (0 = default)")
+	minR2 := flag.Float64("min-r2", 0, "exit nonzero when held-out R² falls below this bar")
+	outPath := flag.String("o", "", "write the fitted predictor JSON here")
+	jsonOut := flag.Bool("json", false, "print the evaluation report as JSON instead of text")
+	flag.Parse()
+
+	var be fw.Backend
+	switch *framework {
+	case "PyG":
+		be = pygeo.New()
+	case "DGL":
+		be = dglb.New()
+	default:
+		fatal(fmt.Errorf("unknown framework %q (want PyG or DGL)", *framework))
+	}
+	m := models.New(*modelName, be, models.Config{
+		Task: models.GraphClassification, In: *features, Hidden: 64, Out: 64,
+		Classes: *classes, Layers: 4, Heads: 8, Kernels: 2, LearnEps: true, Seed: 1,
+	})
+
+	sweep := costmodel.Sweep(m, *features, costmodel.SweepOptions{Samples: *samples, Seed: *seed})
+	train, held := costmodel.Split(sweep, *holdEvery)
+	p, err := costmodel.Fit(train, costmodel.FitOptions{Steps: *steps})
+	if err != nil {
+		fatal(err)
+	}
+	p.Model, p.Framework = *modelName, *framework
+
+	rep := evaluate(p, train, held)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("gnnpredict: %s/%s — %d sweep samples (%d train, %d held out), seed %d\n",
+			*modelName, *framework, len(sweep), len(train), len(held), *seed)
+		fmt.Printf("  R² train %.6f, held-out %.6f\n", rep.R2Train, rep.R2Held)
+		fmt.Printf("  held-out |predicted-actual|: mean %.3gs, p99 %.3gs (actual mean %.3gs)\n",
+			rep.MeanAbsErr, rep.P99AbsErr, rep.MeanActual)
+		for j, name := range costmodel.FeatureNames {
+			fmt.Printf("  coef %-8s %+.6f\n", name, p.Coef[j])
+		}
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		err = p.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gnnpredict: wrote predictor to %s\n", *outPath)
+	}
+
+	if *minR2 > 0 && rep.R2Held < *minR2 {
+		fatal(fmt.Errorf("held-out R² %.6f below the -min-r2 bar %.6f", rep.R2Held, *minR2))
+	}
+}
+
+// report is the machine-readable evaluation the -json flag prints.
+type report struct {
+	Model      string  `json:"model"`
+	Framework  string  `json:"framework"`
+	Train      int     `json:"train_samples"`
+	Held       int     `json:"held_samples"`
+	R2Train    float64 `json:"r2_train"`
+	R2Held     float64 `json:"r2_held"`
+	MeanActual float64 `json:"mean_actual_seconds"`
+	MeanAbsErr float64 `json:"mean_abs_error_seconds"`
+	P99AbsErr  float64 `json:"p99_abs_error_seconds"`
+}
+
+func evaluate(p *costmodel.Predictor, train, held []costmodel.Sample) report {
+	rep := report{
+		Model: p.Model, Framework: p.Framework,
+		Train: len(train), Held: len(held),
+		R2Train: costmodel.RSquared(p, train),
+		R2Held:  costmodel.RSquared(p, held),
+	}
+	if len(held) == 0 {
+		return rep
+	}
+	errs := make([]float64, len(held))
+	for i, s := range held {
+		e := p.PredictFeatures(s.F).Seconds() - s.Seconds
+		if e < 0 {
+			e = -e
+		}
+		errs[i] = e
+		rep.MeanAbsErr += e
+		rep.MeanActual += s.Seconds
+	}
+	rep.MeanAbsErr /= float64(len(held))
+	rep.MeanActual /= float64(len(held))
+	sort.Float64s(errs)
+	rep.P99AbsErr = errs[(len(errs)*99+99)/100-1]
+	return rep
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gnnpredict: %v\n", err)
+	os.Exit(1)
+}

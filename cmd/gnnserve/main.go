@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/costmodel"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fleet"
@@ -58,6 +59,9 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "training checkpoint directory: the newest recoverable GNNCKPT2 file supplies the weights, and /admin/reload or SIGHUP re-reads it")
 	workers := flag.String("workers", "", "comma-separated gnnworker addresses; enables coordinator mode (batches dispatch to the fleet instead of local replicas)")
 	sloTarget := flag.Duration("slo-target", 0, "p99 latency objective over /predict; a rolling-window breach dumps the flight recorder (0 = SLO tracking off)")
+	costmodelPath := flag.String("costmodel", "", "predictor JSON written by gnnpredict; arms predicted-latency admission control (429 or split for over-budget batches)")
+	costmodelFit := flag.Bool("costmodel-fit", false, "fit the cost model at startup by sweeping the served model over the synthetic generators (alternative to -costmodel)")
+	admissionBudget := flag.Duration("admission-budget", 0, "predicted-latency budget per dispatch batch (default: the -slo-target value)")
 	flightDir := flag.String("flight-dir", "", "directory for flight-recorder dumps on eviction or SLO breach (empty = dumps disabled, GET /debug/flightrecorder still live)")
 	collateBench := flag.Bool("collatebench", false, "measure offline collation throughput and exit")
 	flag.Parse()
@@ -119,6 +123,45 @@ func main() {
 		fatal(err)
 	}
 
+	// Cost-model admission control: a predictor comes either from a
+	// gnnpredict fit on disk or from a startup sweep over the served model.
+	if *costmodelPath != "" && *costmodelFit {
+		fatal(errors.New("-costmodel and -costmodel-fit are mutually exclusive"))
+	}
+	var predictor serve.LatencyPredictor
+	switch {
+	case *costmodelPath != "":
+		f, err := os.Open(*costmodelPath)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := costmodel.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		// A predictor fit for a different model or framework predicts the
+		// wrong latencies; refuse to arm admission control with it.
+		if (p.Model != "" && p.Model != *modelName) || (p.Framework != "" && p.Framework != *framework) {
+			fatal(fmt.Errorf("cost model %s was fit for %s/%s, serving %s/%s",
+				*costmodelPath, p.Model, p.Framework, *modelName, *framework))
+		}
+		predictor = p
+	case *costmodelFit:
+		samples := costmodel.Sweep(m, d.NumFeatures, costmodel.SweepOptions{})
+		train, held := costmodel.Split(samples, 4)
+		p, err := costmodel.Fit(train, costmodel.FitOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gnnserve: cost model fit over %d sweep samples, held-out R² %.4f\n",
+			len(train), costmodel.RSquared(p, held))
+		predictor = p
+	}
+	if predictor != nil && *admissionBudget <= 0 && *sloTarget <= 0 {
+		fatal(errors.New("admission control needs a budget: set -admission-budget or -slo-target"))
+	}
+
 	// One process-wide registry: serving counters, Go runtime stats, worker
 	// pool occupancy and per-replica device counters all land on the same
 	// GET /metrics scrape.
@@ -136,16 +179,18 @@ func main() {
 		MinInterval: time.Second,
 	})
 	opt := serve.Options{
-		MaxBatch:    *batch,
-		QueueDepth:  *queueDepth,
-		BatchWindow: *window,
-		Timeout:     *timeout,
-		NumFeatures: d.NumFeatures,
-		Registry:    reg,
-		Tracer:      tracer,
-		Events:      events,
-		Flight:      flight,
-		SLOTarget:   *sloTarget,
+		MaxBatch:        *batch,
+		QueueDepth:      *queueDepth,
+		BatchWindow:     *window,
+		Timeout:         *timeout,
+		NumFeatures:     d.NumFeatures,
+		Registry:        reg,
+		Tracer:          tracer,
+		Events:          events,
+		Flight:          flight,
+		SLOTarget:       *sloTarget,
+		Predictor:       predictor,
+		AdmissionBudget: *admissionBudget,
 	}
 	var srv *serve.Server
 	var mgr *fleet.Manager
@@ -168,6 +213,7 @@ func main() {
 			Tracer:     tracer,
 			Events:     events,
 			Flight:     flight,
+			Predictor:  predictor,
 		})
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		err = mgr.Connect(ctx)
@@ -255,6 +301,9 @@ func main() {
 		}
 	}()
 
+	if predictor != nil {
+		modeDesc += fmt.Sprintf(", admission budget %s", srv.Options().AdmissionBudget)
+	}
 	fmt.Printf("gnnserve: %s/%s (%s widths) on %s — %s, batch<=%d, queue %d, window %s\n",
 		*modelName, be.Name(), d.Name, *addr, modeDesc, *batch, *queueDepth, *window)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/ag"
 	"repro/internal/bench"
 	"repro/internal/ckpt"
+	"repro/internal/costmodel"
 	"repro/internal/datasets"
 	"repro/internal/device"
 	"repro/internal/fw"
@@ -309,10 +310,39 @@ type (
 
 // Serving errors, re-exported for errors.Is checks at call sites.
 var (
-	ErrServeQueueFull = serve.ErrQueueFull
-	ErrServeClosed    = serve.ErrClosed
-	ErrServeInvalid   = serve.ErrInvalid
+	ErrServeQueueFull        = serve.ErrQueueFull
+	ErrServeClosed           = serve.ErrClosed
+	ErrServeInvalid          = serve.ErrInvalid
+	ErrServePredictedOverSLO = serve.ErrPredictedOverSLO
 )
+
+// Cost model (learned latency prediction and SLA-aware admission control).
+type (
+	// CostPredictor is a fitted per-model latency predictor: a linear
+	// regression from graph metrics (nodes, edges, density, degree
+	// distribution) to forward latency. Wire it into ServeOptions.Predictor
+	// to arm admission control.
+	CostPredictor = costmodel.Predictor
+	// CostFeatures are the graph metrics the cost model regresses over.
+	CostFeatures = costmodel.Features
+	// CostSample is one sweep measurement (features plus measured seconds).
+	CostSample = costmodel.Sample
+	// LatencyPredictor is the admission-control contract: predict the
+	// forward latency of a coalesced batch before it is dispatched.
+	LatencyPredictor = serve.LatencyPredictor
+)
+
+// CostSweep measures m's forward latency across the synthetic topology
+// families and returns one sample per measurement; see costmodel.Sweep.
+func CostSweep(m Model, numFeatures int, opt costmodel.SweepOptions) []CostSample {
+	return costmodel.Sweep(m, numFeatures, opt)
+}
+
+// CostFit regresses latency against graph metrics and returns the fitted
+// predictor; see costmodel.Fit.
+func CostFit(samples []CostSample, opt costmodel.FitOptions) (*CostPredictor, error) {
+	return costmodel.Fit(samples, opt)
+}
 
 // NewGraphFromEdgeList validates an edge list plus per-node features from an
 // untrusted source (e.g. a serving request) and builds a Graph.

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// nodeCostPredictor charges a fixed cost per node, so the test controls
+// exactly which groups fit the admission budget.
+type nodeCostPredictor struct{ perNode time.Duration }
+
+func (p nodeCostPredictor) PredictBatch(graphs []*graph.Graph) time.Duration {
+	n := 0
+	for _, g := range graphs {
+		n += g.NumNodes
+	}
+	return time.Duration(n) * p.perNode
+}
+
+// TestFleetCostModelAdmission is the coordinator-fleet half of the admission
+// e2e: a coordinator with the cost model armed over a real worker must reject
+// over-budget requests with ErrPredictedOverSLO, split over-budget groups so
+// no fleet job exceeds the budget, answer every accepted request with logits
+// bit-identical to the single-process server, and account for all of it in
+// both the serve-side gnnlab_costmodel_* and the fleet-side
+// gnnlab_costmodel_fleet_* series.
+func TestFleetCostModelAdmission(t *testing.T) {
+	hash := testHash(t)
+	pred := nodeCostPredictor{perNode: time.Millisecond}
+	const budget = 8 * time.Millisecond
+
+	// Reference truth: the single-process server on the same model, serving
+	// each graph as a singleton batch.
+	single := serve.New([]serve.Replica{serve.NewModelReplica(testModel(), device.Default())},
+		serve.Options{NumFeatures: testFeatures, Timeout: 10 * time.Second})
+	defer single.Shutdown(context.Background())
+	sizes := []int{5, 6, 7, 8} // each fits the 8ms budget alone; no pair does
+	want := map[int]serve.Prediction{}
+	for _, n := range sizes {
+		p, err := single.Predict(context.Background(), ringGraph(n, testFeatures))
+		if err != nil {
+			t.Fatalf("reference predict(%d): %v", n, err)
+		}
+		want[n] = p
+	}
+
+	_, addr := startWorker(t, "", 2, 0, WorkerOptions{ModelHash: hash})
+	// One registry for manager and coordinator, as gnnserve wires it: the
+	// serve-side and fleet-side cost-model series land on the same scrape.
+	reg := obs.NewRegistry()
+	opt := fastFleetOptions(t)
+	opt.Registry = reg
+	opt.Predictor = pred
+	mgr := connectManager(t, []string{addr}, opt)
+	coord := serve.NewDispatch(mgr, mgr.TotalPods(), serve.Options{
+		NumFeatures: testFeatures, MaxBatch: 8, QueueDepth: 64,
+		BatchWindow: 5 * time.Millisecond, Timeout: 10 * time.Second,
+		Registry:        reg,
+		Predictor:       pred,
+		AdmissionBudget: budget,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		coord.Shutdown(ctx)
+	}()
+
+	if _, err := coord.Predict(context.Background(), ringGraph(9, testFeatures)); !errors.Is(err, serve.ErrPredictedOverSLO) {
+		t.Fatalf("9-node graph against an 8ms budget got %v, want ErrPredictedOverSLO", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sizes)*4)
+	for round := 0; round < 4; round++ {
+		for _, n := range sizes {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				p, err := coord.Predict(context.Background(), ringGraph(n, testFeatures))
+				if err != nil {
+					errs <- fmt.Errorf("fleet predict(%d): %w", n, err)
+					return
+				}
+				if p.Class != want[n].Class {
+					errs <- fmt.Errorf("graph %d: fleet class %d, single-process %d", n, p.Class, want[n].Class)
+					return
+				}
+				for i, v := range p.Logits {
+					if v != want[n].Logits[i] {
+						errs <- fmt.Errorf("graph %d logit %d: fleet %v, single-process %v", n, i, v, want[n].Logits[i])
+						return
+					}
+				}
+			}(n)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("accepted request dropped or answered differently: %v", err)
+	}
+
+	st := coord.Stats()
+	if st.Responded != st.Accepted {
+		t.Fatalf("accepted %d responded %d — a request was dropped", st.Accepted, st.Responded)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	for _, frag := range []string{
+		"gnnlab_costmodel_rejected_total 1",
+		"gnnlab_costmodel_predictions_total",
+		"gnnlab_costmodel_fleet_predictions_total",
+		"gnnlab_costmodel_fleet_predicted_seconds_count",
+	} {
+		if !strings.Contains(exp, frag) {
+			t.Fatalf("exposition missing %q:\n%s", frag, exp)
+		}
+	}
+	if err := reg.Lint(); err != nil {
+		t.Fatalf("cost-model metrics fail the registry lint: %v", err)
+	}
+}

@@ -98,6 +98,12 @@ type Options struct {
 	// eviction — the forensic record of what the coordinator saw leading up
 	// to it.
 	Flight *obs.FlightRecorder
+	// Predictor, when non-nil, is consulted on every dispatched job: the
+	// predicted forward latency is attached to the job's span and exported as
+	// gnnlab_costmodel_fleet_* metrics, so predicted-vs-actual drift is
+	// visible per worker dispatch. (Admission decisions happen upstream in
+	// the serve coalescer; the fleet only observes.)
+	Predictor serve.LatencyPredictor
 
 	// helloVersion, when nonzero, overrides the protocol version the
 	// manager announces — the version-skew test hook.
@@ -208,6 +214,9 @@ type managerMetrics struct {
 	jobsOK     *obs.Counter
 	jobsRetry  *obs.Counter
 	jobsErr    *obs.Counter
+	// Cost-model consult instruments; populated only when a Predictor is set.
+	cmPredictions *obs.Counter
+	cmPredicted   *obs.Histogram
 }
 
 // NewManager builds a manager over the given worker addresses. Call Connect
@@ -256,6 +265,13 @@ func (m *Manager) registerMetrics() {
 	r.GaugeFunc("gnnlab_fleet_pods_inflight",
 		"Jobs currently in flight across the fleet.",
 		func() float64 { return float64(m.podsInFlight()) })
+	if m.opt.Predictor != nil {
+		m.met.cmPredictions = r.Counter("gnnlab_costmodel_fleet_predictions_total",
+			"Cost-model latency predictions issued on the fleet dispatch path.")
+		m.met.cmPredicted = r.Histogram("gnnlab_costmodel_fleet_predicted_seconds",
+			"Predicted forward latency per dispatched fleet job.",
+			1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1)
+	}
 }
 
 func (m *Manager) countState(st State) int {
@@ -750,8 +766,14 @@ func (m *Manager) runJob(ctx context.Context, r *remote, l *link, graphs []*grap
 	// dispatch order yields a byte-identical merged trace — and the worker,
 	// deriving nothing, simply inherits the context off the wire.
 	tc := obs.TraceContext{TraceID: obs.TraceIDForJob(id)}
-	span := m.opt.Tracer.StartRemote(tc, "fleet-job",
-		obs.String("worker", r.addr), obs.Int("graphs", len(graphs)))
+	attrs := []obs.Attr{obs.String("worker", r.addr), obs.Int("graphs", len(graphs))}
+	if m.opt.Predictor != nil {
+		pred := m.opt.Predictor.PredictBatch(graphs)
+		m.met.cmPredictions.Inc()
+		m.met.cmPredicted.Observe(pred.Seconds())
+		attrs = append(attrs, obs.String("predicted", pred.String()))
+	}
+	span := m.opt.Tracer.StartRemote(tc, "fleet-job", attrs...)
 	defer span.End()
 	j := &job{
 		rows: make([]serve.Prediction, len(graphs)),

@@ -452,10 +452,13 @@ func (m *instrument) write(w io.Writer) error {
 		m.histMu.Lock()
 		h := m.hist.Clone()
 		m.histMu.Unlock()
+		// One pass over the buckets: per-level Cumulative(i) calls would make
+		// the exposition O(buckets²) per scrape.
+		cum := h.Cumulatives()
 		for i, b := range h.Bounds() {
 			le := fmt.Sprintf("%g", b)
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %g\n", f.name,
-				labelString(f.labels, m.values, "le", le), float64(h.Cumulative(i))); err != nil {
+				labelString(f.labels, m.values, "le", le), float64(cum[i])); err != nil {
 				return err
 			}
 		}

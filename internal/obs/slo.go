@@ -20,7 +20,10 @@ import (
 const DefaultSLOWindow = 1024
 
 // minBreachSamples is how many samples the window needs before breach
-// detection arms — a p99 over three requests is noise, not a signal.
+// detection arms — a p99 over three requests is noise, not a signal. A
+// window smaller than this arms when full: the old unconditional threshold
+// meant a small window could never reach it, so breach detection was
+// silently dead for any Window < 100.
 const minBreachSamples = 100
 
 // SLOOptions configures an SLOTracker.
@@ -51,6 +54,7 @@ type SLOTracker struct {
 	idx      int
 	n        int // filled slots
 	overN    int // over-target samples currently in the window
+	arm      int // samples needed before breach detection engages
 	breached bool
 	lastFire time.Time
 
@@ -70,6 +74,10 @@ func NewSLOTracker(opt SLOOptions) *SLOTracker {
 		opt:     opt,
 		samples: make([]float64, opt.Window),
 		over:    make([]bool, opt.Window),
+		arm:     minBreachSamples,
+	}
+	if opt.Window < s.arm {
+		s.arm = opt.Window
 	}
 	if r := opt.Registry; r != nil {
 		r.GaugeFunc("gnnlab_slo_target_seconds",
@@ -124,7 +132,7 @@ func (s *SLOTracker) Observe(d time.Duration) {
 	// More than 1% of the window over target means the nearest-rank p99 is
 	// above the target; recovery needs the window back to half the budget
 	// (hysteresis, so one borderline sample cannot flap the breach state).
-	inBreach := s.n >= minBreachSamples && s.overN*100 > s.n
+	inBreach := s.n >= s.arm && s.overN*100 > s.n
 	switch {
 	case inBreach && !s.breached:
 		s.breached = true

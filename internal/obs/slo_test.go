@@ -157,6 +157,106 @@ func TestSLONilAndConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestSLOWindowWrapAccounting drives the ring through several full wraps
+// with mixed over/under samples and checks, after every single observation,
+// that the tracker's incremental eviction accounting (overN, n) matches a
+// from-scratch recount of a reference sliding window — the whitebox proof
+// that no eviction is ever double-counted or missed across wraps. Breach and
+// recovery transitions (including recovery at exactly the overN*200 == n
+// hysteresis boundary) are checked against the same reference.
+func TestSLOWindowWrapAccounting(t *testing.T) {
+	const target = 100 * time.Millisecond
+	under, over := 10*time.Millisecond, 250*time.Millisecond
+	cases := []struct {
+		name   string
+		window int
+		steps  int // >= 3*window plus slack: at least three full wraps
+		isOver func(i int) bool
+	}{
+		{
+			// Window below minBreachSamples: the regression case for the
+			// arming bug, where breach detection could never engage.
+			name: "small-window-breach-recover-rebreach", window: 8, steps: 48,
+			isOver: func(i int) bool { return i < 10 || (i >= 24 && i < 28) },
+		},
+		{
+			// Window above minBreachSamples, recovery crossing exactly the
+			// hysteresis boundary: one over-target sample in a full window of
+			// 200 gives overN*200 == n precisely.
+			name: "hysteresis-boundary", window: 200, steps: 700,
+			isOver: func(i int) bool { return (i >= 210 && i < 220) || i == 430 },
+		},
+		{
+			// Alternating bursts: repeated breach/recover cycles across wraps.
+			name: "periodic-bursts", window: 16, steps: 96,
+			isOver: func(i int) bool { return i%32 < 4 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fires := 0
+			s := NewSLOTracker(SLOOptions{
+				Target:   target,
+				Window:   tc.window,
+				OnBreach: func(time.Duration) { fires++ },
+			})
+			arm := minBreachSamples
+			if tc.window < arm {
+				arm = tc.window
+			}
+			var win []bool // reference sliding window of over-target flags
+			breached := false
+			wantFires, recoveries := 0, 0
+			for i := 0; i < tc.steps; i++ {
+				d := under
+				if tc.isOver(i) {
+					d = over
+				}
+				s.Observe(d)
+				win = append(win, d > target)
+				if len(win) > tc.window {
+					win = win[1:]
+				}
+				overN := 0
+				for _, o := range win {
+					if o {
+						overN++
+					}
+				}
+				s.mu.Lock()
+				gotOver, gotN := s.overN, s.n
+				s.mu.Unlock()
+				if gotN != len(win) || gotOver != overN {
+					t.Fatalf("step %d: tracker holds overN=%d n=%d, reference recount overN=%d n=%d",
+						i, gotOver, gotN, overN, len(win))
+				}
+				inBreach := len(win) >= arm && overN*100 > len(win)
+				switch {
+				case inBreach && !breached:
+					breached = true
+					wantFires++
+				case breached && overN*200 <= len(win):
+					breached = false
+					recoveries++
+				}
+				if got := s.Breached(); got != breached {
+					t.Fatalf("step %d: Breached() = %v, reference = %v (overN=%d n=%d)",
+						i, got, breached, overN, len(win))
+				}
+			}
+			if fires != wantFires {
+				t.Fatalf("OnBreach fired %d times, reference expects %d", fires, wantFires)
+			}
+			if wantFires == 0 || recoveries == 0 {
+				t.Fatalf("case exercised %d breaches and %d recoveries; want both nonzero", wantFires, recoveries)
+			}
+			if tc.steps < 3*tc.window {
+				t.Fatalf("case drives %d steps over a %d-window: fewer than 3 wraps", tc.steps, tc.window)
+			}
+		})
+	}
+}
+
 func TestSLORequiresTarget(t *testing.T) {
 	defer func() {
 		if recover() == nil {

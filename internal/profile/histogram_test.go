@@ -1,0 +1,92 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramRejectsNonFinite is the regression test for the NaN-poisoning
+// bug: a single NaN observation used to land silently in the overflow bucket
+// and fold into sum, making every subsequently exported mean NaN forever.
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(7)
+
+	if got := h.N(); got != 2 {
+		t.Fatalf("N = %d, want 2 (non-finite observations must not count)", got)
+	}
+	if got := h.Sum(); got != 12 {
+		t.Fatalf("Sum = %v, want 12", got)
+	}
+	if math.IsNaN(h.Sum() / float64(h.N())) {
+		t.Fatal("mean is NaN: a non-finite observation poisoned Sum")
+	}
+	if got := h.NonFinite(); got != 3 {
+		t.Fatalf("NonFinite = %d, want 3", got)
+	}
+	// The overflow bucket must hold nothing: +Inf and NaN both used to land
+	// there via the search-past-last-bound path.
+	if got := h.Count(3); got != 0 {
+		t.Fatalf("overflow bucket = %d, want 0", got)
+	}
+	if got := h.Max(); got != 7 {
+		t.Fatalf("Max = %v, want 7", got)
+	}
+	c := h.Clone()
+	if c.NonFinite() != 3 || c.N() != 2 || c.Sum() != 12 {
+		t.Fatalf("Clone dropped state: nonFinite=%d n=%d sum=%v", c.NonFinite(), c.N(), c.Sum())
+	}
+}
+
+// TestHistogramMaxNegative is the regression test for Max() reporting the
+// zero value when every observation is negative.
+func TestHistogramMaxNegative(t *testing.T) {
+	h := NewHistogram(0, 1)
+	if got := h.Max(); got != 0 {
+		t.Fatalf("Max before any Observe = %v, want 0", got)
+	}
+	h.Observe(-5)
+	h.Observe(-2)
+	h.Observe(-9)
+	if got := h.Max(); got != -2 {
+		t.Fatalf("Max = %v, want -2 (negative observations used to leave Max at 0)", got)
+	}
+	h.Observe(3)
+	if got := h.Max(); got != 3 {
+		t.Fatalf("Max = %v, want 3", got)
+	}
+}
+
+// TestHistogramCumulativesEquivalence pins the one-pass exposition path to
+// the per-level definition: Cumulatives()[i] must equal Cumulative(i) at
+// every level, with the final level equal to N().
+func TestHistogramCumulativesEquivalence(t *testing.T) {
+	bounds := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	h := NewHistogram(bounds...)
+	// Deterministic pseudo-random stream covering every bucket including
+	// overflow, plus duplicates and exact-bound hits.
+	x := uint64(12345)
+	for i := 0; i < 500; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		h.Observe(float64(x%1300) / 10) // 0 .. 129.9
+	}
+	for _, b := range bounds {
+		h.Observe(b) // exact bound: le semantics include it
+	}
+	cum := h.Cumulatives()
+	if len(cum) != len(bounds)+1 {
+		t.Fatalf("Cumulatives returned %d levels, want %d", len(cum), len(bounds)+1)
+	}
+	for i := range cum {
+		if want := h.Cumulative(i); cum[i] != want {
+			t.Fatalf("Cumulatives[%d] = %d, Cumulative(%d) = %d", i, cum[i], i, want)
+		}
+	}
+	if cum[len(cum)-1] != h.N() {
+		t.Fatalf("final cumulative level %d != N %d", cum[len(cum)-1], h.N())
+	}
+}

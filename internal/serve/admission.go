@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// LatencyPredictor predicts the forward latency of the coalesced batch formed
+// by graphs — the cost-model contract admission control calls under the
+// coalescer. costmodel.Predictor implements it; the interface lives here so
+// serve never imports the cost model (or its model/device dependencies).
+//
+// Implementations are called from the coalescer goroutine only and may assume
+// single-threaded use.
+type LatencyPredictor interface {
+	PredictBatch(graphs []*graph.Graph) time.Duration
+}
+
+// admissionMetrics holds the gnnlab_costmodel_* instruments, registered only
+// when a predictor is armed.
+type admissionMetrics struct {
+	predictions *obs.Counter
+	admitted    *obs.Counter
+	split       *obs.Counter
+	subBatches  *obs.Counter
+	rejected    *obs.Counter
+	predicted   *obs.Histogram
+}
+
+func registerAdmissionMetrics(reg *obs.Registry, budget time.Duration) admissionMetrics {
+	var am admissionMetrics
+	am.predictions = reg.Counter("gnnlab_costmodel_predictions_total",
+		"Cost-model latency predictions issued by admission control.")
+	groups := reg.CounterVec("gnnlab_costmodel_groups_total",
+		"Coalesced groups by admission outcome (admitted unchanged vs split).", "outcome")
+	am.admitted = groups.With("admitted")
+	am.split = groups.With("split")
+	am.subBatches = reg.Counter("gnnlab_costmodel_sub_batches_total",
+		"Sub-batches produced by splitting over-budget groups.")
+	am.rejected = reg.Counter("gnnlab_costmodel_rejected_total",
+		"Requests rejected because their predicted latency alone exceeds the budget.")
+	am.predicted = reg.Histogram("gnnlab_costmodel_predicted_seconds",
+		"Predicted forward latency per coalesced group.",
+		1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1)
+	reg.GaugeFunc("gnnlab_costmodel_budget_seconds",
+		"Predicted-latency admission budget.",
+		func() float64 { return budget.Seconds() })
+	return am
+}
+
+// predictGroup runs the predictor over a group's graphs.
+func (s *Server) predictGroup(group []*request) time.Duration {
+	graphs := make([]*graph.Graph, len(group))
+	for i, r := range group {
+		graphs[i] = r.g
+	}
+	s.met.cm.predictions.Inc()
+	return s.opt.Predictor.PredictBatch(graphs)
+}
+
+// admit applies cost-model admission control to one coalesced group and
+// returns the dispatch groups that survive. With no predictor armed, the
+// group passes through untouched — in particular in its arrival order, so the
+// accepted path produces bit-identical collations (and logits) with and
+// without admission control.
+//
+// When the predictor is armed and the whole group's predicted latency fits
+// the budget, the group is likewise admitted unchanged. Over budget, the
+// group is split deadline-aware: requests are stably ordered by deadline
+// (earliest first, so the requests closest to expiry ride the first
+// sub-batch dispatched) and packed greedily into sub-batches that each fit
+// the budget. A request whose predicted latency alone exceeds the budget
+// cannot be served within the SLO at all and is rejected with
+// ErrPredictedOverSLO — the 429 that tells the caller to shrink the graph,
+// not retry.
+func (s *Server) admit(group []*request) [][]*request {
+	if s.opt.Predictor == nil {
+		return [][]*request{group}
+	}
+	budget := s.opt.AdmissionBudget
+	pred := s.predictGroup(group)
+	s.met.cm.predicted.Observe(pred.Seconds())
+	if pred <= budget {
+		s.met.cm.admitted.Inc()
+		return [][]*request{group}
+	}
+	s.met.cm.split.Inc()
+
+	// Earliest deadline first; requests without one (impossible via Predict,
+	// which always installs a timeout) sort last. The sort is stable, so
+	// equal deadlines keep arrival order.
+	byDeadline := append([]*request(nil), group...)
+	sort.SliceStable(byDeadline, func(i, j int) bool {
+		di, iok := byDeadline[i].ctx.Deadline()
+		dj, jok := byDeadline[j].ctx.Deadline()
+		if iok != jok {
+			return iok
+		}
+		return di.Before(dj)
+	})
+
+	var out [][]*request
+	var cur []*request
+	for _, r := range byDeadline {
+		if alone := s.predictGroup([]*request{r}); alone > budget {
+			r.respond(result{err: fmt.Errorf("%w: predicted %v for a budget of %v",
+				ErrPredictedOverSLO, alone, budget)})
+			s.met.cm.rejected.Inc()
+			s.met.responded.Inc()
+			continue
+		}
+		if len(cur) == 0 {
+			cur = append(cur, r)
+			continue
+		}
+		if s.predictGroup(append(cur[:len(cur):len(cur)], r)) <= budget {
+			cur = append(cur, r)
+		} else {
+			out = append(out, cur)
+			cur = []*request{r}
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	s.met.cm.subBatches.Add(float64(len(out)))
+	return out
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/fw/pygeo"
+	"repro/internal/graph"
+	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// stubPredictor charges a fixed cost per node — trivially additive, so tests
+// can reason exactly about which groups fit a budget.
+type stubPredictor struct{ perNode time.Duration }
+
+func (p stubPredictor) PredictBatch(graphs []*graph.Graph) time.Duration {
+	n := 0
+	for _, g := range graphs {
+		n += g.NumNodes
+	}
+	return time.Duration(n) * p.perNode
+}
+
+// TestAdmitPassThroughAndSplit is the white-box contract of admit: an
+// under-budget group passes through untouched and in arrival order (the
+// bit-identical-collation guarantee), an over-budget group splits
+// deadline-aware into fitting sub-batches, and a request that cannot fit
+// alone is answered with ErrPredictedOverSLO without reaching dispatch.
+func TestAdmitPassThroughAndSplit(t *testing.T) {
+	s := newServer(Options{
+		Predictor:       stubPredictor{perNode: time.Millisecond},
+		AdmissionBudget: 10 * time.Millisecond,
+	})
+	mkReq := func(n int, deadline time.Duration) *request {
+		ctx := context.Background()
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			t.Cleanup(cancel)
+		}
+		return &request{ctx: ctx, g: ringGraph(n, 2), done: make(chan result, 1)}
+	}
+
+	// 3+3+3 nodes = 9ms predicted <= 10ms: admitted unchanged.
+	under := []*request{mkReq(3, time.Hour), mkReq(3, time.Hour), mkReq(3, time.Hour)}
+	out := s.admit(under)
+	if len(out) != 1 || len(out[0]) != 3 {
+		t.Fatalf("under-budget group came back as %d sub-batches", len(out))
+	}
+	for i := range under {
+		if out[0][i] != under[i] {
+			t.Fatalf("admitted group reordered at %d — collation would differ", i)
+		}
+	}
+
+	// 4+4+4 = 12ms > 10ms: split. Deadlines order the requests earliest
+	// first (rB, rC, rA), then greedy packing fits two per sub-batch.
+	rA, rB, rC := mkReq(4, time.Hour), mkReq(4, time.Minute), mkReq(4, 30*time.Minute)
+	out = s.admit([]*request{rA, rB, rC})
+	if len(out) != 2 || len(out[0]) != 2 || len(out[1]) != 1 {
+		t.Fatalf("split shape %v, want [2 1]", subShape(out))
+	}
+	if out[0][0] != rB || out[0][1] != rC || out[1][0] != rA {
+		t.Fatal("split did not order sub-batches earliest deadline first")
+	}
+
+	// A 20-node request predicts 20ms alone: rejected, not dispatched.
+	rej := mkReq(20, time.Hour)
+	out = s.admit([]*request{rej, mkReq(3, time.Hour)})
+	total := 0
+	for _, sub := range out {
+		total += len(sub)
+	}
+	if total != 1 {
+		t.Fatalf("%d requests survived admission, want 1", total)
+	}
+	select {
+	case res := <-rej.done:
+		if !errors.Is(res.err, ErrPredictedOverSLO) {
+			t.Fatalf("rejected request got %v, want ErrPredictedOverSLO", res.err)
+		}
+		if statusFor(res.err) != http.StatusTooManyRequests {
+			t.Fatalf("ErrPredictedOverSLO maps to %d, want 429", statusFor(res.err))
+		}
+	default:
+		t.Fatal("rejected request was never answered")
+	}
+}
+
+func subShape(out [][]*request) []int {
+	shape := make([]int, len(out))
+	for i, sub := range out {
+		shape[i] = len(sub)
+	}
+	return shape
+}
+
+// TestAdmissionEndToEnd drives the single-process server with admission
+// control armed: the over-budget request is rejected with 429 semantics,
+// every under-budget request is answered correctly (zero accepted-request
+// drops), no forward batch ever exceeds the predicted budget, and the
+// gnnlab_costmodel_* counters account for all of it.
+func TestAdmissionEndToEnd(t *testing.T) {
+	const classes = 7
+	reg := obs.NewRegistry()
+	s, rep := newFakeServer(t, classes, 0, Options{
+		MaxBatch:        8,
+		BatchWindow:     10 * time.Millisecond,
+		Registry:        reg,
+		Predictor:       stubPredictor{perNode: time.Millisecond},
+		AdmissionBudget: 10 * time.Millisecond,
+	})
+
+	if _, err := s.Predict(context.Background(), ringGraph(20, 2)); !errors.Is(err, ErrPredictedOverSLO) {
+		t.Fatalf("20-node graph (predicted 20ms vs 10ms budget) got %v, want ErrPredictedOverSLO", err)
+	}
+
+	// 24 concurrent 4-node requests: pairs fit (8ms), triples do not (12ms),
+	// so every coalesced group of three or more must split.
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := s.Predict(context.Background(), ringGraph(4, 2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.Class != 4%classes {
+				errs <- fmt.Errorf("predicted class %d, want %d", p.Class, 4%classes)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("accepted request dropped or misrouted: %v", err)
+	}
+
+	if mx := rep.maxBatch(); mx > 2 {
+		t.Fatalf("a forward batch held %d graphs (%dms predicted) despite the 10ms budget", mx, mx*4)
+	}
+	st := s.Stats()
+	if st.Accepted != 25 || st.Responded != st.Accepted {
+		t.Fatalf("accepted %d responded %d — admission dropped a request", st.Accepted, st.Responded)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	for _, frag := range []string{
+		"gnnlab_costmodel_rejected_total 1",
+		`gnnlab_costmodel_groups_total{outcome="split"}`,
+		"gnnlab_costmodel_predictions_total",
+		"gnnlab_costmodel_budget_seconds 0.01",
+	} {
+		if !strings.Contains(exp, frag) {
+			t.Fatalf("exposition missing %q:\n%s", frag, exp)
+		}
+	}
+	if err := reg.Lint(); err != nil {
+		t.Fatalf("cost-model metrics fail the registry lint: %v", err)
+	}
+}
+
+// TestAdmissionLogitsUnchanged pins the acceptance criterion that admission
+// control leaves accepted-path predictions bit-identical: the same graphs
+// served by a plain server and by one whose budget forces every group down
+// to singleton sub-batches must produce exactly equal logits.
+func TestAdmissionLogitsUnchanged(t *testing.T) {
+	be := pygeo.New()
+	m := models.New("GCN", be, models.Config{
+		Task: models.GraphClassification, In: 6, Hidden: 8, Out: 8,
+		Classes: 4, Layers: 2, Seed: 1,
+	})
+	sizes := []int{7, 8, 9, 10, 11, 12}
+
+	// Baseline: sequential requests, so each runs as a singleton batch.
+	plain := New([]Replica{NewModelReplica(m, device.Default())}, Options{NumFeatures: 6})
+	defer plain.Shutdown(context.Background())
+	want := make(map[int][]float64)
+	for _, n := range sizes {
+		p, err := plain.Predict(context.Background(), ringGraph(n, 6))
+		if err != nil {
+			t.Fatalf("baseline Predict(%d): %v", n, err)
+		}
+		want[n] = p.Logits
+	}
+
+	// Armed: every graph fits alone (<=12ms) but no pair does (>=15ms), so
+	// concurrent arrivals coalesce and then split back to singletons.
+	armed := New([]Replica{NewModelReplica(m, device.Default())}, Options{
+		NumFeatures:     6,
+		MaxBatch:        8,
+		BatchWindow:     10 * time.Millisecond,
+		Predictor:       stubPredictor{perNode: time.Millisecond},
+		AdmissionBudget: 12 * time.Millisecond,
+	})
+	defer armed.Shutdown(context.Background())
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sizes))
+	for _, n := range sizes {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			p, err := armed.Predict(context.Background(), ringGraph(n, 6))
+			if err != nil {
+				errs <- fmt.Errorf("armed Predict(%d): %w", n, err)
+				return
+			}
+			for i, v := range p.Logits {
+				if v != want[n][i] {
+					errs <- fmt.Errorf("graph %d logit %d: %v != baseline %v", n, i, v, want[n][i])
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchAdmission is the coordinator-mode half of TestAdmissionEndToEnd:
+// the same admission layer must gate groups before they reach the Runner.
+func TestDispatchAdmission(t *testing.T) {
+	const classes = 5
+	reg := obs.NewRegistry()
+	run := &fakeRunner{classes: classes}
+	s := newDispatchServer(t, run, 2, Options{
+		MaxBatch:        8,
+		BatchWindow:     10 * time.Millisecond,
+		Registry:        reg,
+		Predictor:       stubPredictor{perNode: time.Millisecond},
+		AdmissionBudget: 8 * time.Millisecond,
+	})
+
+	if _, err := s.Predict(context.Background(), ringGraph(9, 2)); !errors.Is(err, ErrPredictedOverSLO) {
+		t.Fatalf("9-node graph against an 8ms budget got %v, want ErrPredictedOverSLO", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := s.Predict(context.Background(), ringGraph(3, 2))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.Class != 3%classes {
+				errs <- fmt.Errorf("predicted class %d, want %d", p.Class, 3%classes)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("accepted request dropped or misrouted: %v", err)
+	}
+
+	run.mu.Lock()
+	sizes := append([]int(nil), run.sizes...)
+	run.mu.Unlock()
+	for _, n := range sizes {
+		if n > 2 {
+			t.Fatalf("runner saw a %d-graph group (%dms predicted) despite the 8ms budget", n, n*3)
+		}
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	exp := sb.String()
+	if !strings.Contains(exp, "gnnlab_costmodel_rejected_total 1") {
+		t.Fatalf("exposition missing dispatch-mode rejection count:\n%s", exp)
+	}
+}

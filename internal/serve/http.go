@@ -126,7 +126,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // statusFor maps Predict errors onto HTTP status codes.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrPredictedOverSLO):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable

@@ -45,6 +45,10 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrInvalid wraps request-validation failures.
 	ErrInvalid = errors.New("serve: invalid request")
+	// ErrPredictedOverSLO reports that the cost model predicted the request
+	// cannot be served within the admission latency budget even on its own —
+	// the caller should shrink the graph, not retry.
+	ErrPredictedOverSLO = errors.New("serve: predicted latency over SLO budget")
 )
 
 // Options configures a Server.
@@ -86,6 +90,17 @@ type Options struct {
 	// SLOWindow overrides the SLO tracker's rolling sample window (default
 	// obs.DefaultSLOWindow).
 	SLOWindow int
+	// Predictor, when non-nil, arms cost-model admission control: every
+	// coalesced group's forward latency is predicted before dispatch, and a
+	// group predicted over AdmissionBudget is split deadline-aware into
+	// fitting sub-batches — or rejected with ErrPredictedOverSLO (HTTP 429)
+	// when a single request alone cannot fit. gnnlab_costmodel_* metrics
+	// appear on the registry.
+	Predictor LatencyPredictor
+	// AdmissionBudget is the predicted-latency budget admission control
+	// enforces per dispatch group; it defaults to SLOTarget. A Predictor with
+	// neither set is a configuration error (newServer panics).
+	AdmissionBudget time.Duration
 }
 
 func (o *Options) defaults() {
@@ -100,6 +115,9 @@ func (o *Options) defaults() {
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = time.Second
+	}
+	if o.AdmissionBudget <= 0 {
+		o.AdmissionBudget = o.SLOTarget
 	}
 }
 
@@ -120,9 +138,11 @@ type request struct {
 	ctx  context.Context
 	g    *graph.Graph
 	done chan result // buffered(1); written exactly once via respond
-	// answered is touched only by the worker goroutine that owns the
-	// request's dispatch group; it makes respond idempotent so the panic
-	// recovery path cannot double-send.
+	// answered is touched only by the single goroutine that owns the request
+	// at the time — the worker serving its dispatch group, or the coalescer
+	// for admission rejections (a rejected request never reaches a worker).
+	// It makes respond idempotent so the panic recovery path cannot
+	// double-send.
 	answered bool
 }
 
@@ -176,6 +196,9 @@ type serveMetrics struct {
 	// reload counters track zero-downtime model swaps by outcome.
 	reloadOK  *obs.Counter
 	reloadErr *obs.Counter
+	// cm holds the gnnlab_costmodel_* admission instruments; populated only
+	// when a Predictor is armed.
+	cm admissionMetrics
 }
 
 // Runner executes one coalesced dispatch group somewhere other than a local
@@ -293,6 +316,12 @@ func newServer(opt Options) *Server {
 	s.met.reloadErr = reloads.With("error")
 	reg.GaugeFunc("gnnserve_queue_depth", "Requests queued but not yet dispatched.",
 		func() float64 { return float64(len(s.queue)) })
+	if opt.Predictor != nil {
+		if s.opt.AdmissionBudget <= 0 {
+			panic("serve: Options.Predictor requires AdmissionBudget or SLOTarget")
+		}
+		s.met.cm = registerAdmissionMetrics(reg, s.opt.AdmissionBudget)
+	}
 	if opt.SLOTarget > 0 {
 		s.slo = obs.NewSLOTracker(obs.SLOOptions{
 			Target:      opt.SLOTarget,
@@ -421,7 +450,9 @@ func (s *Server) coalesce() {
 				}
 			}
 		}
-		s.jobs <- group
+		for _, sub := range s.admit(group) {
+			s.jobs <- sub
+		}
 	}
 }
 
