@@ -9,12 +9,31 @@
 //	gnnvet -checks -span-end ./...    # all checks but the named ones
 //	gnnvet -json ./...                # machine-readable findings
 //	gnnvet -list                      # describe the registered checks
+//	gnnvet -summary-cache f.json ./.. # reuse fixpoint summaries across runs
 //
 // Diagnostics print as "file:line:col: [check] message", one per line, and
 // any active finding makes the exit status 1 (load/usage errors exit 2).
 // A `//gnnvet:allow <check> -- reason` comment on the offending line or the
 // line above suppresses a finding; suppressed findings are tallied on
 // stderr so waivers stay visible.
+//
+// # JSON schema
+//
+// With -json, stdout carries one stable, versioned envelope:
+//
+//	{
+//	  "version": 1,
+//	  "diagnostics": [ {"file", "line", "col",
+//	                    "end_line", "end_col",   // 0/omitted for point findings
+//	                    "check", "message"}, ... ],
+//	  "suppressed":  [ ...same shape... ],
+//	  "counts": {"diagnostics": N, "suppressed": M}
+//	}
+//
+// Both arrays are sorted by (file, line, col, check, message) and are empty
+// arrays — never null — when there is nothing to report. The "version"
+// field increments only on breaking shape changes; additions of new
+// optional fields do not bump it. Consumers should ignore unknown fields.
 package main
 
 import (
@@ -31,6 +50,39 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// envelope is the stable -json output shape (see the package comment for
+// the documented schema).
+type envelope struct {
+	Version     int                   `json:"version"`
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Suppressed  []analysis.Diagnostic `json:"suppressed"`
+	Counts      struct {
+		Diagnostics int `json:"diagnostics"`
+		Suppressed  int `json:"suppressed"`
+	} `json:"counts"`
+}
+
+// schemaVersion bumps only on breaking changes to the envelope shape.
+const schemaVersion = 1
+
+func jsonEnvelope(result *analysis.Result) envelope {
+	env := envelope{
+		Version:     schemaVersion,
+		Diagnostics: result.Diagnostics,
+		Suppressed:  result.Suppressed,
+	}
+	// Empty arrays, never null: consumers range without nil checks.
+	if env.Diagnostics == nil {
+		env.Diagnostics = []analysis.Diagnostic{}
+	}
+	if env.Suppressed == nil {
+		env.Suppressed = []analysis.Diagnostic{}
+	}
+	env.Counts.Diagnostics = len(env.Diagnostics)
+	env.Counts.Suppressed = len(env.Suppressed)
+	return env
+}
+
 // run is main minus the process exit, so tests can drive it with captured
 // streams. Returns 0 clean, 1 on findings, 2 on usage/load errors.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -40,6 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checksSpec := fs.String("checks", "", "comma-separated checks to run (\"a,b\"), or to skip (\"-a,-b\"); default all")
 	list := fs.Bool("list", false, "list registered checks and exit")
 	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	cachePath := fs.String("summary-cache", "", "file to persist fixpoint summaries in; reused when sources are unchanged")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,12 +120,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	result := analysis.Run(pkgs, checks)
+	result := analysis.RunWithCache(pkgs, checks, *cachePath)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(result); err != nil {
+		if err := enc.Encode(jsonEnvelope(result)); err != nil {
 			fmt.Fprintf(stderr, "gnnvet: %v\n", err)
 			return 2
 		}

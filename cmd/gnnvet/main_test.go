@@ -2,6 +2,9 @@ package main
 
 import (
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -60,5 +63,74 @@ func TestRunJSON(t *testing.T) {
 	}
 	if len(result.Suppressed) != 2 {
 		t.Errorf("JSON suppressed = %d findings, want 2", len(result.Suppressed))
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json envelope byte for byte — field names,
+// ordering, indentation, counts, end positions — so schema drift is a
+// deliberate act (regenerate with -update) rather than an accident. Paths
+// are relativized to $FIXTURES so the golden is machine-independent.
+func TestJSONGolden(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", fixtureDir, "-json", "./allowed", "./wirealloc"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	abs, err := filepath.Abs(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.ReplaceAll(out.String(), abs, "$FIXTURES")
+	golden := filepath.Join("testdata", "json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("-json envelope drifted from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestJSONEmptyArrays pins the no-findings shape: empty arrays, never null,
+// with zero counts — consumers range without nil checks.
+func TestJSONEmptyArrays(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", fixtureDir, "-json", "-checks", "span-end", "./lockbalance"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "null") {
+		t.Errorf("clean -json output contains null arrays:\n%s", out.String())
+	}
+	var env struct {
+		Version     int                   `json:"version"`
+		Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+		Suppressed  []analysis.Diagnostic `json:"suppressed"`
+		Counts      struct {
+			Diagnostics int `json:"diagnostics"`
+			Suppressed  int `json:"suppressed"`
+		} `json:"counts"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &env); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if env.Version != 1 {
+		t.Errorf("version = %d, want 1", env.Version)
+	}
+	if env.Diagnostics == nil || env.Suppressed == nil {
+		t.Error("arrays decoded as nil — envelope emitted null")
+	}
+	if env.Counts.Diagnostics != 0 || env.Counts.Suppressed != 0 {
+		t.Errorf("counts = %+v, want zeros", env.Counts)
 	}
 }

@@ -43,6 +43,10 @@ func All() []*Check {
 		lockBalanceCheck,
 		metricNamesCheck,
 		useAfterReleaseCheck,
+		goroutineLeakCheck,
+		ctxPropagationCheck,
+		lockOrderCheck,
+		wireBoundedAllocCheck,
 	}
 }
 
@@ -116,11 +120,14 @@ func checkNames() []string {
 	return names
 }
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. EndLine/EndCol delimit the flagged expression
+// when the check reported a range (0 when it reported a point).
 type Diagnostic struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
 	Col     int    `json:"col"`
+	EndLine int    `json:"end_line,omitempty"`
+	EndCol  int    `json:"end_col,omitempty"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
 }
@@ -141,17 +148,30 @@ type Result struct {
 
 // Pass is one (check, package) execution.
 type Pass struct {
-	Pkg   *Package
+	Pkg *Package
+	// Prog is the whole-load interprocedural view (call graph + fixpoint
+	// summaries), shared by every pass of a Run.
+	Prog  *Program
 	check *Check
 	out   *Result
 }
 
 // Reportf records a finding at pos, honoring //gnnvet:allow suppressions.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportRangef(pos, token.NoPos, format, args...)
+}
+
+// ReportRangef records a finding spanning [pos, end), honoring
+// //gnnvet:allow suppressions. end may be token.NoPos for point findings.
+func (p *Pass) ReportRangef(pos, end token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	d := Diagnostic{
 		File: position.Filename, Line: position.Line, Col: position.Column,
 		Check: p.check.Name, Message: fmt.Sprintf(format, args...),
+	}
+	if end.IsValid() {
+		endPos := p.Pkg.Fset.Position(end)
+		d.EndLine, d.EndCol = endPos.Line, endPos.Column
 	}
 	if p.Pkg.allowedAt(position, p.check.Name) {
 		p.out.Suppressed = append(p.out.Suppressed, d)
@@ -163,10 +183,18 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // Run executes the checks over the packages, returning position-sorted
 // findings.
 func Run(pkgs []*Package, checks []*Check) *Result {
+	return RunWithCache(pkgs, checks, "")
+}
+
+// RunWithCache is Run with a summary-cache file path ("" disables caching;
+// see Program.Summarize).
+func RunWithCache(pkgs []*Package, checks []*Check, cachePath string) *Result {
+	prog := BuildProgram(pkgs)
+	prog.Summarize(cachePath)
 	out := &Result{}
 	for _, pkg := range pkgs {
 		for _, c := range checks {
-			c.Run(&Pass{Pkg: pkg, check: c, out: out})
+			c.Run(&Pass{Pkg: pkg, Prog: prog, check: c, out: out})
 		}
 	}
 	sortDiagnostics(out.Diagnostics)

@@ -73,6 +73,13 @@ func TestCheckGolden(t *testing.T) {
 		{"lock-balance", []string{"./lockbalance"}},
 		{"metric-names", []string{"./metricnames"}},
 		{"use-after-release", []string{"./usereleased"}},
+		// The interprocedural checks: goroutine-leak includes the
+		// cross-package pair, where the leak is only visible through the
+		// summary layer.
+		{"goroutine-leak", []string{"./goleak", "./goleakdep", "./goleakpipe"}},
+		{"ctx-propagation", []string{"./ctxprop"}},
+		{"lock-order", []string{"./lockorder"}},
+		{"wire-bounded-alloc", []string{"./wirealloc"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.check, func(t *testing.T) {
@@ -223,5 +230,54 @@ func TestRepoIsClean(t *testing.T) {
 		len(pkgs), len(result.Suppressed))
 	if len(result.Suppressed) == 0 {
 		t.Error("expected at least one sanctioned //gnnvet:allow site in the tree")
+	}
+}
+
+// TestDeterministicOutput pins byte-for-byte reproducibility: two
+// independent loads and runs over the whole fixture tree — fresh FileSets,
+// fresh type-checker universes, fresh summary fixpoints — must render the
+// identical byte stream, active and suppressed alike. Any map-order leak in
+// the call graph, summary propagation, or cycle reporting shows up here as
+// a diff.
+func TestDeterministicOutput(t *testing.T) {
+	run := func() string {
+		pkgs := loadFixtures(t, "./...")
+		r := analysis.Run(pkgs, analysis.All())
+		return render(t, r.Diagnostics) + "-- suppressed --\n" + render(t, r.Suppressed)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("two identical runs rendered different bytes\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestSummaryCache verifies the fixpoint cache round-trip: a cold run
+// writes the summary table, a second run over an unchanged tree restores it
+// (CacheHit) and reports the same diagnostics byte for byte.
+func TestSummaryCache(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "summaries.json")
+	patterns := []string{"./goleak", "./goleakdep", "./goleakpipe", "./wirealloc", "./lockorder"}
+
+	pkgs := loadFixtures(t, patterns...)
+	cold := analysis.BuildProgram(pkgs)
+	cold.Summarize(cache)
+	if cold.CacheHit {
+		t.Fatal("cold Summarize claimed a cache hit with no cache file on disk")
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cold Summarize left no cache file: %v", err)
+	}
+	want := analysis.RunWithCache(pkgs, analysis.All(), cache)
+
+	pkgs2 := loadFixtures(t, patterns...)
+	warm := analysis.BuildProgram(pkgs2)
+	warm.Summarize(cache)
+	if !warm.CacheHit {
+		t.Fatal("warm Summarize recomputed instead of hitting the cache")
+	}
+	got := analysis.RunWithCache(pkgs2, analysis.All(), cache)
+	if render(t, got.Diagnostics) != render(t, want.Diagnostics) {
+		t.Errorf("cached run drifted\n--- cold ---\n%s--- warm ---\n%s",
+			render(t, want.Diagnostics), render(t, got.Diagnostics))
 	}
 }

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// The ctx-propagation check guards the cancellation chain the serving stack
+// depends on: a coordinator that times out a job must be able to abandon
+// every blocking step — dials, handshakes, sleeps, fills — by cancelling one
+// context. A function that *receives* a context and then calls into
+// blocking work without passing it severs that chain exactly where it
+// matters; the caller believes cancel works, and the callee blocks anyway
+// (the fleet dial path was the motivating true positive).
+//
+// A finding requires all three of: the function has a context.Context
+// parameter; it calls either a blocking-I/O leaf (net dials, time.Sleep, io
+// fills — see summary.go's leaf table) or a loaded callee whose fixpoint
+// summary says it can block; and no context is among that call's arguments.
+// Functions that select on a Done() channel are exempt — they honor
+// cancellation by hand instead of by argument, the Manager.redial idiom.
+var ctxPropagationCheck = &Check{
+	Name: "ctx-propagation",
+	Doc:  "function takes a ctx but calls blocking work without passing it or selecting Done",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(pass *Pass) {
+	info := pass.Pkg.Info
+	for fn, fi := range pass.Prog.Funcs {
+		if fi.Pkg != pass.Pkg {
+			continue
+		}
+		sum := pass.Prog.SummaryOf(fn)
+		if sum == nil || !sum.TakesCtx || sum.SelectsDone {
+			continue
+		}
+		walkSameGoroutine(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callPassesCtx(info, call) {
+				return true
+			}
+			if callee := calleeFunc(info, call); callee != nil && isIOLeaf(callee) {
+				pass.ReportRangef(call.Pos(), call.End(),
+					"%s receives a ctx but calls blocking %s.%s without it; cancellation cannot reach this call",
+					fn.Name(), callee.Pkg().Name(), callee.Name())
+				return true
+			}
+			for _, callee := range pass.Prog.Callees(info, call) {
+				cs := pass.Prog.SummaryOf(callee.Fn)
+				if cs == nil || (!cs.Blocks && !cs.BlocksIO) || cs.TakesCtx {
+					// A callee that itself takes a ctx is reported where *it*
+					// drops the ball, not at every caller.
+					continue
+				}
+				what := cs.IOWhat
+				if what == "" {
+					what = cs.BlockWhat
+				}
+				pass.ReportRangef(call.Pos(), call.End(),
+					"%s receives a ctx but calls %s, which blocks (%s) and accepts no ctx; cancellation cannot reach it",
+					fn.Name(), callee.Fn.Name(), what)
+				break
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// The goroutine-leak check hunts the fleet's quietest failure mode: a
+// goroutine parked forever on a channel nobody will ever service again. A
+// worker that dies without draining its job channel wedges the coalescer;
+// a redial loop without a shutdown select outlives its Manager; both keep
+// their stacks, their captures and (transitively) their connections alive
+// until the process exits. The race detector only sees these when a
+// schedule happens to expose them — this check sees them at vet time.
+//
+// A `go` statement is flagged when the launched function — a literal
+// analyzed in place, a named function or method via its fixpoint summary,
+// or every loaded implementation for an interface-method launch — can reach
+// a channel operation that blocks forever. "Blocks forever" uses the shared
+// guard model in summary.go: an operation escapes the flag when it sits in
+// a select with a second way out, receives from a Done()-style or
+// time-package channel, ranges over a channel, or sends on a channel the
+// load observably made with capacity (the buffered-completion idiom).
+// Blocking propagates through calls unconditionally — a send three helpers
+// deep still roots the report — so the diagnostic names the root site.
+var goroutineLeakCheck = &Check{
+	Name: "goroutine-leak",
+	Doc:  "goroutine can block forever on a channel with no guarded select or done path",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if pos, what := pass.Prog.litBlocks(pass.Pkg, lit); pos.IsValid() {
+					site := pass.Pkg.Fset.Position(pos)
+					pass.ReportRangef(g.Pos(), g.End(),
+						"goroutine can block forever: %s at %s:%d has no guarded select or done path",
+						what, shortPath(site.Filename), site.Line)
+				}
+				return true
+			}
+			for _, callee := range pass.Prog.Callees(info, g.Call) {
+				sum := pass.Prog.SummaryOf(callee.Fn)
+				if sum == nil || !sum.Blocks {
+					continue
+				}
+				site := pass.Pkg.Fset.Position(sum.BlockPos)
+				pass.ReportRangef(g.Pos(), g.End(),
+					"goroutine running %s can block forever: %s at %s:%d has no guarded select or done path",
+					callee.Fn.Name(), sum.BlockWhat, shortPath(site.Filename), site.Line)
+				break // one report per launch, not one per implementation
+			}
+			return true
+		})
+	}
+}
+
+// shortPath renders a diagnostic-embedded file reference as its base name:
+// the position prefix already locates the finding, and bare names keep the
+// golden fixtures independent of where the tree is checked out.
+func shortPath(name string) string { return filepath.Base(name) }
+
+// litBlocks analyzes a go-launched function literal in place: its own
+// channel operations under the guard model, plus any callee whose summary
+// blocks. Returns the root blocking site, or NoPos when the literal is
+// clean.
+func (prog *Program) litBlocks(pkg *Package, lit *ast.FuncLit) (pos token.Pos, what string) {
+	facts := prog.chanFactsIn(pkg, lit.Body)
+	if op := facts.firstUnguarded; op != nil {
+		pos, what = op.pos, op.desc
+	}
+	walkSameGoroutine(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range prog.Callees(pkg.Info, call) {
+			sum := prog.SummaryOf(callee.Fn)
+			if sum == nil || !sum.Blocks {
+				continue
+			}
+			if !pos.IsValid() || sum.BlockPos < pos {
+				pos, what = sum.BlockPos, sum.BlockWhat
+			}
+		}
+		return true
+	})
+	return pos, what
+}

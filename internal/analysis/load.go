@@ -99,20 +99,30 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := &exportImporter{gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	})}
+	imp := &exportImporter{
+		source: map[string]*types.Package{},
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
 
+	// go list -deps emits dependencies before their importers, so checking
+	// targets in listing order lets each one import earlier targets as
+	// *source-checked* packages. That identity-unifies objects across the
+	// load — a *types.Func seen at a cross-package call site is the same
+	// object the callee's declaration defined — which is what lets the
+	// interprocedural engine follow calls between target packages.
 	var pkgs []*Package
 	for _, t := range targets {
 		pkg, err := checkPackage(fset, imp, t)
 		if err != nil {
 			return nil, err
 		}
+		imp.source[t.ImportPath] = pkg.Types
 		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
@@ -148,13 +158,21 @@ func checkPackage(fset *token.FileSet, imp types.Importer, t *listedPackage) (*P
 	return pkg, nil
 }
 
-// exportImporter satisfies imports from compiled export data, special-casing
-// the synthetic "unsafe" package the gc importer does not model.
-type exportImporter struct{ gc types.Importer }
+// exportImporter satisfies imports from already-source-checked target
+// packages when it can (preserving object identity across the load), from
+// compiled export data otherwise, special-casing the synthetic "unsafe"
+// package the gc importer does not model.
+type exportImporter struct {
+	source map[string]*types.Package
+	gc     types.Importer
+}
 
 func (e *exportImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
+	}
+	if pkg, ok := e.source[path]; ok {
+		return pkg, nil
 	}
 	return e.gc.Import(path)
 }

@@ -1,0 +1,69 @@
+// Package ctxprop exercises the ctx-propagation check: functions that
+// receive a context.Context and then call blocking work — an I/O leaf or a
+// summary-flagged loaded helper — without passing the ctx along or
+// selecting on a Done() channel.
+package ctxprop
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// BadDialDropsCtx receives a ctx and then dials without it: the caller's
+// cancel can never abandon this dial.
+func BadDialDropsCtx(ctx context.Context, addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second)
+}
+
+// BadHelperBlocks drops the ctx one call deep: settle's summary says it
+// sleeps, and nothing ties that sleep to the caller's cancellation.
+func BadHelperBlocks(ctx context.Context) {
+	settle()
+}
+
+func settle() {
+	time.Sleep(time.Millisecond)
+}
+
+// BadSleepDirect parks on time.Sleep with a ctx in hand.
+func BadSleepDirect(ctx context.Context) {
+	time.Sleep(time.Second)
+}
+
+// GoodPassesCtx threads the ctx into the dial.
+func GoodPassesCtx(ctx context.Context, addr string) (net.Conn, error) {
+	d := &net.Dialer{}
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// GoodSelectsDone blocks, but honors cancellation by hand — the redial-loop
+// idiom.
+func GoodSelectsDone(ctx context.Context, work chan int) {
+	settle()
+	select {
+	case <-ctx.Done():
+	case v := <-work:
+		_ = v
+	}
+}
+
+// GoodNoCtx has no context to thread; whoever calls it owns that decision.
+func GoodNoCtx() {
+	settle()
+}
+
+// GoodCtxAwareHelper calls a helper that accepts the ctx itself; if the
+// helper mishandles it, the finding belongs there, not here.
+func GoodCtxAwareHelper(ctx context.Context) {
+	settleCtx(ctx)
+}
+
+func settleCtx(ctx context.Context) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,132 @@
+// Package goleak exercises the goroutine-leak check: go statements whose
+// goroutine can park forever on a channel nobody will service, against the
+// guard model's exemptions (guarded selects, done channels, time channels,
+// ranges, buffered-completion sends).
+package goleak
+
+import "time"
+
+// BadBareSend launches a goroutine that sends on an unbuffered channel no
+// one is guaranteed to drain.
+func BadBareSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+// BadBareRecv parks a goroutine on a receive with no escape path.
+func BadBareRecv(ch chan struct{}) {
+	go func() {
+		<-ch
+	}()
+}
+
+// BadNamedWorker launches a declared function whose summary says it blocks.
+func BadNamedWorker() {
+	ch := make(chan int)
+	go pump(ch)
+	_ = ch
+}
+
+func pump(ch chan int) {
+	ch <- 42
+}
+
+// BadHelperDeep blocks two calls deep — only the summary fixpoint sees it.
+func BadHelperDeep() {
+	go outer()
+}
+
+func outer() {
+	inner()
+}
+
+func inner() {
+	ch := make(chan struct{})
+	<-ch
+}
+
+// runner is a load-owned interface, so go launches through it resolve to
+// every loaded implementation.
+type runner interface {
+	Run()
+}
+
+type blockingRunner struct{ ch chan int }
+
+func (b *blockingRunner) Run() {
+	b.ch <- 1
+}
+
+// BadInterfaceLaunch leaks through method-set dispatch: the only loaded
+// implementation of runner blocks.
+func BadInterfaceLaunch(r runner) {
+	go r.Run()
+}
+
+// GoodGuardedSelect gives the send an escape path.
+func GoodGuardedSelect(done chan struct{}) chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		case <-done:
+		}
+	}()
+	return ch
+}
+
+// GoodBufferedCompletion sends on a channel made with capacity — the
+// exactly-once completion idiom cannot block.
+func GoodBufferedCompletion() chan error {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	return done
+}
+
+// GoodTimeAfter waits on a time channel: bounded by construction.
+func GoodTimeAfter() {
+	go func() {
+		<-time.After(time.Millisecond)
+	}()
+}
+
+// GoodRangeWorker drains until close — the close discipline, not a leak.
+func GoodRangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// lifecycle mimics the repo's done-channel accessors.
+type lifecycle struct{ ch chan struct{} }
+
+// Done returns the shutdown channel.
+func (l *lifecycle) Done() <-chan struct{} { return l.ch }
+
+// GoodDoneRecv waits on a Done()-style channel: an intentional park that
+// shutdown releases.
+func GoodDoneRecv(l *lifecycle) {
+	go func() {
+		<-l.Done()
+	}()
+}
+
+// GoodNamedGuarded launches a declared function that selects its way out.
+func GoodNamedGuarded(stop chan struct{}) {
+	ch := make(chan int)
+	go guardedPump(ch, stop)
+}
+
+func guardedPump(ch chan int, stop chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-stop:
+	}
+}

@@ -1,0 +1,22 @@
+// Package goleakdep launches goroutines whose bodies live in another
+// package (fixture/goleakpipe): the leak is invisible to any per-function
+// walk and is caught only because the call graph and summaries span the
+// whole load.
+package goleakdep
+
+import "fixture/goleakpipe"
+
+// BadCrossPackage leaks through a package boundary: Forward's unguarded
+// send lives in goleakpipe.
+func BadCrossPackage() {
+	ch := make(chan int)
+	go goleakpipe.Forward(ch)
+	_ = ch
+}
+
+// GoodCrossPackage launches the guarded variant.
+func GoodCrossPackage(stop chan struct{}) {
+	ch := make(chan int)
+	go goleakpipe.Guarded(ch, stop)
+	_ = ch
+}

@@ -1,0 +1,19 @@
+// Package goleakpipe is the far half of the cross-package goroutine-leak
+// fixture: helpers whose blocking behavior is only visible through the
+// summary layer, because their bodies live in a different package from the
+// go statement that launches them.
+package goleakpipe
+
+// Forward blocks on an unbuffered send; its callers cannot know that
+// without the interprocedural summary.
+func Forward(ch chan int) {
+	ch <- 1
+}
+
+// Guarded has an escape path, so cross-package launches of it stay quiet.
+func Guarded(ch chan int, stop chan struct{}) {
+	select {
+	case ch <- 1:
+	case <-stop:
+	}
+}

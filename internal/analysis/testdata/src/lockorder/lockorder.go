@@ -1,0 +1,135 @@
+// Package lockorder exercises the lock-order check: the global
+// lock-acquisition graph built from summaries must report a cycle when two
+// functions nest the same pair of mutexes in opposite orders — directly or
+// through callees — and stay quiet on consistent orders and same-key
+// (instance-ambiguous) nesting.
+package lockorder
+
+import "sync"
+
+// Pool and Stats are the crafted AB/BA deadlock pair: BadLockAB holds
+// Pool.mu while taking Stats.mu, BadLockBA does the reverse.
+type Pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Stats struct {
+	mu sync.Mutex
+	n  int
+}
+
+var pool Pool
+var stats Stats
+
+// BadLockAB acquires Pool.mu then Stats.mu.
+func BadLockAB() {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	stats.n = pool.n
+}
+
+// BadLockBA nests the same pair the other way: the cycle.
+func BadLockBA() {
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	pool.n = stats.n
+}
+
+// Cache and Journal invert through callees: no single function shows both
+// acquisitions, so only the interprocedural summary layer sees this cycle.
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+var cache Cache
+var journal Journal
+
+// BadIndirectAB holds Cache.mu while flushJournal takes Journal.mu.
+func BadIndirectAB() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	flushJournal()
+}
+
+func flushJournal() {
+	journal.mu.Lock()
+	defer journal.mu.Unlock()
+	journal.n++
+}
+
+// BadIndirectBA holds Journal.mu while evictCache takes Cache.mu.
+func BadIndirectBA() {
+	journal.mu.Lock()
+	defer journal.mu.Unlock()
+	evictCache()
+}
+
+func evictCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.n++
+}
+
+// Front and Back are always nested in the same order: edges, but no cycle.
+type Front struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Back struct {
+	mu sync.Mutex
+	n  int
+}
+
+var front Front
+var back Back
+
+// GoodConsistentOrderOne nests front before back.
+func GoodConsistentOrderOne() {
+	front.mu.Lock()
+	defer front.mu.Unlock()
+	back.mu.Lock()
+	defer back.mu.Unlock()
+	back.n = front.n
+}
+
+// GoodConsistentOrderTwo nests the same order elsewhere.
+func GoodConsistentOrderTwo() {
+	front.mu.Lock()
+	defer front.mu.Unlock()
+	back.mu.Lock()
+	back.n++
+	back.mu.Unlock()
+}
+
+// GoodSequentialLocks never holds both at once: release, then acquire.
+func GoodSequentialLocks() {
+	back.mu.Lock()
+	back.n++
+	back.mu.Unlock()
+	front.mu.Lock()
+	front.n++
+	front.mu.Unlock()
+}
+
+// GoodTwoInstances nests the same field on two instances. The
+// type-qualified key cannot tell a.mu from b.mu, so this is deliberately
+// not reported (instance ambiguity, documented trade-off).
+func GoodTwoInstances(a, b *Pool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = a.n
+}

@@ -63,3 +63,36 @@ func GoodLoopBodyRebind(n int) float64 {
 	}
 	return sum
 }
+
+// recycle is a cleanup helper: its summary records that it forwards its
+// argument to tensor.Release, so callers' variables die at the call site.
+func recycle(t *tensor.Tensor) {
+	tensor.Release(t)
+}
+
+// deepRecycle releases two calls deep — only the fixpoint sees through it.
+func deepRecycle(t *tensor.Tensor) {
+	recycle(t)
+}
+
+// BadHelperRelease touches a tensor a cleanup helper already released.
+func BadHelperRelease() float64 {
+	t := tensor.Get(4)
+	recycle(t)
+	return t.Data[0]
+}
+
+// BadDeepHelperRelease is the same hazard through two levels of helpers.
+func BadDeepHelperRelease() float64 {
+	t := tensor.Get(4)
+	deepRecycle(t)
+	return t.Data[0]
+}
+
+// GoodHelperReleaseLast releases via the helper strictly after the last use.
+func GoodHelperReleaseLast() float64 {
+	t := tensor.Get(4)
+	v := t.Data[0]
+	recycle(t)
+	return v
+}

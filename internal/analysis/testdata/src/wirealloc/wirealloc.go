@@ -1,0 +1,114 @@
+// Package wirealloc exercises the wire-bounded-alloc check: integers read
+// off the wire (encoding/binary, directly or through tainted helpers) must
+// pass a bounding comparison before they size an allocation, drive an
+// io.CopyN, or steer a slice-growing loop.
+package wirealloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxItems = 1 << 16
+
+var errTooBig = errors.New("count exceeds cap")
+
+// BadMakeFromWire sizes a slice straight off the wire.
+func BadMakeFromWire(b []byte) []uint64 {
+	n := binary.LittleEndian.Uint32(b)
+	return make([]uint64, n)
+}
+
+// BadInlineSource feeds the decode call to make directly — no variable was
+// ever compared.
+func BadInlineSource(b []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(b))
+}
+
+// BadHelperTainted gets its size from a helper that returns the wire value
+// unvalidated; only the summary layer knows rawCount is hostile.
+func BadHelperTainted(b []byte) []float64 {
+	n := rawCount(b)
+	return make([]float64, n)
+}
+
+func rawCount(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+// BadCopyN trusts a wire count as a copy length: overflow or a hostile
+// frame desyncs the stream.
+func BadCopyN(r io.Reader, b []byte) error {
+	n := binary.LittleEndian.Uint64(b)
+	_, err := io.CopyN(io.Discard, r, int64(n))
+	return err
+}
+
+// BadLoopAppend grows a slice under a wire-controlled iteration count — a
+// for-loop condition is not a bounds check.
+func BadLoopAppend(b []byte) []int {
+	n := binary.LittleEndian.Uint32(b)
+	var out []int
+	for i := uint32(0); i < n; i++ {
+		out = append(out, int(i))
+	}
+	return out
+}
+
+// GoodBoundedMake compares against the cap before allocating.
+func GoodBoundedMake(b []byte) ([]uint64, error) {
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxItems {
+		return nil, errTooBig
+	}
+	return make([]uint64, n), nil
+}
+
+// GoodBoundedHelper relies on the decoder.count idiom: checkedCount
+// compares before returning, so its results are clean at every caller.
+func GoodBoundedHelper(b []byte) []float64 {
+	n := checkedCount(b)
+	return make([]float64, n)
+}
+
+func checkedCount(b []byte) uint32 {
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxItems {
+		return 0
+	}
+	return n
+}
+
+// GoodConstSize never touches the wire.
+func GoodConstSize() []byte {
+	return make([]byte, 64)
+}
+
+// GoodOverflowGuard checks the bound before each multiply — the skip-count
+// idiom the real decoder uses.
+func GoodOverflowGuard(r io.Reader, b []byte) error {
+	size := uint64(1)
+	for i := 0; i < 4; i++ {
+		d := binary.LittleEndian.Uint32(b[4*i:])
+		if d != 0 && size > maxItems/uint64(d) {
+			return errTooBig
+		}
+		size *= uint64(d)
+	}
+	_, err := io.CopyN(io.Discard, r, int64(8*size))
+	return err
+}
+
+// GoodBoundedLoop compares the count before the loop that grows the slice.
+func GoodBoundedLoop(b []byte) ([]int, error) {
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxItems {
+		return nil, errTooBig
+	}
+	var out []int
+	for i := uint32(0); i < n; i++ {
+		out = append(out, int(i))
+	}
+	return out, nil
+}

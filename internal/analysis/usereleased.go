@@ -40,6 +40,30 @@ func tensorRelease(pass *Pass, call *ast.CallExpr) bool {
 		fn.Name() == "Release" && fn.Type().(*types.Signature).Recv() == nil
 }
 
+// releasedArgs returns the arguments call hands back to the buffer pool:
+// every argument of a direct tensor.Release, or — via the fixpoint summary
+// layer — the arguments a loaded helper forwards to a Release one or more
+// calls deep. A cleanup helper is as deadly to the variable as the Release
+// itself; before the summary layer this was the check's blind spot.
+func releasedArgs(pass *Pass, call *ast.CallExpr) []ast.Expr {
+	if tensorRelease(pass, call) {
+		return call.Args
+	}
+	var out []ast.Expr
+	for _, callee := range pass.Prog.Callees(pass.Pkg.Info, call) {
+		sum := pass.Prog.SummaryOf(callee.Fn)
+		if sum == nil {
+			continue
+		}
+		for _, idx := range sum.ReleasesParams {
+			if idx < len(call.Args) {
+				out = append(out, call.Args[idx])
+			}
+		}
+	}
+	return out
+}
+
 func checkReleaseScope(pass *Pass, scope funcScope) {
 	type released struct {
 		obj  types.Object
@@ -56,10 +80,7 @@ func checkReleaseScope(pass *Pass, scope funcScope) {
 			// after it is still before the release at run time.
 			return false
 		case *ast.CallExpr:
-			if !tensorRelease(pass, n) {
-				return true
-			}
-			for _, arg := range n.Args {
+			for _, arg := range releasedArgs(pass, n) {
 				obj := usedObject(pass.Pkg.Info, arg)
 				if obj == nil {
 					continue

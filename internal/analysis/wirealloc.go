@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The wire-bounded-alloc check generalizes internal/rpc's 64 MiB discipline
+// to every decode path: an integer that arrives off the wire (encoding/binary
+// Uint16/32/64, directly or through a helper the fixpoint summary marks
+// tainted) must pass a bounding comparison before it sizes anything. The
+// attack shape is old and reliable — a peer writes a huge count field, the
+// decoder calls make() with it, and one frame allocates gigabytes (or, for
+// skip-counts, overflows and silently desyncs the stream). A cap that lives
+// in a comment is not a cap.
+//
+// Taint enters at binary.*.Uint16/32/64 calls (Uint8 is excluded: 255 of
+// anything is not an interesting allocation) and at calls to loaded helpers
+// whose summary says they return wire-derived integers unvalidated; it
+// spreads through assignments, conversions and arithmetic. An inequality
+// comparison (<, >, <=, >= — equality is framing, not bounding) against the
+// value inside an if condition sanitizes it; a for-loop condition does not,
+// because the loop body growing a slice is exactly the hazard. Helpers that
+// compare before returning (the decoder.count idiom) summarize as bounded
+// and their results are clean at every caller.
+//
+// Sinks: make() size arguments, io.CopyN byte counts, and for-loops driven
+// by an unsanitized count whose body appends.
+var wireBoundedAllocCheck = &Check{
+	Name: "wire-bounded-alloc",
+	Doc:  "allocation sized by a wire-decoded integer with no bounding comparison",
+	Run:  runWireBoundedAlloc,
+}
+
+func runWireBoundedAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, fi := range pass.Prog.sortedFuncs() {
+		if fi.Pkg != pass.Pkg {
+			continue
+		}
+		tt := pass.Prog.taintTable(pass.Pkg, fi.Decl.Body)
+		if len(tt.tainted) == 0 && !tt.hasSourceCalls {
+			continue
+		}
+		walkSameGoroutine(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isMakeCall(info, n) {
+					for _, size := range n.Args[1:] {
+						if tt.taintedExpr(size) && !tt.sanitizedExpr(size, n.Pos()) {
+							pass.ReportRangef(n.Pos(), n.End(),
+								"make in %s is sized by a wire-decoded value with no bounding comparison; a hostile frame controls this allocation",
+								fi.Fn.Name())
+							break
+						}
+					}
+				}
+				if pkgFuncCall(info, n, "io", "CopyN") && len(n.Args) == 3 {
+					if tt.taintedExpr(n.Args[2]) && !tt.sanitizedExpr(n.Args[2], n.Pos()) {
+						pass.ReportRangef(n.Pos(), n.End(),
+							"io.CopyN in %s copies a wire-decoded byte count with no bounding comparison; overflow or a hostile frame desyncs the stream",
+							fi.Fn.Name())
+					}
+				}
+			case *ast.ForStmt:
+				if n.Cond == nil || !tt.taintedExpr(n.Cond) || tt.sanitizedExpr(n.Cond, n.Pos()) {
+					return true
+				}
+				if bodyAppends(n.Body) {
+					pass.ReportRangef(n.Pos(), n.Body.Lbrace,
+						"loop in %s is driven by an unvalidated wire-decoded count and grows a slice; a hostile frame controls the iteration total",
+						fi.Fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMakeCall matches the builtin make with a size argument.
+func isMakeCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) < 2 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "make"
+}
+
+// bodyAppends reports whether the loop body calls the builtin append.
+func bodyAppends(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ---- taint table ------------------------------------------------------------
+
+// taintTable tracks, within one function body, which integer variables carry
+// unvalidated wire-decoded values and where each was bounds-checked.
+type taintTable struct {
+	prog *Program
+	info *types.Info
+	// tainted maps an object to its first taint site.
+	tainted map[types.Object]token.Pos
+	// sanitized maps an object to the positions of bounding comparisons.
+	sanitized map[types.Object][]token.Pos
+	// hasSourceCalls notes that the body contains taint-source calls even if
+	// no variable captured one (make(..., binary.X.Uint32(b)) inline).
+	hasSourceCalls bool
+}
+
+// taintTable computes the local taint state of body against the current
+// summary table (so helper calls resolve interprocedurally).
+func (prog *Program) taintTable(pkg *Package, body ast.Node) *taintTable {
+	tt := &taintTable{
+		prog:      prog,
+		info:      pkg.Info,
+		tainted:   map[types.Object]token.Pos{},
+		sanitized: map[types.Object][]token.Pos{},
+	}
+
+	walkSameGoroutine(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(tt.info, n); isTaintSource(fn) {
+				tt.hasSourceCalls = true
+			}
+		case *ast.IfStmt:
+			// Inequality comparisons inside if conditions sanitize every
+			// object they mention (the comparison is assumed to gate the
+			// hostile range — path-sensitivity is out of scope).
+			ast.Inspect(n.Cond, func(m ast.Node) bool {
+				be, ok := m.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					for _, side := range []ast.Expr{be.X, be.Y} {
+						ast.Inspect(side, func(k ast.Node) bool {
+							if id, ok := k.(*ast.Ident); ok {
+								if obj := tt.info.Uses[id]; obj != nil {
+									tt.sanitized[obj] = append(tt.sanitized[obj], n.Cond.Pos())
+								}
+							}
+							return true
+						})
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Taint spreads through assignment chains (n := read(); m := n * 8), so
+	// iterate to a local fixpoint.
+	for changed := true; changed; {
+		changed = false
+		walkSameGoroutine(body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr, pos token.Pos) {
+				obj := usedObject(tt.info, lhs)
+				if obj == nil || !isIntObj(obj) {
+					return
+				}
+				if _, already := tt.tainted[obj]; !already {
+					tt.tainted[obj] = pos
+					changed = true
+				}
+			}
+			if len(asg.Rhs) == 1 && len(asg.Lhs) > 1 {
+				// Multi-value assignment from a call: a tainted callee taints
+				// every integer result (coarse, but the decode helpers the
+				// check targets return (value, error)).
+				if tt.taintedExpr(asg.Rhs[0]) {
+					for _, lhs := range asg.Lhs {
+						mark(lhs, asg.Pos())
+					}
+				}
+				return true
+			}
+			for i, rhs := range asg.Rhs {
+				if i < len(asg.Lhs) && tt.taintedExpr(rhs) {
+					mark(asg.Lhs[i], asg.Pos())
+				}
+			}
+			// Op-assigns (size *= int64(d)) have matching lhs/rhs lengths and
+			// are covered above; size also stays tainted if already marked.
+			return true
+		})
+	}
+	return tt
+}
+
+// taintedExpr reports whether e contains a wire-decoded value: a tainted
+// identifier, a taint-source call, or a call to a loaded helper whose
+// summary returns taint. Conversions and arithmetic propagate naturally —
+// int64(d) and n*8 are as hostile as d and n.
+func (tt *taintTable) taintedExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := tt.info.Uses[n]; obj != nil {
+				if _, ok := tt.tainted[obj]; ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(tt.info, n); isTaintSource(fn) {
+				found = true
+				return false
+			}
+			if callees := tt.prog.Callees(tt.info, n); len(callees) > 0 {
+				for _, callee := range callees {
+					if sum := tt.prog.summaries[callee.Fn]; sum != nil && sum.TaintedReturn {
+						found = true
+					}
+				}
+				// BoundedReturn results are clean; either way the callee
+				// consumed its arguments, so do not descend into them.
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sanitizedExpr reports whether every taint carrier in e was bounds-compared
+// after its taint site and before use. Taint arriving through an inline call
+// (a source or a tainted helper, with no variable to compare) is never
+// sanitized. Only meaningful when taintedExpr(e) holds.
+func (tt *taintTable) sanitizedExpr(e ast.Expr, use token.Pos) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := tt.info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if _, tainted := tt.tainted[obj]; !tainted {
+				return true
+			}
+			// Any bounding comparison textually before the use counts — not
+			// just ones after the taint site — so the overflow-guard idiom
+			// (check the bound, then multiply) passes. Flow-insensitive, and
+			// documented as such.
+			clean := false
+			for _, sp := range tt.sanitized[obj] {
+				if sp < use {
+					clean = true
+					break
+				}
+			}
+			if !clean {
+				ok = false
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(tt.info, n); isTaintSource(fn) {
+				ok = false // inline source: nothing was ever compared
+				return false
+			}
+			if callees := tt.prog.Callees(tt.info, n); len(callees) > 0 {
+				for _, callee := range callees {
+					if sum := tt.prog.summaries[callee.Fn]; sum != nil && sum.TaintedReturn {
+						ok = false
+					}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// isIntObj reports whether obj has a sized-integer type (see isIntExpr).
+func isIntObj(obj types.Object) bool {
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Int16, types.Int32, types.Int64,
+		types.Uint, types.Uint16, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}

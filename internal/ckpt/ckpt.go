@@ -38,6 +38,10 @@ const (
 	maxRNGBytes   = 1 << 8
 	maxOrderLen   = 1 << 26
 	maxBuffers    = 1 << 16
+	// maxDiscardElems caps the element count a skipped buffer may claim
+	// (2 GiB of float64s); it also keeps the 8×size byte count far from
+	// overflowing int64 in the skip path.
+	maxDiscardElems = 1 << 28
 )
 
 // SchedKind says which (if any) stopping rule's progress a checkpoint
@@ -515,15 +519,21 @@ func discardShapeAndValues(r io.Reader, name string) error {
 	if rank > nn.MaxRank {
 		return fmt.Errorf("ckpt: checkpoint claims rank %d for %s (limit %d) — corrupt", rank, name, nn.MaxRank)
 	}
-	size := int64(1)
+	size := uint64(1)
 	for i := 0; i < int(rank); i++ {
 		d, err := readU32(r)
 		if err != nil {
 			return err
 		}
-		size *= int64(d)
+		// Guard before multiplying: unchecked wire dims can overflow the
+		// accumulator, turning the skip count small and silently desyncing
+		// every field read after this one.
+		if d != 0 && size > maxDiscardElems/uint64(d) {
+			return fmt.Errorf("ckpt: %s claims more than %d elements to skip — corrupt", name, maxDiscardElems)
+		}
+		size *= uint64(d)
 	}
-	if _, err := io.CopyN(io.Discard, r, 8*size); err != nil {
+	if _, err := io.CopyN(io.Discard, r, int64(8*size)); err != nil {
 		return fmt.Errorf("ckpt: read: %w", err)
 	}
 	return nil

@@ -312,3 +312,36 @@ func TestOpenRejectsEmptyPath(t *testing.T) {
 		t.Fatal("empty path must fail")
 	}
 }
+
+// TestDiscardRejectsHugeSkipCount feeds discardShapeAndValues a shape whose
+// dims multiply far past maxDiscardElems (and would overflow uint64 if
+// multiplied blindly). The overflow guard must reject it as corrupt instead
+// of deriving a bogus skip count and desyncing the stream.
+func TestDiscardRejectsHugeSkipCount(t *testing.T) {
+	var buf bytes.Buffer
+	writeU32(&buf, 3)
+	for i := 0; i < 3; i++ {
+		writeU32(&buf, 0xFFFFFFFF)
+	}
+	err := discardShapeAndValues(&buf, "ghost")
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("discard of ~2^96-element payload: err = %v, want corrupt", err)
+	}
+}
+
+// TestDiscardSkipsExactPayload pins the happy path: a legitimate 2x3 buffer
+// is consumed exactly, leaving trailing bytes for the next field.
+func TestDiscardSkipsExactPayload(t *testing.T) {
+	var buf bytes.Buffer
+	writeU32(&buf, 2)
+	writeU32(&buf, 2)
+	writeU32(&buf, 3)
+	buf.Write(make([]byte, 8*6))
+	buf.WriteByte(0x7f) // sentinel the skip must not consume
+	if err := discardShapeAndValues(&buf, "ghost"); err != nil {
+		t.Fatalf("discard of valid 2x3 payload: %v", err)
+	}
+	if buf.Len() != 1 {
+		t.Fatalf("discard left %d bytes, want exactly the 1-byte sentinel", buf.Len())
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -456,5 +457,67 @@ func TestFleetCoordinatorDrain(t *testing.T) {
 	}
 	if st := s.Stats(); st.Responded != st.Accepted {
 		t.Fatalf("drain left %d of %d accepted requests unanswered", st.Accepted-st.Responded, st.Accepted)
+	}
+}
+
+// TestConnectHonorsCtxDeadline pins the ctx-propagation fix: the dial AND
+// the handshake must inherit the caller's ctx deadline, not just the
+// configured DialTimeout. The mute listener accepts the TCP connection but
+// never sends a Welcome, so only the ctx-derived conn deadline can unblock
+// the handshake read before the 2s DialTimeout would.
+func TestConnectHonorsCtxDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var conns []net.Conn
+	accepted := make(chan struct{})
+	go func() {
+		defer close(accepted)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c) // hold open, never reply
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		ln.Close()
+		<-accepted
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	m := NewManager([]string{ln.Addr().String()}, fastFleetOptions(t))
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = m.Connect(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Connect succeeded against a mute worker")
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("Connect took %v; the 50ms ctx deadline did not bound the handshake", elapsed)
+	}
+}
+
+// TestConnectCancelledCtx: an already-cancelled ctx aborts Connect before
+// any dial happens.
+func TestConnectCancelledCtx(t *testing.T) {
+	m := NewManager([]string{"127.0.0.1:1"}, fastFleetOptions(t))
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.Connect(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Connect(cancelled ctx) = %v, want context.Canceled", err)
 	}
 }

@@ -196,6 +196,12 @@ type Manager struct {
 	wake   chan struct{}
 	wg     sync.WaitGroup
 
+	// life is cancelled by Close; it bounds dials made on the manager's
+	// behalf outside any caller context (the redial loop), so a closing
+	// fleet never waits out a dial timeout against a dead worker.
+	life     context.Context
+	lifeStop context.CancelFunc
+
 	// lifeMu serializes lifecycle transitions (Close vs evict-spawned
 	// redials vs redial-spawned connections): a link may only be installed
 	// and goroutines only added to wg while the manager is not closed, so
@@ -231,6 +237,7 @@ func NewManager(addrs []string, opt Options) *Manager {
 		stop: make(chan struct{}),
 		wake: make(chan struct{}, 1),
 	}
+	m.life, m.lifeStop = context.WithCancel(context.Background())
 	for i, a := range addrs {
 		m.workers = append(m.workers, &remote{addr: a, idx: i, state: StateJoining})
 	}
@@ -308,7 +315,7 @@ func (m *Manager) Connect(ctx context.Context) error {
 			m.Close()
 			return err
 		}
-		if err := m.connectWorker(r); err != nil {
+		if err := m.connectWorker(ctx, r); err != nil {
 			m.Close()
 			return err
 		}
@@ -317,13 +324,16 @@ func (m *Manager) Connect(ctx context.Context) error {
 }
 
 // connectWorker dials, handshakes and installs a fresh link for r, then
-// starts its reader and health loop.
-func (m *Manager) connectWorker(r *remote) error {
-	conn, err := net.DialTimeout("tcp", r.addr, m.opt.DialTimeout)
+// starts its reader and health loop. The ctx bounds the dial: cancelling it
+// abandons the connection attempt immediately instead of waiting out the
+// dial timeout.
+func (m *Manager) connectWorker(ctx context.Context, r *remote) error {
+	dialer := &net.Dialer{Timeout: m.opt.DialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", r.addr)
 	if err != nil {
 		return fmt.Errorf("fleet: dial %s: %w", r.addr, err)
 	}
-	w, err := m.handshake(conn)
+	w, err := m.handshake(ctx, conn)
 	if err != nil {
 		conn.Close()
 		return fmt.Errorf("fleet: worker %s: %w", r.addr, err)
@@ -358,18 +368,25 @@ func (m *Manager) connectWorker(r *remote) error {
 
 // handshake runs the client side of the registration protocol on a fresh
 // connection: Hello out, Welcome (or Refuse) back, then version, pod budget
-// and model hash are verified.
-func (m *Manager) handshake(conn net.Conn) (rpc.Welcome, error) {
+// and model hash are verified. The frame reads are bounded by a conn
+// deadline — the dial timeout, or the ctx's deadline when that lands
+// sooner, so a caller-imposed budget covers the handshake too.
+func (m *Manager) handshake(ctx context.Context, conn net.Conn) (rpc.Welcome, error) {
 	hv := uint32(rpc.ProtocolVersion)
 	if m.opt.helloVersion != 0 {
 		hv = m.opt.helloVersion
 	}
-	conn.SetDeadline(time.Now().Add(m.opt.DialTimeout))
+	deadline := time.Now().Add(m.opt.DialTimeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+		deadline = dl
+	}
+	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	hello := rpc.Frame{Type: rpc.FrameHello, Payload: rpc.AppendHello(nil, rpc.Hello{Version: hv})}
 	if err := rpc.WriteFrame(conn, hello); err != nil {
 		return rpc.Welcome{}, fmt.Errorf("send hello: %w", err)
 	}
+	//gnnvet:allow ctx-propagation -- read is bounded by the conn deadline derived from ctx above
 	f, err := rpc.ReadFrame(conn)
 	if err != nil {
 		return rpc.Welcome{}, fmt.Errorf("read handshake reply: %w", err)
@@ -414,6 +431,7 @@ func (m *Manager) Close() error {
 	}
 	m.closed = true
 	close(m.stop)
+	m.lifeStop()
 	m.lifeMu.Unlock()
 	for _, r := range m.workers {
 		r.mu.Lock()
@@ -550,7 +568,7 @@ func (m *Manager) redial(r *remote) {
 			return
 		case <-time.After(backoff):
 		}
-		if err := m.connectWorker(r); err == nil {
+		if err := m.connectWorker(m.life, r); err == nil {
 			m.met.rejoins.Inc()
 			m.opt.Events.Info("fleet-worker-rejoin", obs.String("addr", r.addr))
 			return

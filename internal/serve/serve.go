@@ -251,6 +251,10 @@ func New(replicas []Replica, opt Options) *Server {
 	s := newServer(opt)
 	s.replicas = replicas
 	s.be = be
+	// The coalescer's unguarded send is the backpressure: it must block while
+	// every worker is busy. It can only block *forever* if all workers die,
+	// which serveGroup's loop-level recover rules out.
+	//gnnvet:allow goroutine-leak -- jobs send is bounded by worker liveness; workers recover all panics
 	go s.coalesce()
 	s.workers.Add(len(replicas))
 	for _, r := range replicas {
@@ -276,6 +280,9 @@ func NewDispatch(run Runner, concurrency int, opt Options) *Server {
 	}
 	s := newServer(opt)
 	s.runner = run
+	// Same waiver as New: the blocking send is load shedding, not a leak,
+	// as long as dispatch workers cannot die — serveGroup guarantees that.
+	//gnnvet:allow goroutine-leak -- jobs send is bounded by worker liveness; workers recover all panics
 	go s.coalesce()
 	s.workers.Add(concurrency)
 	for i := 0; i < concurrency; i++ {
@@ -460,7 +467,7 @@ func (s *Server) coalesce() {
 func (s *Server) worker(rep Replica) {
 	defer s.workers.Done()
 	for group := range s.jobs {
-		s.runBatch(rep, group)
+		s.serveGroup(group, func() { s.runBatch(rep, group) })
 	}
 }
 
@@ -469,8 +476,27 @@ func (s *Server) worker(rep Replica) {
 func (s *Server) dispatchWorker(run Runner) {
 	defer s.workers.Done()
 	for group := range s.jobs {
-		s.runRemote(run, group)
+		s.serveGroup(group, func() { s.runRemote(run, group) })
 	}
+}
+
+// serveGroup runs one dispatch group under a loop-level recover. The batch
+// paths already recover around the replica/runner call, but a panic outside
+// that window (expiry handling, metrics, tracing) would kill the worker —
+// and once every worker is dead the coalescer wedges forever on the
+// unbuffered jobs channel, hanging all callers and Shutdown with it. Any
+// escaped panic answers the whole group instead (respond is idempotent, so
+// requests the run already answered are untouched) and the worker lives on.
+func (s *Server) serveGroup(group []*request, run func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("serve: worker failure: %v", p)
+			for _, r := range group {
+				r.respond(result{err: err})
+			}
+		}
+	}()
+	run()
 }
 
 // splitExpired answers already-expired requests with their context error and

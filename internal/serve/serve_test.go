@@ -310,3 +310,37 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestServeGroupRecoversPanic pins the worker-survival fix: a panic escaping
+// the batch path must answer every unanswered request in the group with an
+// error (so callers unblock) without disturbing requests the run already
+// answered, and without killing the calling goroutine.
+func TestServeGroupRecoversPanic(t *testing.T) {
+	var s Server
+	group := []*request{
+		{ctx: context.Background(), done: make(chan result, 1)},
+		{ctx: context.Background(), done: make(chan result, 1)},
+		{ctx: context.Background(), done: make(chan result, 1)},
+	}
+	preAnswered := errors.New("answered before the panic")
+	s.serveGroup(group, func() {
+		group[2].respond(result{err: preAnswered})
+		panic("boom")
+	})
+	for i, r := range group[:2] {
+		select {
+		case res := <-r.done:
+			if res.err == nil || !strings.Contains(res.err.Error(), "worker failure: boom") {
+				t.Errorf("request %d: err = %v, want worker failure", i, res.err)
+			}
+		default:
+			t.Errorf("request %d never answered after panic", i)
+		}
+	}
+	if res := <-group[2].done; res.err != preAnswered {
+		t.Errorf("pre-answered request got %v, want its original answer", res.err)
+	}
+	if len(group[2].done) != 0 {
+		t.Error("recovery double-sent to an already-answered request")
+	}
+}
